@@ -1,0 +1,104 @@
+// E7 (ablation): how much co-segment clustering buys Topological Dynamic
+// Voting. Section 3 predicts: no gain with every copy on its own segment
+// (TDV == LDV, the paper's configuration C), growing gain with
+// clustering, and degeneration into Available Copy with everything on one
+// segment (configuration E's "available for three hundred years").
+//
+// We place four copies on the paper's network in four ways — fully
+// dispersed to fully clustered — and print LDV / TDV / AC side by side.
+//
+// Flags: --years=N (default 400), --seed=N
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/available_copy.h"
+
+namespace dynvote {
+namespace bench {
+namespace {
+
+struct Clustering {
+  std::string description;
+  SiteSet placement;
+  int max_cosegment;  // size of the largest co-segment copy group
+};
+
+int Run(const BenchArgs& args) {
+  auto network = MakePaperNetwork();
+  if (!network.ok()) {
+    std::cerr << network.status() << std::endl;
+    return 1;
+  }
+
+  // Main segment: ids 0-4; gremlin: 5; rip/mangle: 6, 7.
+  const std::vector<Clustering> plans = {
+      {"dispersed: csvax | gremlin | rip (3 segments, singletons)",
+       SiteSet{0, 5, 6}, 1},
+      {"one pair: csvax+beowulf | gremlin | rip", SiteSet{0, 1, 5, 6}, 2},
+      {"two pairs: csvax+beowulf | rip+mangle", SiteSet{0, 1, 6, 7}, 2},
+      {"triple: csvax+beowulf+grendel | gremlin", SiteSet{0, 1, 2, 5}, 3},
+      {"clustered: all four on the main segment", SiteSet{0, 1, 2, 3}, 4},
+  };
+
+  std::cout << "=== Topology-clustering ablation (4 copies, LDV vs TDV vs "
+               "AC) ===\n"
+            << "AC is only run on the fully clustered placement (it is "
+               "unsafe under partitions).\n\n";
+
+  TextTable table({"Placement", "LDV", "TDV", "TDV/LDV", "AC"});
+  std::vector<double> gain;  // LDV/TDV improvement factor per plan
+  for (const Clustering& plan : plans) {
+    ExperimentSpec spec;
+    spec.topology = network->topology;
+    spec.profiles = network->profiles;
+    spec.options = MakeOptions(args);
+
+    std::vector<std::unique_ptr<ConsistencyProtocol>> protocols;
+    protocols.push_back(
+        MakeProtocolByName("LDV", network->topology, plan.placement)
+            .MoveValue());
+    protocols.push_back(
+        MakeProtocolByName("TDV", network->topology, plan.placement)
+            .MoveValue());
+    bool run_ac = plan.max_cosegment == 4;
+    if (run_ac) {
+      protocols.push_back(AvailableCopy::Make(plan.placement).MoveValue());
+    }
+    auto results = RunAvailabilityExperiment(spec, std::move(protocols));
+    if (!results.ok()) {
+      std::cerr << results.status() << std::endl;
+      return 1;
+    }
+    double ldv = ResultOf(*results, "LDV").unavailability;
+    double tdv = ResultOf(*results, "TDV").unavailability;
+    double ac = run_ac ? ResultOf(*results, "AC").unavailability : -1.0;
+    gain.push_back(tdv > 0 ? ldv / tdv : 1e9);
+    table.AddRow({plan.description, TextTable::Fixed6(ldv),
+                  TextTable::Fixed6(tdv),
+                  tdv > 0 ? TextTable::Fixed(ldv / tdv, 1) : "inf",
+                  TextTable::Fixed6(ac)});
+  }
+  std::cout << table.ToString();
+
+  std::vector<ShapeCheck> checks = {
+      {"no clustering, no gain: dispersed TDV == LDV (factor 1.0)",
+       gain[0] > 0.999 && gain[0] < 1.001},
+      {"any clustering helps: every clustered plan has TDV <= LDV",
+       gain[1] >= 1.0 && gain[2] >= 1.0 && gain[3] >= 1.0 &&
+           gain[4] >= 1.0},
+      {"full clustering gains at least 10x over LDV",
+       gain[4] >= 10.0},
+  };
+  return ReportShapeChecks(checks);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dynvote
+
+int main(int argc, char** argv) {
+  dynvote::bench::BenchArgs args = dynvote::bench::ParseArgs(argc, argv);
+  if (args.years == 600.0) args.years = 400.0;
+  return dynvote::bench::Run(args);
+}

@@ -1,0 +1,105 @@
+// E10: google-benchmark micro-benchmarks of the substrates — event queue
+// throughput, connectivity queries, the quorum test, and a full
+// simulated-year of the paper experiment — so performance regressions in
+// the simulator itself are visible.
+
+#include <benchmark/benchmark.h>
+
+#include "core/quorum.h"
+#include "core/registry.h"
+#include "model/experiment.h"
+#include "model/site_profile.h"
+#include "net/network_state.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace dynvote {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Rng rng(42);
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < batch; ++i) {
+      q.Schedule(rng.NextDouble() * 1000.0, [](SimTime) {});
+    }
+    while (!q.Empty()) q.RunNext();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_EventQueueWithCancellation(benchmark::State& state) {
+  Rng rng(43);
+  for (auto _ : state) {
+    EventQueue q;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 10000; ++i) {
+      ids.push_back(q.Schedule(rng.NextDouble() * 1000.0, [](SimTime) {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) q.Cancel(ids[i]);
+    while (!q.Empty()) q.RunNext();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueueWithCancellation);
+
+void BM_ConnectivityComponents(benchmark::State& state) {
+  auto paper = MakePaperNetwork();
+  NetworkState net(paper->topology);
+  net.SetSiteUp(3, false);  // partition in place
+  Rng rng(44);
+  for (auto _ : state) {
+    // Flip one site to invalidate the cache, then query.
+    SiteId s = static_cast<SiteId>(rng.NextBounded(8));
+    net.SetSiteUp(s, !net.IsSiteUp(s));
+    benchmark::DoNotOptimize(net.Components());
+  }
+}
+BENCHMARK(BM_ConnectivityComponents);
+
+void BM_QuorumEvaluation(benchmark::State& state) {
+  auto paper = MakePaperNetwork();
+  auto store = ReplicaStore::Make(SiteSet{0, 1, 3, 5}).MoveValue();
+  store.Commit(SiteSet{0, 1}, 5, 3, SiteSet{0, 1});
+  const Topology* topo =
+      state.range(0) == 1 ? paper->topology.get() : nullptr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateDynamicQuorum(
+        store, SiteSet{0, 1, 2, 3, 4}, TieBreak::kLexicographic, topo));
+  }
+}
+BENCHMARK(BM_QuorumEvaluation)->Arg(0)->Arg(1);  // plain vs topological
+
+void BM_PaperExperimentYear(benchmark::State& state) {
+  // One simulated year of configuration B with all six policies: the
+  // inner loop of every table bench.
+  ExperimentOptions options;
+  options.warmup = Days(0);
+  options.num_batches = 1;
+  options.batch_length = Years(1);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    auto results = RunPaperExperiment('B', PaperProtocolNames(), options);
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_PaperExperimentYear)->Unit(benchmark::kMillisecond);
+
+void BM_SiteSetOps(benchmark::State& state) {
+  Rng rng(45);
+  SiteSet a = SiteSet::FromMask(rng.Next());
+  SiteSet b = SiteSet::FromMask(rng.Next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Union(b).Intersect(a).Minus(b).Size());
+    benchmark::DoNotOptimize(a.RankMax());
+  }
+}
+BENCHMARK(BM_SiteSetOps);
+
+}  // namespace
+}  // namespace dynvote
+
+BENCHMARK_MAIN();

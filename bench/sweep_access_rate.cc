@@ -1,0 +1,86 @@
+// E4 (ablation): the optimism trade-off. Optimistic Dynamic Voting
+// exchanges state only at access time, so its quorums go stale between
+// accesses; the paper measures it at one access per day and argues it
+// converges to LDV as accesses become frequent and degrades toward a
+// static scheme as they become rare. This bench sweeps the access rate
+// over three orders of magnitude for three copy placements and prints
+// ODV/OTDV unavailability next to the LDV/TDV (instantaneous) and MCV
+// (never-updates) anchors.
+//
+// Flags: --years=N (default 400), --seed=N, --configs= (default BFH)
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace dynvote {
+namespace bench {
+namespace {
+
+int Run(BenchArgs args) {
+  if (args.configs == "ABCDEFGH") args.configs = "BFH";
+  const double rates[] = {1.0 / 32, 1.0 / 8, 1.0 / 2,
+                          1.0,      4.0,     16.0, 64.0};
+
+  std::cout << "=== Access-rate sweep: optimism vs staleness ===\n"
+            << "ODV/OTDV state freshness is bounded by the access rate;\n"
+            << "LDV/TDV and MCV anchor the two extremes.\n\n";
+
+  int failures = 0;
+  for (char config : args.configs) {
+    TextTable table({"Accesses/day", "MCV", "LDV", "ODV", "TDV", "OTDV"});
+    double odv_slowest = -1.0;
+    double odv_fastest = -1.0;
+    double ldv_at_fastest = -1.0;
+    for (double rate : rates) {
+      ExperimentOptions options = MakeOptions(args);
+      options.access.rate_per_day = rate;
+      auto results =
+          RunPaperExperiment(config, PaperProtocolNames(), options);
+      if (!results.ok()) {
+        std::cerr << results.status() << std::endl;
+        return 1;
+      }
+      auto u = [&](const std::string& name) {
+        return ResultOf(*results, name).unavailability;
+      };
+      table.AddRow({TextTable::Fixed(rate, 4), TextTable::Fixed6(u("MCV")),
+                    TextTable::Fixed6(u("LDV")),
+                    TextTable::Fixed6(u("ODV")),
+                    TextTable::Fixed6(u("TDV")),
+                    TextTable::Fixed6(u("OTDV"))});
+      if (rate == rates[0]) odv_slowest = u("ODV");
+      if (rate == rates[6]) {
+        odv_fastest = u("ODV");
+        ldv_at_fastest = u("LDV");
+      }
+    }
+    std::cout << "Configuration " << config << ":\n"
+              << table.ToString() << "\n";
+
+    std::vector<ShapeCheck> checks = {
+        {std::string("config ") + config +
+             ": frequent accesses bring ODV toward LDV (within 3x or "
+             "3e-4 absolute at 64/day; exact equality holds only in the "
+             "access-per-event limit, see OptimismLimitTest)",
+         odv_fastest <= 3.0 * ldv_at_fastest + 3e-4},
+        {std::string("config ") + config +
+             ": rare accesses cost ODV availability (1/32 per day worse "
+             "than 64 per day, or both negligible)",
+         odv_slowest >= odv_fastest || odv_slowest < 1e-4},
+    };
+    failures += ReportShapeChecks(checks);
+    std::cout << "\n";
+  }
+  return failures;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dynvote
+
+int main(int argc, char** argv) {
+  dynvote::bench::BenchArgs args = dynvote::bench::ParseArgs(argc, argv);
+  if (args.years == 600.0) args.years = 400.0;
+  return dynvote::bench::Run(args);
+}

@@ -1,0 +1,96 @@
+// Runs a fault-injection scenario script (see src/kv/scenario.h for the
+// language) against a replicated KV cluster on the paper's network or a
+// simple single-segment cluster.
+//
+//   ./build/examples/scenario_runner <script.dvs> [protocol] [--paper]
+//
+// Without --paper the cluster is three sites A, B, C on one segment;
+// with --paper it is the eight-site Figure 8 network (site names csvax,
+// beowulf, grendel, wizard, amos, gremlin, rip, mangle) with copies on
+// csvax, beowulf, gremlin and mangle.
+//
+// Example scripts live in examples/scenarios/.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "kv/scenario.h"
+#include "model/site_profile.h"
+
+using namespace dynvote;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: scenario_runner <script.dvs> [protocol] [--paper]"
+              << "\n";
+    return 1;
+  }
+  std::string path = argv[1];
+  std::string protocol = "LDV";
+  bool paper = false;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--paper") {
+      paper = true;
+    } else {
+      protocol = a;
+    }
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot read " << path << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  std::shared_ptr<const Topology> topology;
+  SiteSet placement;
+  if (paper) {
+    auto network = MakePaperNetwork();
+    if (!network.ok()) {
+      std::cerr << network.status() << "\n";
+      return 1;
+    }
+    topology = network->topology;
+    placement = SiteSet{0, 1, 5, 7};
+  } else {
+    auto builder = Topology::Builder();
+    SegmentId lan = builder.AddSegment("lan");
+    builder.AddSite("A", lan);
+    builder.AddSite("B", lan);
+    builder.AddSite("C", lan);
+    auto topo = builder.Build();
+    if (!topo.ok()) {
+      std::cerr << topo.status() << "\n";
+      return 1;
+    }
+    topology = topo.MoveValue();
+    placement = SiteSet{0, 1, 2};
+  }
+
+  auto scenario = Scenario::Parse(topology, buffer.str());
+  if (!scenario.ok()) {
+    std::cerr << scenario.status() << "\n";
+    return 1;
+  }
+  auto cluster = KvCluster::Make(topology, placement, protocol);
+  if (!cluster.ok()) {
+    std::cerr << cluster.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "running " << path << " under " << protocol << " ("
+            << scenario->steps().size() << " steps)\n\n";
+  std::string transcript;
+  Status st = scenario->Run(cluster->get(), &transcript);
+  std::cout << transcript << "\n";
+  if (!st.ok()) {
+    std::cout << "SCENARIO FAILED: " << st << "\n";
+    return 1;
+  }
+  std::cout << "scenario passed.\n";
+  return 0;
+}

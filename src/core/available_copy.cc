@@ -1,0 +1,116 @@
+#include "core/available_copy.h"
+
+namespace dynvote {
+
+Result<std::unique_ptr<AvailableCopy>> AvailableCopy::Make(
+    SiteSet placement) {
+  auto store = ReplicaStore::Make(placement);
+  if (!store.ok()) return store.status();
+  return std::unique_ptr<AvailableCopy>(new AvailableCopy(store.MoveValue()));
+}
+
+AvailableCopy::AvailableCopy(ReplicaStore store)
+    : store_(std::move(store)), current_(store_.placement()) {}
+
+void AvailableCopy::Reset() {
+  store_.Reset();
+  current_ = store_.placement();
+}
+
+bool AvailableCopy::WouldGrant(const NetworkState& net, SiteId origin,
+                               AccessType /*type*/) const {
+  if (!net.IsSiteUp(origin)) return false;
+  // Accessible iff a current copy is up and reachable: reads need current
+  // data, writes need a current copy to serialise against.
+  return net.ComponentOf(origin).Intersects(current_);
+}
+
+Status AvailableCopy::Read(const NetworkState& net, SiteId origin) {
+  if (!net.IsSiteUp(origin)) {
+    return Status::Unavailable("origin site is down");
+  }
+  SiteSet reachable = store_.CopiesAmong(net.ComponentOf(origin));
+  counter_.Add(MessageKind::kProbe, store_.placement().Size());
+  counter_.Add(MessageKind::kProbeReply, reachable.Size());
+  if (!reachable.Intersects(current_)) {
+    counter_.Add(MessageKind::kAbort, reachable.Size());
+    return Status::NoQuorum("AC: no current copy reachable");
+  }
+  CommitInfo info;
+  info.kind = CommitInfo::Kind::kRead;
+  info.participants = reachable.Intersect(current_);
+  info.source = info.participants.RankMax();
+  info.version = store_.MaxVersion(info.participants);
+  NotifyCommit(info);
+  return Status::OK();
+}
+
+Status AvailableCopy::Write(const NetworkState& net, SiteId origin) {
+  if (!net.IsSiteUp(origin)) {
+    return Status::Unavailable("origin site is down");
+  }
+  SiteSet reachable = store_.CopiesAmong(net.ComponentOf(origin));
+  counter_.Add(MessageKind::kProbe, store_.placement().Size());
+  counter_.Add(MessageKind::kProbeReply, reachable.Size());
+  if (!reachable.Intersects(current_)) {
+    counter_.Add(MessageKind::kAbort, reachable.Size());
+    return Status::NoQuorum("AC: no current copy reachable");
+  }
+  // Every reachable copy receives the whole new object and becomes
+  // current; copies that are down miss the write and drop out of the
+  // current set until they recover.
+  SiteId source = reachable.Intersect(current_).RankMax();
+  OpNumber op = store_.MaxOp(reachable) + 1;
+  VersionNumber version = store_.MaxVersion(reachable) + 1;
+  store_.Commit(reachable, op, version, reachable);
+  counter_.Add(MessageKind::kCommit, reachable.Size());
+  current_ = reachable;
+
+  CommitInfo info;
+  info.kind = CommitInfo::Kind::kWrite;
+  info.participants = reachable;
+  info.source = source;
+  info.version = version;
+  NotifyCommit(info);
+  return Status::OK();
+}
+
+Status AvailableCopy::Recover(const NetworkState& net, SiteId site) {
+  if (!store_.placement().Contains(site)) {
+    return Status::InvalidArgument("recovering site holds no copy");
+  }
+  if (!net.IsSiteUp(site)) {
+    return Status::Unavailable("recovering site is down");
+  }
+  if (current_.Contains(site)) return Status::OK();  // never missed a write
+  SiteSet reachable = store_.CopiesAmong(net.ComponentOf(site));
+  SiteSet sources = reachable.Intersect(current_);
+  if (sources.Empty()) {
+    return Status::NoQuorum("AC: no current copy reachable to recover from");
+  }
+  SiteId source = sources.RankMax();
+  counter_.Add(MessageKind::kFileCopy, 1);
+  *store_.mutable_state(site) = store_.state(source);
+  current_.Add(site);
+
+  CommitInfo info;
+  info.kind = CommitInfo::Kind::kRecovery;
+  info.participants = SiteSet{site};
+  info.source = source;
+  info.version = store_.state(site).version;
+  NotifyCommit(info);
+  return Status::OK();
+}
+
+void AvailableCopy::OnNetworkEvent(const NetworkState& net) {
+  // Stale copies reintegrate as soon as a current copy is reachable (the
+  // protocol family assumes sites notice each other's restarts).
+  for (SiteId s : store_.placement().Minus(current_)) {
+    if (net.IsSiteUp(s)) {
+      Status st = Recover(net, s);
+      (void)st;  // failure just means no current copy is up yet
+    }
+  }
+}
+
+}  // namespace dynvote

@@ -1,0 +1,28 @@
+#include "core/protocol.h"
+
+namespace dynvote {
+
+bool ConsistencyProtocol::IsAvailable(const NetworkState& net,
+                                      AccessType type) const {
+  for (const SiteSet& group : net.Components()) {
+    SiteSet copies = group.Intersect(placement());
+    if (copies.Empty()) continue;
+    if (WouldGrant(net, copies.RankMax(), type)) return true;
+  }
+  return false;
+}
+
+Status ConsistencyProtocol::UserAccess(const NetworkState& net,
+                                       AccessType type) {
+  for (const SiteSet& group : net.Components()) {
+    SiteSet copies = group.Intersect(placement());
+    if (copies.Empty()) continue;
+    SiteId origin = copies.RankMax();
+    if (!WouldGrant(net, origin, type)) continue;
+    return type == AccessType::kWrite ? Write(net, origin)
+                                      : Read(net, origin);
+  }
+  return Status::NoQuorum("no group of communicating sites holds a quorum");
+}
+
+}  // namespace dynvote

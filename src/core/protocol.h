@@ -1,0 +1,162 @@
+// Abstract interface shared by every consistency protocol in the library.
+// The simulation driver, the replicated KV store and the benches all speak
+// to protocols through this interface.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/trace.h"
+#include "net/network_state.h"
+#include "repl/message_bus.h"
+#include "util/site_set.h"
+#include "util/status.h"
+
+namespace dynvote {
+
+/// Kind of file access being attempted.
+enum class AccessType { kRead, kWrite };
+
+/// What a committed operation did to the replicated data. Data layers
+/// (e.g. the replicated KV store) subscribe via
+/// ConsistencyProtocol::set_commit_hook to move actual contents exactly
+/// where the protocol moved its version state.
+struct CommitInfo {
+  enum class Kind {
+    /// A read was granted; no data moved. `source` holds a current copy.
+    kRead,
+    /// A write committed: every site in `participants` now holds the new
+    /// object contents, built on top of `source`'s pre-commit contents
+    /// (the paper replicates whole files, so a write is a whole-object
+    /// read-modify-write).
+    kWrite,
+    /// A stale copy recovered: the single site in `participants` copied
+    /// the object from `source`.
+    kRecovery,
+  };
+  Kind kind = Kind::kRead;
+  /// Sites whose copy is current after the commit.
+  SiteSet participants;
+  /// A site holding the pre-commit current contents (-1 if none needed).
+  SiteId source = -1;
+  /// Version number after the commit.
+  std::int64_t version = 0;
+};
+
+/// A replica-consistency protocol for one replicated file.
+///
+/// Protocols own their consistency-control state (operation numbers,
+/// version numbers, partition sets, ...). The network is observed, never
+/// owned: every entry point receives the current NetworkState.
+///
+/// Threading: instances are confined to the single simulation thread.
+class ConsistencyProtocol {
+ public:
+  virtual ~ConsistencyProtocol() = default;
+
+  /// Short name ("MCV", "ODV", ...).
+  virtual const std::string& name() const = 0;
+
+  /// Sites holding physical copies (or witnesses) of the file.
+  virtual SiteSet placement() const = 0;
+
+  /// Sites that hold actual file contents. Equal to placement() except
+  /// for protocols with witnesses, which vote but store no data.
+  virtual SiteSet data_sites() const { return placement(); }
+
+  /// True iff the protocol preserves mutual exclusion under network
+  /// partitions. Available Copy returns false (it assumes partitions
+  /// cannot happen); every voting protocol returns true. The simulation
+  /// driver only enforces the at-most-one-majority-partition invariant
+  /// for partition-safe protocols.
+  virtual bool partition_safe() const { return true; }
+
+  /// True for protocols that rely on the connection vector: their state
+  /// tracks every change of network status instantaneously (DV, LDV, TDV).
+  /// False for MCV (no dynamic state) and the optimistic variants (state
+  /// exchanged only at access time).
+  virtual bool uses_instantaneous_information() const = 0;
+
+  /// Would an access of `type` issued now at `origin` be granted? Pure:
+  /// never mutates protocol state. `origin` must be a live site; the
+  /// decision depends only on origin's group of communicating sites.
+  virtual bool WouldGrant(const NetworkState& net, SiteId origin,
+                          AccessType type) const = 0;
+
+  /// Availability of the replicated file at this instant: true iff a user
+  /// able to reach any live site would be granted an access of `type`
+  /// (Section 4's user model). Pure.
+  virtual bool IsAvailable(const NetworkState& net,
+                           AccessType type = AccessType::kWrite) const;
+
+  /// Performs a read at `origin`. Returns NoQuorum if origin is outside
+  /// the majority partition, Unavailable if origin is down.
+  virtual Status Read(const NetworkState& net, SiteId origin) = 0;
+
+  /// Performs a write at `origin`.
+  virtual Status Write(const NetworkState& net, SiteId origin) = 0;
+
+  /// Runs the recovery procedure for (live) site `site`: rejoin the
+  /// majority partition, copying the file if stale. Returns NoQuorum if no
+  /// majority partition is reachable from `site`.
+  virtual Status Recover(const NetworkState& net, SiteId site) = 0;
+
+  /// The paper's user model: one access attempt that may originate at any
+  /// live site. Performs the operation in the (unique) group that grants
+  /// it, if any; optimistic protocols additionally reintegrate reachable
+  /// stale copies here, this being their only state-exchange opportunity.
+  virtual Status UserAccess(const NetworkState& net, AccessType type);
+
+  /// Notification that the network state just changed (site or repeater
+  /// went up or down). Instantaneous-information protocols refresh their
+  /// state; others ignore it.
+  virtual void OnNetworkEvent(const NetworkState& net) { (void)net; }
+
+  /// Returns the protocol to its initial state (all copies current).
+  virtual void Reset() = 0;
+
+  /// Message accounting (see repl/message_bus.h).
+  MessageCounter* counter() { return &counter_; }
+  const MessageCounter& counter() const { return counter_; }
+
+  /// Registers a callback fired after every committed operation that
+  /// affects where current data lives. At most one hook; pass nullptr to
+  /// clear.
+  using CommitHook = std::function<void(const CommitInfo&)>;
+  void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
+  /// Attaches a decision log (see core/trace.h); the protocol records
+  /// every quorum decision it makes. Not owned; pass nullptr to detach.
+  void set_decision_log(DecisionLog* log) { decision_log_ = log; }
+  DecisionLog* decision_log() const { return decision_log_; }
+
+ protected:
+  /// Fires the commit hook, if any.
+  void NotifyCommit(const CommitInfo& info) {
+    if (commit_hook_) commit_hook_(info);
+  }
+
+  /// Records a decision if a log is attached.
+  void LogDecision(DecisionRecord::Operation operation, SiteId origin,
+                   bool granted, const QuorumDecision& decision) {
+    if (decision_log_ == nullptr) return;
+    DecisionRecord record;
+    record.protocol = name();
+    record.operation = operation;
+    record.origin = origin;
+    record.granted = granted;
+    record.decision = decision;
+    decision_log_->Record(std::move(record));
+  }
+
+  MessageCounter counter_;
+
+ private:
+  CommitHook commit_hook_;
+  DecisionLog* decision_log_ = nullptr;
+};
+
+}  // namespace dynvote

@@ -1,0 +1,97 @@
+#include "core/quorum.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dynvote {
+
+Result<VoteWeights> VoteWeights::Make(std::vector<int> weights) {
+  for (int w : weights) {
+    if (w < 0) return Status::InvalidArgument("vote weights must be >= 0");
+  }
+  return VoteWeights(std::move(weights));
+}
+
+int VoteWeights::WeightOf(SiteId site) const {
+  if (weights_.empty() || site >= static_cast<SiteId>(weights_.size())) {
+    return 1;
+  }
+  return weights_[site];
+}
+
+long long VoteWeights::WeightOf(SiteSet sites) const {
+  if (weights_.empty()) return sites.Size();
+  long long total = 0;
+  for (SiteId s : sites) total += WeightOf(s);
+  return total;
+}
+
+std::string QuorumDecision::ToString() const {
+  std::ostringstream os;
+  os << (granted ? "GRANTED" : "DENIED")
+     << (by_tie_break ? " (tie-break)" : "") << " R=" << reachable_copies
+     << " Q=" << quorum_set << " S=" << current_set
+     << " counted=" << counted_set << " Pm=" << prev_partition;
+  return os.str();
+}
+
+QuorumDecision EvaluateDynamicQuorum(const ReplicaStore& store,
+                                     SiteSet reachable, TieBreak tie_break,
+                                     const Topology* topology,
+                                     const VoteWeights& weights) {
+  QuorumDecision d;
+  d.reachable_copies = store.CopiesAmong(reachable);
+  if (d.reachable_copies.Empty()) return d;
+
+  d.quorum_set = store.MaxOpSites(d.reachable_copies);
+  d.current_set = store.MaxVersionSites(d.reachable_copies);
+  d.representative = d.quorum_set.RankMax();
+  d.prev_partition = store.state(d.representative).partition_set;
+
+  // Votes counted toward the majority test. The plain algorithms count Q;
+  // the topological algorithms count T, Q's closure under "same segment
+  // as a reachable member of the previous majority block".
+  d.counted_set = d.quorum_set;
+  if (topology != nullptr) {
+    SiteSet active_members = d.prev_partition.Intersect(d.reachable_copies);
+    SiteSet closure;
+    for (SiteId r : d.prev_partition) {
+      for (SiteId s : active_members) {
+        if (topology->SameSegment(r, s)) {
+          closure.Add(r);
+          break;
+        }
+      }
+    }
+    d.counted_set = closure;
+  }
+
+  // |counted| > |Pm| / 2, with weighted votes: compare 2*w(counted) to
+  // w(Pm) in integers to avoid fractional arithmetic.
+  long long counted_weight = weights.WeightOf(d.counted_set);
+  long long block_weight = weights.WeightOf(d.prev_partition);
+  if (2 * counted_weight > block_weight) {
+    d.granted = true;
+  } else if (2 * counted_weight == block_weight &&
+             tie_break == TieBreak::kLexicographic &&
+             !d.prev_partition.Empty() &&
+             d.quorum_set.Contains(d.prev_partition.RankMax())) {
+    // Exactly half the previous block: grant iff the group holds the
+    // maximum element of Pm. Per Figures 1-3 and 5-7 the element must be
+    // in Q (reachable with the maximal operation number), even under the
+    // topological rule.
+    d.granted = true;
+    d.by_tie_break = true;
+  }
+  return d;
+}
+
+bool HasStaticMajority(SiteSet reachable, SiteSet placement,
+                       const VoteWeights& weights) {
+  long long have = weights.WeightOf(reachable.Intersect(placement));
+  long long total = weights.WeightOf(placement);
+  return 2 * have > total;
+}
+
+}  // namespace dynvote

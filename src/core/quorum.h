@@ -1,0 +1,109 @@
+// The quorum test at the heart of every dynamic voting variant in the
+// paper (Algorithm 1, Figures 1-3 and 5-7), implemented as a pure function
+// over replica state so that all protocol classes, the simulation driver
+// and the property tests share one definition.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+#include "repl/replica_store.h"
+#include "util/result.h"
+#include "util/site_set.h"
+
+namespace dynvote {
+
+/// How a tie (exactly half of the previous majority block reachable) is
+/// resolved.
+enum class TieBreak {
+  /// Original Davčev-Burkhard dynamic voting: ties fail.
+  kNone,
+  /// Jajodia's lexicographic rule: the half containing the maximum element
+  /// of the previous majority block wins. Site ids rank by SiteSet's
+  /// convention (lower id = higher rank).
+  kLexicographic,
+};
+
+/// Per-site vote weights (the paper's future-work "weight assignments").
+/// Default-constructed weights give every site one vote, which reproduces
+/// the unweighted algorithms exactly.
+class VoteWeights {
+ public:
+  /// Every site weighs 1.
+  VoteWeights() = default;
+
+  /// Explicit weights; sites beyond the vector weigh 1. All weights must
+  /// be >= 0 and at least one site in any placement should weigh > 0 for
+  /// the protocols to be usable.
+  static Result<VoteWeights> Make(std::vector<int> weights);
+
+  /// Weight of one site.
+  int WeightOf(SiteId site) const;
+
+  /// Total weight of a set.
+  long long WeightOf(SiteSet sites) const;
+
+  bool IsUniform() const { return weights_.empty(); }
+
+ private:
+  explicit VoteWeights(std::vector<int> weights)
+      : weights_(std::move(weights)) {}
+  std::vector<int> weights_;  // empty = all ones
+};
+
+/// Outcome of the majority-partition test for one group of mutually
+/// communicating sites.
+struct QuorumDecision {
+  /// True iff the group is the majority partition and may proceed.
+  bool granted = false;
+  /// True iff the grant needed the lexicographic tie-break.
+  bool by_tie_break = false;
+  /// R ∩ placement: reachable physical copies.
+  SiteSet reachable_copies;
+  /// Q: reachable copies carrying the maximal operation number.
+  SiteSet quorum_set;
+  /// S: reachable copies carrying the maximal version number.
+  SiteSet current_set;
+  /// The votes actually counted: Q itself, or the topological closure T
+  /// (Q plus unreachable members of P_m sharing a segment with a
+  /// reachable member of P_m).
+  SiteSet counted_set;
+  /// P_m: the previous majority block, read from any member of Q.
+  SiteSet prev_partition;
+  /// m: the member of Q whose ensemble was used.
+  SiteId representative = -1;
+
+  std::string ToString() const;
+};
+
+/// Evaluates the paper's majority-partition test for the sites `reachable`
+/// (the group of mutually communicating sites containing the requester;
+/// non-copy members are ignored).
+///
+/// * `tie_break` selects DV (kNone) vs LDV/ODV behaviour.
+/// * If `topology` is non-null the topological rule of Section 3 is used:
+///   a reachable member of the previous majority block carries the votes
+///   of unreachable members on its own segment (TDV/OTDV). The paper
+///   prints the carrier condition as `s ∈ Pm ∪ R`; we implement the
+///   evident intent `s ∈ Pm ∩ R` — only an *active* member of the previous
+///   block may carry votes.
+/// * `weights` generalises vote counting to weighted votes.
+///
+/// Returns a decision with granted == false when `reachable` holds no
+/// copies.
+QuorumDecision EvaluateDynamicQuorum(const ReplicaStore& store,
+                                     SiteSet reachable, TieBreak tie_break,
+                                     const Topology* topology = nullptr,
+                                     const VoteWeights& weights = {});
+
+/// Static majority test used by Majority Consensus Voting: does
+/// `reachable` contain more than half of the total vote weight of
+/// `placement`? No tie-break — MCV cannot resolve ties without dynamic
+/// state.
+bool HasStaticMajority(SiteSet reachable, SiteSet placement,
+                       const VoteWeights& weights = {});
+
+}  // namespace dynvote

@@ -1,0 +1,69 @@
+#include "core/trace.h"
+
+#include <sstream>
+
+namespace dynvote {
+
+std::string DecisionRecord::OperationName(Operation op) {
+  switch (op) {
+    case Operation::kRead:
+      return "read";
+    case Operation::kWrite:
+      return "write";
+    case Operation::kRecover:
+      return "recover";
+    case Operation::kRefresh:
+      return "refresh";
+  }
+  return "?";
+}
+
+std::string DecisionRecord::ToString() const {
+  std::ostringstream os;
+  os << "#" << sequence << " " << protocol << " "
+     << OperationName(operation);
+  if (origin >= 0) os << "@" << origin;
+  os << " " << decision.ToString();
+  return os.str();
+}
+
+DecisionLog::DecisionLog(std::size_t capacity) : capacity_(capacity) {}
+
+void DecisionLog::Record(DecisionRecord record) {
+  record.sequence = ++total_;
+  if (record.granted) ++granted_;
+  records_.push_back(std::move(record));
+  while (records_.size() > capacity_) records_.pop_front();
+}
+
+void DecisionLog::Clear() {
+  records_.clear();
+  total_ = 0;
+  granted_ = 0;
+}
+
+std::string DecisionLog::ToString() const {
+  std::ostringstream os;
+  for (const DecisionRecord& r : records_) os << r.ToString() << "\n";
+  return os.str();
+}
+
+std::string DecisionLog::ToCsv() const {
+  std::ostringstream os;
+  os << "sequence,protocol,operation,origin,granted,by_tie_break,"
+        "reachable,quorum_set,current_set,counted_set,prev_partition\n";
+  for (const DecisionRecord& r : records_) {
+    os << r.sequence << "," << r.protocol << ","
+       << DecisionRecord::OperationName(r.operation) << "," << r.origin
+       << "," << (r.granted ? 1 : 0) << ","
+       << (r.decision.by_tie_break ? 1 : 0) << ",\""
+       << r.decision.reachable_copies.ToString() << "\",\""
+       << r.decision.quorum_set.ToString() << "\",\""
+       << r.decision.current_set.ToString() << "\",\""
+       << r.decision.counted_set.ToString() << "\",\""
+       << r.decision.prev_partition.ToString() << "\"\n";
+  }
+  return os.str();
+}
+
+}  // namespace dynvote

@@ -1,0 +1,71 @@
+// Decision tracing: protocols can be attached to a DecisionLog that
+// records every quorum decision (operation, origin, the Q/S/T/Pm sets and
+// the outcome) in a bounded ring buffer. Used by tests to assert on
+// decision sequences, by examples to narrate runs, and for debugging
+// availability anomalies in long simulations.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "core/quorum.h"
+#include "util/site_set.h"
+
+namespace dynvote {
+
+/// One recorded protocol decision.
+struct DecisionRecord {
+  /// Which entry point made the decision.
+  enum class Operation { kRead, kWrite, kRecover, kRefresh };
+
+  std::uint64_t sequence = 0;  // assigned by the log, 1-based
+  std::string protocol;
+  Operation operation = Operation::kRead;
+  /// Requesting / recovering site, or -1 for a whole-group refresh.
+  SiteId origin = -1;
+  bool granted = false;
+  /// Full quorum evaluation (zeroed for protocols without dynamic state).
+  QuorumDecision decision;
+
+  static std::string OperationName(Operation op);
+  /// "#12 LDV write@0 GRANTED R={0, 1} ...".
+  std::string ToString() const;
+};
+
+/// Bounded in-memory log of decisions; oldest entries are dropped first.
+class DecisionLog {
+ public:
+  /// Creates a log keeping the most recent `capacity` records.
+  explicit DecisionLog(std::size_t capacity = 1024);
+
+  /// Appends a record (assigns its sequence number).
+  void Record(DecisionRecord record);
+
+  /// Records currently retained, oldest first.
+  const std::deque<DecisionRecord>& records() const { return records_; }
+
+  /// Total records ever recorded (>= records().size()).
+  std::uint64_t total_recorded() const { return total_; }
+
+  /// Number of granted / denied decisions ever recorded.
+  std::uint64_t granted_count() const { return granted_; }
+  std::uint64_t denied_count() const { return total_ - granted_; }
+
+  void Clear();
+
+  /// Multi-line rendering of the retained records.
+  std::string ToString() const;
+
+  /// CSV rendering: header plus one line per retained record.
+  std::string ToCsv() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<DecisionRecord> records_;
+  std::uint64_t total_ = 0;
+  std::uint64_t granted_ = 0;
+};
+
+}  // namespace dynvote

@@ -1,0 +1,104 @@
+#include "kv/multi_store.h"
+
+#include "core/registry.h"
+
+namespace dynvote {
+
+Result<std::unique_ptr<MultiKvStore>> MultiKvStore::Make(
+    std::shared_ptr<const Topology> topology, std::string default_protocol,
+    SiteSet default_placement) {
+  if (topology == nullptr) {
+    return Status::InvalidArgument("topology must not be null");
+  }
+  // Validate the defaults eagerly by building (and discarding) one
+  // instance.
+  auto probe = MakeProtocolByName(default_protocol, topology,
+                                  default_placement);
+  if (!probe.ok()) return probe.status();
+  return std::unique_ptr<MultiKvStore>(new MultiKvStore(
+      std::move(topology), std::move(default_protocol),
+      default_placement));
+}
+
+Status MultiKvStore::DeclareKey(const std::string& key, SiteSet placement,
+                                const std::string& protocol) {
+  if (objects_.count(key) != 0) {
+    return Status::InvalidArgument("key '" + key + "' already exists");
+  }
+  auto p = MakeProtocolByName(protocol.empty() ? default_protocol_
+                                               : protocol,
+                              topology_, placement);
+  if (!p.ok()) return p.status();
+  auto store = ReplicatedKvStore::Make(p.MoveValue());
+  if (!store.ok()) return store.status();
+  objects_[key] = store.MoveValue();
+  return Status::OK();
+}
+
+Result<ReplicatedKvStore*> MultiKvStore::ObjectFor(const std::string& key) {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    DYNVOTE_RETURN_NOT_OK(DeclareKey(key, default_placement_));
+    it = objects_.find(key);
+  }
+  return it->second.get();
+}
+
+Status MultiKvStore::Put(const NetworkState& net, SiteId origin,
+                         const std::string& key, std::string value) {
+  ReplicatedKvStore* object;
+  DYNVOTE_ASSIGN_OR_RETURN(object, ObjectFor(key));
+  return object->Put(net, origin, key, std::move(value));
+}
+
+Result<std::string> MultiKvStore::Get(const NetworkState& net,
+                                      SiteId origin,
+                                      const std::string& key) {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object for key '" + key + "'");
+  }
+  return it->second->Get(net, origin, key);
+}
+
+Status MultiKvStore::Delete(const NetworkState& net, SiteId origin,
+                            const std::string& key) {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object for key '" + key + "'");
+  }
+  return it->second->Delete(net, origin, key);
+}
+
+void MultiKvStore::OnNetworkEvent(const NetworkState& net) {
+  for (auto& [key, object] : objects_) {
+    object->protocol()->OnNetworkEvent(net);
+  }
+}
+
+Result<bool> MultiKvStore::IsKeyAvailable(const NetworkState& net,
+                                          const std::string& key) const {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object for key '" + key + "'");
+  }
+  return it->second->protocol()->IsAvailable(net);
+}
+
+std::uint64_t MultiKvStore::TotalMessages() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, object] : objects_) {
+    total += object->protocol()->counter()->Total();
+  }
+  return total;
+}
+
+const ConsistencyProtocol* MultiKvStore::protocol_of(
+    const std::string& key) const {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return nullptr;
+  const ReplicatedKvStore& object = *it->second;
+  return &object.protocol();
+}
+
+}  // namespace dynvote

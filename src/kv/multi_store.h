@@ -1,0 +1,87 @@
+// A multi-object store: one consistency protocol instance *per key*, the
+// way the paper's system (Gemini) manages many independent replicated
+// files. Each key may have its own placement; quorums are per object, so
+// some keys can remain writable while others are blocked — and the
+// aggregate connection-vector cost of the instantaneous protocols scales
+// with the number of objects (the practicality point of [BMP87] that
+// motivates optimism).
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/protocol.h"
+#include "kv/kv_store.h"
+#include "net/network_state.h"
+#include "net/topology.h"
+#include "util/result.h"
+
+namespace dynvote {
+
+/// Many replicated objects, each under its own protocol instance.
+class MultiKvStore {
+ public:
+  /// `default_protocol` (a registry name) and `default_placement` govern
+  /// keys created without an explicit placement.
+  static Result<std::unique_ptr<MultiKvStore>> Make(
+      std::shared_ptr<const Topology> topology,
+      std::string default_protocol, SiteSet default_placement);
+
+  MultiKvStore(const MultiKvStore&) = delete;
+  MultiKvStore& operator=(const MultiKvStore&) = delete;
+
+  /// Declares `key` with a non-default placement (and optionally a
+  /// different protocol). Must be called before the key's first Put;
+  /// fails if the key already exists.
+  Status DeclareKey(const std::string& key, SiteSet placement,
+                    const std::string& protocol = "");
+
+  /// Writes through the key's own quorum (creating the object with the
+  /// default placement on first use).
+  Status Put(const NetworkState& net, SiteId origin, const std::string& key,
+             std::string value);
+
+  /// Reads through the key's own quorum.
+  Result<std::string> Get(const NetworkState& net, SiteId origin,
+                          const std::string& key);
+
+  /// Deletes the value (the object and its quorum state remain).
+  Status Delete(const NetworkState& net, SiteId origin,
+                const std::string& key);
+
+  /// Forwards a network event to every object's protocol.
+  void OnNetworkEvent(const NetworkState& net);
+
+  /// Availability of one key's object at this instant; NotFound for
+  /// undeclared keys.
+  Result<bool> IsKeyAvailable(const NetworkState& net,
+                              const std::string& key) const;
+
+  /// Number of distinct objects (declared or auto-created).
+  std::size_t num_objects() const { return objects_.size(); }
+
+  /// Total messages across all objects' protocols.
+  std::uint64_t TotalMessages() const;
+
+  /// The per-key protocol, for inspection; nullptr if undeclared.
+  const ConsistencyProtocol* protocol_of(const std::string& key) const;
+
+ private:
+  MultiKvStore(std::shared_ptr<const Topology> topology,
+               std::string default_protocol, SiteSet default_placement)
+      : topology_(std::move(topology)),
+        default_protocol_(std::move(default_protocol)),
+        default_placement_(default_placement) {}
+
+  /// Finds or lazily creates the object for `key`.
+  Result<ReplicatedKvStore*> ObjectFor(const std::string& key);
+
+  std::shared_ptr<const Topology> topology_;
+  std::string default_protocol_;
+  SiteSet default_placement_;
+  std::map<std::string, std::unique_ptr<ReplicatedKvStore>> objects_;
+};
+
+}  // namespace dynvote

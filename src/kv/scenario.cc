@@ -1,0 +1,287 @@
+#include "kv/scenario.h"
+
+#include <sstream>
+
+namespace dynvote {
+
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::string cleaned = line.substr(0, line.find('#'));
+  std::istringstream ss(cleaned);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (ss >> token) tokens.push_back(token);
+  return tokens;
+}
+
+Status ParseError(int line, const std::string& message) {
+  return Status::InvalidArgument("scenario line " + std::to_string(line) +
+                                 ": " + message);
+}
+
+Result<ScenarioStep::Expect> ParseExpectWord(int line,
+                                             const std::string& word) {
+  if (word == "ok") return ScenarioStep::Expect::kOk;
+  if (word == "denied") return ScenarioStep::Expect::kDenied;
+  if (word == "missing") return ScenarioStep::Expect::kMissing;
+  return ParseError(line, "expected 'ok', 'denied' or 'missing', got '" +
+                              word + "'");
+}
+
+}  // namespace
+
+Result<SiteId> Scenario::SiteByName(const std::string& name) const {
+  return topology_->FindSite(name);
+}
+
+Result<RepeaterId> Scenario::RepeaterByName(const std::string& name) const {
+  for (const BridgeInfo& bridge : topology_->bridges()) {
+    if (!bridge.gateway_site.has_value() && bridge.name == name) {
+      return bridge.repeater;
+    }
+  }
+  return Status::NotFound("no repeater named '" + name + "'");
+}
+
+Result<Scenario> Scenario::Parse(std::shared_ptr<const Topology> topology,
+                                 const std::string& text) {
+  if (topology == nullptr) {
+    return Status::InvalidArgument("topology must not be null");
+  }
+  Scenario scenario(topology);
+
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+
+    ScenarioStep step;
+    step.line = line_number;
+    const std::string& command = tokens[0];
+
+    auto need = [&](std::size_t n) -> Status {
+      if (tokens.size() < n) {
+        return ParseError(line_number, "'" + command +
+                                           "' needs more arguments");
+      }
+      return Status::OK();
+    };
+    auto check_site = [&](const std::string& name) -> Status {
+      auto site = scenario.SiteByName(name);
+      if (!site.ok()) return ParseError(line_number, site.status().message());
+      return Status::OK();
+    };
+
+    if (command == "put" || command == "delete") {
+      DYNVOTE_RETURN_NOT_OK(need(command == "put" ? 4u : 3u));
+      step.kind = command == "put" ? ScenarioStep::Kind::kPut
+                                   : ScenarioStep::Kind::kDelete;
+      step.site = tokens[1];
+      DYNVOTE_RETURN_NOT_OK(check_site(step.site));
+      step.key = tokens[2];
+      std::size_t next = 3;
+      if (command == "put") {
+        step.value = tokens[3];
+        next = 4;
+      }
+      step.expect = ScenarioStep::Expect::kOk;  // default: must succeed
+      if (tokens.size() > next) {
+        if (tokens[next] != "expect" || tokens.size() < next + 2) {
+          return ParseError(line_number, "trailing tokens; use 'expect'");
+        }
+        DYNVOTE_ASSIGN_OR_RETURN(
+            step.expect, ParseExpectWord(line_number, tokens[next + 1]));
+        if (step.expect == ScenarioStep::Expect::kMissing) {
+          return ParseError(line_number, "'missing' only applies to get");
+        }
+      }
+    } else if (command == "get") {
+      DYNVOTE_RETURN_NOT_OK(need(5));
+      step.kind = ScenarioStep::Kind::kGet;
+      step.site = tokens[1];
+      DYNVOTE_RETURN_NOT_OK(check_site(step.site));
+      step.key = tokens[2];
+      if (tokens[3] != "expect") {
+        return ParseError(line_number, "get needs 'expect <outcome>'");
+      }
+      const std::string& outcome = tokens[4];
+      if (outcome == "missing") {
+        step.expect = ScenarioStep::Expect::kMissing;
+      } else if (outcome == "denied") {
+        step.expect = ScenarioStep::Expect::kDenied;
+      } else {
+        step.expect = ScenarioStep::Expect::kValue;
+        step.value = outcome;
+      }
+    } else if (command == "recover") {
+      DYNVOTE_RETURN_NOT_OK(need(2));
+      step.kind = ScenarioStep::Kind::kRecover;
+      step.site = tokens[1];
+      DYNVOTE_RETURN_NOT_OK(check_site(step.site));
+      step.expect = ScenarioStep::Expect::kNone;
+      if (tokens.size() >= 4 && tokens[2] == "expect") {
+        DYNVOTE_ASSIGN_OR_RETURN(step.expect,
+                                 ParseExpectWord(line_number, tokens[3]));
+      }
+    } else if (command == "kill" || command == "restart") {
+      DYNVOTE_RETURN_NOT_OK(need(2));
+      step.kind = command == "kill" ? ScenarioStep::Kind::kKillSite
+                                    : ScenarioStep::Kind::kRestartSite;
+      step.site = tokens[1];
+      DYNVOTE_RETURN_NOT_OK(check_site(step.site));
+    } else if (command == "kill-repeater" ||
+               command == "restart-repeater") {
+      DYNVOTE_RETURN_NOT_OK(need(2));
+      step.kind = command == "kill-repeater"
+                      ? ScenarioStep::Kind::kKillRepeater
+                      : ScenarioStep::Kind::kRestartRepeater;
+      step.site = tokens[1];
+      auto rep = scenario.RepeaterByName(step.site);
+      if (!rep.ok()) return ParseError(line_number, rep.status().message());
+    } else if (command == "expect-available") {
+      DYNVOTE_RETURN_NOT_OK(need(2));
+      step.kind = ScenarioStep::Kind::kExpectAvailable;
+      if (tokens[1] != "yes" && tokens[1] != "no") {
+        return ParseError(line_number, "expect-available takes yes|no");
+      }
+      step.available = tokens[1] == "yes";
+    } else {
+      return ParseError(line_number, "unknown command '" + command + "'");
+    }
+    scenario.steps_.push_back(std::move(step));
+  }
+  return scenario;
+}
+
+Status Scenario::Run(KvCluster* cluster, std::string* transcript) const {
+  if (cluster == nullptr) {
+    return Status::InvalidArgument("cluster must not be null");
+  }
+  std::ostringstream log;
+  auto fail = [&](const ScenarioStep& step, const std::string& message) {
+    if (transcript != nullptr) *transcript = log.str();
+    return Status::Internal("scenario line " + std::to_string(step.line) +
+                            ": " + message);
+  };
+  auto check_op = [&](const ScenarioStep& step,
+                      const Status& st) -> Status {
+    log << "  -> " << st << "\n";
+    switch (step.expect) {
+      case ScenarioStep::Expect::kOk:
+        if (!st.ok()) return fail(step, "expected OK, got " + st.ToString());
+        break;
+      case ScenarioStep::Expect::kDenied:
+        if (!st.IsNoQuorum() && !st.IsUnavailable()) {
+          return fail(step, "expected a denial, got " + st.ToString());
+        }
+        break;
+      case ScenarioStep::Expect::kNone:
+        break;
+      default:
+        return fail(step, "internal: bad expectation");
+    }
+    return Status::OK();
+  };
+
+  for (const ScenarioStep& step : steps_) {
+    switch (step.kind) {
+      case ScenarioStep::Kind::kPut: {
+        log << "put " << step.site << " " << step.key << "=" << step.value
+            << "\n";
+        SiteId site = *SiteByName(step.site);
+        DYNVOTE_RETURN_NOT_OK(
+            check_op(step, cluster->Put(site, step.key, step.value)));
+        break;
+      }
+      case ScenarioStep::Kind::kDelete: {
+        log << "delete " << step.site << " " << step.key << "\n";
+        SiteId site = *SiteByName(step.site);
+        DYNVOTE_RETURN_NOT_OK(
+            check_op(step, cluster->Delete(site, step.key)));
+        break;
+      }
+      case ScenarioStep::Kind::kGet: {
+        log << "get " << step.site << " " << step.key << "\n";
+        SiteId site = *SiteByName(step.site);
+        auto got = cluster->Get(site, step.key);
+        log << "  -> " << (got.ok() ? *got : got.status().ToString())
+            << "\n";
+        switch (step.expect) {
+          case ScenarioStep::Expect::kValue:
+            if (!got.ok()) {
+              return fail(step, "expected '" + step.value + "', got " +
+                                    got.status().ToString());
+            }
+            if (*got != step.value) {
+              return fail(step, "expected '" + step.value + "', got '" +
+                                    *got + "'");
+            }
+            break;
+          case ScenarioStep::Expect::kMissing:
+            if (!got.status().IsNotFound()) {
+              return fail(step, "expected missing, got " +
+                                    (got.ok() ? "'" + *got + "'"
+                                              : got.status().ToString()));
+            }
+            break;
+          case ScenarioStep::Expect::kDenied:
+            if (!got.status().IsNoQuorum() &&
+                !got.status().IsUnavailable()) {
+              return fail(step, "expected a denial, got " +
+                                    (got.ok() ? "'" + *got + "'"
+                                              : got.status().ToString()));
+            }
+            break;
+          default:
+            return fail(step, "internal: bad get expectation");
+        }
+        break;
+      }
+      case ScenarioStep::Kind::kRecover: {
+        log << "recover " << step.site << "\n";
+        SiteId site = *SiteByName(step.site);
+        DYNVOTE_RETURN_NOT_OK(check_op(step, cluster->TryRecover(site)));
+        break;
+      }
+      case ScenarioStep::Kind::kKillSite: {
+        log << "kill " << step.site << "\n";
+        cluster->KillSite(*SiteByName(step.site));
+        break;
+      }
+      case ScenarioStep::Kind::kRestartSite: {
+        log << "restart " << step.site << "\n";
+        cluster->RestartSite(*SiteByName(step.site));
+        break;
+      }
+      case ScenarioStep::Kind::kKillRepeater: {
+        log << "kill-repeater " << step.site << "\n";
+        cluster->KillRepeater(*RepeaterByName(step.site));
+        break;
+      }
+      case ScenarioStep::Kind::kRestartRepeater: {
+        log << "restart-repeater " << step.site << "\n";
+        cluster->RestartRepeater(*RepeaterByName(step.site));
+        break;
+      }
+      case ScenarioStep::Kind::kExpectAvailable: {
+        bool available = cluster->IsAvailable();
+        log << "expect-available " << (step.available ? "yes" : "no")
+            << " (actual: " << (available ? "yes" : "no") << ")\n";
+        if (available != step.available) {
+          return fail(step, std::string("expected file to be ") +
+                                (step.available ? "available"
+                                                : "unavailable"));
+        }
+        break;
+      }
+    }
+  }
+  if (transcript != nullptr) *transcript = log.str();
+  return Status::OK();
+}
+
+}  // namespace dynvote

@@ -1,0 +1,92 @@
+// A tiny line-oriented scenario language for driving a KvCluster through
+// fault schedules with inline expectations — used by tests, by the
+// scenario_runner example, and handy for reproducing availability
+// anomalies found in long simulations as deterministic scripts.
+//
+//   # three copies; B and C fail; A carries on via the tie-break
+//   put A color blue
+//   kill C
+//   put A color green
+//   kill B
+//   get A color expect green
+//   restart B
+//   recover B expect denied       # B alone cannot reach the majority
+//   restart C
+//   recover C expect ok
+//   get C color expect green
+//   expect-available yes
+//
+// Commands (sites by name, as declared in the Topology):
+//   put <site> <key> <value>            [expect ok|denied]
+//   get <site> <key> expect <value>|missing|denied
+//   delete <site> <key>                 [expect ok|denied]
+//   recover <site>                      [expect ok|denied]
+//   kill <site> | restart <site>
+//   kill-repeater <name> | restart-repeater <name>
+//   expect-available yes|no
+// Blank lines and text after '#' are ignored.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kv/cluster.h"
+#include "util/result.h"
+
+namespace dynvote {
+
+/// One parsed scenario step.
+struct ScenarioStep {
+  enum class Kind {
+    kPut,
+    kGet,
+    kDelete,
+    kRecover,
+    kKillSite,
+    kRestartSite,
+    kKillRepeater,
+    kRestartRepeater,
+    kExpectAvailable,
+  };
+  /// Expected outcome of an operation step.
+  enum class Expect { kNone, kOk, kDenied, kValue, kMissing };
+
+  Kind kind = Kind::kPut;
+  int line = 0;  // 1-based source line, for error messages
+  std::string site;        // site or repeater name
+  std::string key;
+  std::string value;       // put value, or expected get value
+  Expect expect = Expect::kNone;
+  bool available = false;  // for kExpectAvailable
+};
+
+/// A parsed scenario, bound to a topology (site names resolved eagerly).
+class Scenario {
+ public:
+  /// Parses `text`. Fails with the offending line number on syntax
+  /// errors or unknown site/repeater names.
+  static Result<Scenario> Parse(std::shared_ptr<const Topology> topology,
+                                const std::string& text);
+
+  const std::vector<ScenarioStep>& steps() const { return steps_; }
+
+  /// Runs every step against `cluster` (which must use the same
+  /// topology). Returns OK if all expectations held; otherwise an
+  /// Internal status naming the first failed step. `transcript`, if
+  /// non-null, receives one line per executed step.
+  Status Run(KvCluster* cluster, std::string* transcript = nullptr) const;
+
+ private:
+  explicit Scenario(std::shared_ptr<const Topology> topology)
+      : topology_(std::move(topology)) {}
+
+  Result<SiteId> SiteByName(const std::string& name) const;
+  Result<RepeaterId> RepeaterByName(const std::string& name) const;
+
+  std::shared_ptr<const Topology> topology_;
+  std::vector<ScenarioStep> steps_;
+};
+
+}  // namespace dynvote

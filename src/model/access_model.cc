@@ -1,0 +1,40 @@
+#include "model/access_model.h"
+
+namespace dynvote {
+
+Result<std::unique_ptr<AccessProcess>> AccessProcess::Make(
+    Simulator* sim, AccessOptions options, std::uint64_t seed) {
+  if (sim == nullptr) {
+    return Status::InvalidArgument("simulator must not be null");
+  }
+  if (options.enabled && options.rate_per_day <= 0.0) {
+    return Status::InvalidArgument("access rate must be > 0");
+  }
+  if (options.write_fraction < 0.0 || options.write_fraction > 1.0) {
+    return Status::InvalidArgument("write fraction outside [0, 1]");
+  }
+  return std::unique_ptr<AccessProcess>(
+      new AccessProcess(sim, options, seed));
+}
+
+void AccessProcess::Start() {
+  if (options_.enabled) ScheduleNext();
+}
+
+void AccessProcess::ScheduleNext() {
+  double gap = options_.deterministic
+                   ? 1.0 / options_.rate_per_day
+                   : rng_.NextExponential(1.0 / options_.rate_per_day);
+  sim_->ScheduleIn(gap, [this](SimTime) { Fire(); });
+}
+
+void AccessProcess::Fire() {
+  ++total_;
+  AccessType type = rng_.NextBernoulli(options_.write_fraction)
+                        ? AccessType::kWrite
+                        : AccessType::kRead;
+  if (callback_) callback_(type);
+  ScheduleNext();
+}
+
+}  // namespace dynvote

@@ -1,0 +1,71 @@
+// The access workload of Section 4: a single user who attempts to access
+// the replicated file (from any live site) at some rate — one access per
+// day in the paper's Optimistic Dynamic Voting measurements. Accesses are
+// the only instants at which optimistic protocols exchange state.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/protocol.h"
+#include "sim/simulator.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace dynvote {
+
+/// Workload shape.
+struct AccessOptions {
+  /// Mean accesses per day. Must be > 0; set `enabled` false for a
+  /// workload with no accesses at all.
+  double rate_per_day = 1.0;
+  /// If true, accesses arrive exactly 1/rate apart; otherwise arrivals
+  /// are Poisson (exponential gaps).
+  bool deterministic = false;
+  /// Fraction of accesses that are writes; the remainder are reads.
+  double write_fraction = 0.5;
+  /// Disables the workload entirely when false.
+  bool enabled = true;
+};
+
+/// Generates access events on a Simulator.
+class AccessProcess {
+ public:
+  /// Invoked for each access attempt.
+  using AccessCallback = std::function<void(AccessType)>;
+
+  /// Creates the process; fails on a non-positive rate or a write
+  /// fraction outside [0, 1].
+  static Result<std::unique_ptr<AccessProcess>> Make(Simulator* sim,
+                                                     AccessOptions options,
+                                                     std::uint64_t seed);
+
+  AccessProcess(const AccessProcess&) = delete;
+  AccessProcess& operator=(const AccessProcess&) = delete;
+
+  void set_callback(AccessCallback callback) {
+    callback_ = std::move(callback);
+  }
+
+  /// Schedules the first access. Call once.
+  void Start();
+
+  std::uint64_t total_accesses() const { return total_; }
+
+ private:
+  AccessProcess(Simulator* sim, AccessOptions options, std::uint64_t seed)
+      : sim_(sim), options_(options), rng_(seed) {}
+
+  void ScheduleNext();
+  void Fire();
+
+  Simulator* sim_;
+  AccessOptions options_;
+  Rng rng_;
+  AccessCallback callback_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dynvote

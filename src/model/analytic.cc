@@ -1,0 +1,103 @@
+#include "model/analytic.h"
+
+namespace dynvote {
+
+double SteadyStateAvailability(const SiteProfile& profile) {
+  // Failure/repair renewal cycle: up for MTTF, down for the mean repair.
+  double cycle_unavail =
+      profile.MeanRepairDays() / (profile.mttf_days +
+                                  profile.MeanRepairDays());
+  // Maintenance duty cycle, independent of the failure process (to first
+  // order: maintenance windows are short relative to the interval).
+  double maint_unavail = 0.0;
+  if (profile.maintenance_interval_days > 0.0) {
+    maint_unavail =
+        Hours(profile.maintenance_hours) / profile.maintenance_interval_days;
+  }
+  double availability = (1.0 - cycle_unavail) * (1.0 - maint_unavail);
+  return availability;
+}
+
+double SteadyStateUnavailability(const SiteProfile& profile) {
+  return 1.0 - SteadyStateAvailability(profile);
+}
+
+Result<double> EnumerateAvailability(
+    std::shared_ptr<const Topology> topology,
+    const std::vector<SiteProfile>& profiles, SiteSet relevant_sites,
+    const AccessPredicate& rule) {
+  if (topology == nullptr) {
+    return Status::InvalidArgument("topology must not be null");
+  }
+  if (static_cast<int>(profiles.size()) != topology->num_sites()) {
+    return Status::InvalidArgument("need one profile per site");
+  }
+  if (!relevant_sites.IsSubsetOf(topology->AllSites())) {
+    return Status::InvalidArgument("relevant sites outside topology");
+  }
+  const int k = relevant_sites.Size();
+  if (k > 20) {
+    return Status::InvalidArgument(
+        "enumeration limited to 20 relevant sites (2^20 states)");
+  }
+  if (rule == nullptr) {
+    return Status::InvalidArgument("rule must not be null");
+  }
+
+  std::vector<SiteId> order(relevant_sites.begin(), relevant_sites.end());
+  std::vector<double> availability(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    availability[i] = SteadyStateAvailability(profiles[order[i]]);
+  }
+
+  NetworkState net(topology);
+  double total = 0.0;
+  for (std::uint64_t combo = 0; combo < (std::uint64_t{1} << k); ++combo) {
+    double prob = 1.0;
+    net.AllUp();
+    for (int i = 0; i < k; ++i) {
+      bool up = (combo >> i) & 1;
+      prob *= up ? availability[i] : 1.0 - availability[i];
+      net.SetSiteUp(order[i], up);
+    }
+    if (prob == 0.0) continue;
+    if (rule(net)) total += prob;
+  }
+  return total;
+}
+
+Result<double> AnalyticMcvAvailability(
+    std::shared_ptr<const Topology> topology,
+    const std::vector<SiteProfile>& profiles, SiteSet placement,
+    TieBreak tie_break, const VoteWeights& weights) {
+  if (topology == nullptr) {
+    return Status::InvalidArgument("topology must not be null");
+  }
+  // The access decision depends on the copies and on every gateway host
+  // that can partition them; repeater-bridged topologies would need
+  // repeater enumeration too, which the paper's network does not have.
+  SiteSet relevant = placement;
+  for (const BridgeInfo& bridge : topology->bridges()) {
+    if (bridge.gateway_site.has_value()) relevant.Add(*bridge.gateway_site);
+  }
+
+  long long total_weight = weights.WeightOf(placement);
+  SiteId max_member = placement.RankMax();
+  auto rule = [&](const NetworkState& net) {
+    for (const SiteSet& group : net.Components()) {
+      SiteSet copies = group.Intersect(placement);
+      if (copies.Empty()) continue;
+      long long votes = weights.WeightOf(copies);
+      if (2 * votes > total_weight) return true;
+      if (tie_break == TieBreak::kLexicographic &&
+          2 * votes == total_weight && copies.Contains(max_member)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  return EnumerateAvailability(std::move(topology), profiles, relevant,
+                               rule);
+}
+
+}  // namespace dynvote

@@ -1,0 +1,68 @@
+// Closed-form availability computations, used to cross-validate the
+// simulator (the paper itself cross-checked simulations against Markov
+// models built with MACSYMA; [PaBu86] is the Markov-chain study this
+// module mirrors for the static cases).
+//
+// Static voting protocols are memoryless: whether an access succeeds
+// depends only on the *current* up/down state of sites, so the exact
+// steady-state availability is a sum over the 2^n up/down combinations of
+// the relevant sites, weighting each combination by the product of
+// per-site steady-state availabilities (sites fail independently in the
+// paper's model). Dynamic protocols are path-dependent and have no such
+// closed form — that is what the simulator is for.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/quorum.h"
+#include "model/site_profile.h"
+#include "net/network_state.h"
+#include "net/topology.h"
+#include "util/result.h"
+#include "util/site_set.h"
+
+namespace dynvote {
+
+/// Steady-state availability of one site under its profile: mean up time
+/// over mean cycle time, with the maintenance duty cycle applied
+/// (failures cannot occur during maintenance, which the small-downtime
+/// approximation ignores at O(u^2)).
+double SteadyStateAvailability(const SiteProfile& profile);
+
+/// Steady-state unavailability (1 - SteadyStateAvailability).
+double SteadyStateUnavailability(const SiteProfile& profile);
+
+/// A predicate deciding whether the replicated file is accessible given
+/// the set of live sites (connectivity is derived from the topology by
+/// the evaluator, so the predicate receives the group structure).
+using AccessPredicate =
+    std::function<bool(const NetworkState& net)>;
+
+/// Exact steady-state availability of a memoryless access rule: sums
+/// P(state) * rule(state) over all 2^k up/down combinations of
+/// `relevant_sites` (every other site is held up). `relevant_sites` must
+/// have at most 20 members.
+///
+/// The rule must be *memoryless*: its answer may depend only on the
+/// up/down state passed in, never on history. MCV qualifies; dynamic
+/// voting does not.
+Result<double> EnumerateAvailability(
+    std::shared_ptr<const Topology> topology,
+    const std::vector<SiteProfile>& profiles, SiteSet relevant_sites,
+    const AccessPredicate& rule);
+
+/// Exact steady-state availability of static majority voting (with the
+/// lexicographic static tie rule iff `tie_break`) for copies at
+/// `placement` on `topology`: some group of communicating live sites must
+/// hold more than half the copies (or exactly half including the
+/// highest-ranked copy). Enumerates placement plus all gateway sites.
+Result<double> AnalyticMcvAvailability(
+    std::shared_ptr<const Topology> topology,
+    const std::vector<SiteProfile>& profiles, SiteSet placement,
+    TieBreak tie_break = TieBreak::kLexicographic,
+    const VoteWeights& weights = {});
+
+}  // namespace dynvote

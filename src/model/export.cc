@@ -1,0 +1,80 @@
+#include "model/export.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace dynvote {
+
+namespace {
+
+void AppendFields(std::ostringstream& os, const LabeledResult& row,
+                  const char* sep, bool quote_strings) {
+  auto str = [&](const std::string& s) {
+    return quote_strings ? "\"" + s + "\"" : s;
+  };
+  os << str(row.label) << sep << str(row.result.name) << sep
+     << std::setprecision(9) << row.result.unavailability << sep
+     << row.result.stats.ci95_halfwidth << sep
+     << row.result.mean_unavailable_duration << sep
+     << row.result.num_unavailable_periods << sep
+     << row.result.accesses_attempted << sep
+     << row.result.accesses_granted << sep << row.result.messages.Total()
+     << sep << row.result.messages.ControlTotal() << sep
+     << row.result.messages.count(MessageKind::kFileCopy) << sep
+     << row.result.dual_majority_instants << sep
+     << row.result.measured_time;
+}
+
+}  // namespace
+
+std::string ResultsToCsv(const std::vector<LabeledResult>& results) {
+  std::ostringstream os;
+  os << "label,policy,unavailability,ci95,mean_outage_days,num_outages,"
+        "accesses_attempted,accesses_granted,messages_total,"
+        "messages_control,file_copies,dual_majorities,measured_days\n";
+  for (const LabeledResult& row : results) {
+    AppendFields(os, row, ",", /*quote_strings=*/false);
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string ResultsToJson(const std::vector<LabeledResult>& results) {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const LabeledResult& row = results[i];
+    os << "  {\"label\": \"" << row.label << "\", \"policy\": \""
+       << row.result.name << "\", \"unavailability\": "
+       << std::setprecision(9) << row.result.unavailability
+       << ", \"ci95\": " << row.result.stats.ci95_halfwidth
+       << ", \"mean_outage_days\": "
+       << row.result.mean_unavailable_duration
+       << ", \"num_outages\": " << row.result.num_unavailable_periods
+       << ", \"accesses_attempted\": " << row.result.accesses_attempted
+       << ", \"accesses_granted\": " << row.result.accesses_granted
+       << ", \"messages_total\": " << row.result.messages.Total()
+       << ", \"messages_control\": " << row.result.messages.ControlTotal()
+       << ", \"file_copies\": "
+       << row.result.messages.count(MessageKind::kFileCopy)
+       << ", \"dual_majorities\": " << row.result.dual_majority_instants
+       << ", \"measured_days\": " << row.result.measured_time << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+  return os.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path + "' for write");
+  }
+  out << contents;
+  out.flush();
+  if (!out) return Status::Internal("short write to '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace dynvote

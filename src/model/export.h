@@ -1,0 +1,33 @@
+// Machine-readable export of experiment results (CSV and a small JSON
+// emitter), so bench output can feed plotting pipelines directly.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/experiment.h"
+#include "util/result.h"
+
+namespace dynvote {
+
+/// One labelled grid cell for export: configuration label (or sweep
+/// parameter) plus the policy result.
+struct LabeledResult {
+  std::string label;
+  PolicyResult result;
+};
+
+/// CSV with a header row:
+/// label,policy,unavailability,ci95,mean_outage_days,num_outages,
+/// accesses_attempted,accesses_granted,messages_total,messages_control,
+/// file_copies,dual_majorities,measured_days
+std::string ResultsToCsv(const std::vector<LabeledResult>& results);
+
+/// JSON array of objects with the same fields.
+std::string ResultsToJson(const std::vector<LabeledResult>& results);
+
+/// Writes `contents` to `path`, failing with a Status on I/O errors.
+Status WriteFile(const std::string& path, const std::string& contents);
+
+}  // namespace dynvote

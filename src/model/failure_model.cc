@@ -1,0 +1,176 @@
+#include "model/failure_model.h"
+
+#include "util/logging.h"
+
+namespace dynvote {
+
+Result<std::unique_ptr<NetworkProcessModel>> NetworkProcessModel::Make(
+    Simulator* sim, NetworkState* net, std::vector<SiteProfile> profiles,
+    std::vector<RepeaterProfile> repeater_profiles, std::uint64_t seed) {
+  if (sim == nullptr || net == nullptr) {
+    return Status::InvalidArgument("simulator and network must not be null");
+  }
+  const Topology& topo = net->topology();
+  if (static_cast<int>(profiles.size()) != topo.num_sites()) {
+    return Status::InvalidArgument("need one SiteProfile per site");
+  }
+  if (static_cast<int>(repeater_profiles.size()) != topo.num_repeaters()) {
+    return Status::InvalidArgument("need one RepeaterProfile per repeater");
+  }
+  for (const SiteProfile& p : profiles) {
+    if (p.mttf_days <= 0.0) {
+      return Status::InvalidArgument("site MTTF must be > 0");
+    }
+    if (p.hardware_fraction < 0.0 || p.hardware_fraction > 1.0) {
+      return Status::InvalidArgument("hardware fraction outside [0, 1]");
+    }
+  }
+  for (const RepeaterProfile& p : repeater_profiles) {
+    if (p.mttf_days <= 0.0) {
+      return Status::InvalidArgument("repeater MTTF must be > 0");
+    }
+  }
+
+  auto model =
+      std::unique_ptr<NetworkProcessModel>(new NetworkProcessModel(sim, net));
+  Rng master(seed);
+  model->sites_.resize(profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    model->sites_[i].profile = std::move(profiles[i]);
+    model->sites_[i].rng = master.Split();
+  }
+  model->repeaters_.resize(repeater_profiles.size());
+  for (std::size_t i = 0; i < repeater_profiles.size(); ++i) {
+    model->repeaters_[i].profile = std::move(repeater_profiles[i]);
+    model->repeaters_[i].rng = master.Split();
+  }
+  return model;
+}
+
+NetworkProcessModel::NetworkProcessModel(Simulator* sim, NetworkState* net)
+    : sim_(sim), net_(net) {}
+
+void NetworkProcessModel::Start() {
+  for (SiteId s = 0; s < static_cast<SiteId>(sites_.size()); ++s) {
+    ScheduleFailure(s);
+    const SiteProfile& p = sites_[s].profile;
+    if (p.maintenance_interval_days > 0.0 && p.maintenance_hours > 0.0) {
+      // Stagger the first window uniformly over one interval: operators do
+      // not service every machine at the same instant, and synchronised
+      // windows would manufacture simultaneous multi-site outages that the
+      // paper's testbed model does not exhibit.
+      double phase = sites_[s].rng.NextDouble() * p.maintenance_interval_days;
+      sim_->ScheduleAt(Days(phase),
+                       [this, s](SimTime) { OnMaintenanceStart(s); });
+    }
+  }
+  for (RepeaterId r = 0; r < static_cast<RepeaterId>(repeaters_.size());
+       ++r) {
+    ScheduleRepeaterFailure(r);
+  }
+}
+
+void NetworkProcessModel::ScheduleFailure(SiteId site) {
+  SiteRuntime& rt = sites_[site];
+  DYNVOTE_CHECK_MSG(rt.pending_failure == kInvalidEventId,
+                    "site already has a pending failure");
+  double ttf = rt.rng.NextExponential(rt.profile.mttf_days);
+  rt.pending_failure =
+      sim_->ScheduleIn(ttf, [this, site](SimTime) { OnSiteFailure(site); });
+}
+
+void NetworkProcessModel::OnSiteFailure(SiteId site) {
+  SiteRuntime& rt = sites_[site];
+  rt.pending_failure = kInvalidEventId;
+  rt.failed = true;
+  ++rt.failures;
+  ++total_failures_;
+  PublishSite(site);
+
+  const SiteProfile& p = rt.profile;
+  double repair_days;
+  if (rt.rng.NextBernoulli(p.hardware_fraction)) {
+    repair_days = Hours(p.hw_repair_const_hours);
+    if (p.hw_repair_exp_hours > 0.0) {
+      repair_days += Hours(rt.rng.NextExponential(p.hw_repair_exp_hours));
+    }
+  } else {
+    repair_days = Minutes(p.restart_minutes);
+  }
+  sim_->ScheduleIn(repair_days, [this, site](SimTime) { OnSiteRepair(site); });
+}
+
+void NetworkProcessModel::OnSiteRepair(SiteId site) {
+  SiteRuntime& rt = sites_[site];
+  rt.failed = false;
+  PublishSite(site);
+  if (rt.EffectiveUp()) ScheduleFailure(site);
+}
+
+void NetworkProcessModel::OnMaintenanceStart(SiteId site) {
+  SiteRuntime& rt = sites_[site];
+  rt.in_maintenance = true;
+  // The machine is powered down: stop the failure clock. Exponential
+  // lifetimes are memoryless, so drawing a fresh one at maintenance end
+  // is distributionally identical.
+  if (rt.pending_failure != kInvalidEventId) {
+    sim_->Cancel(rt.pending_failure);
+    rt.pending_failure = kInvalidEventId;
+  }
+  PublishSite(site);
+  sim_->ScheduleIn(Hours(rt.profile.maintenance_hours),
+                   [this, site](SimTime) { OnMaintenanceEnd(site); });
+}
+
+void NetworkProcessModel::OnMaintenanceEnd(SiteId site) {
+  SiteRuntime& rt = sites_[site];
+  rt.in_maintenance = false;
+  PublishSite(site);
+  if (rt.EffectiveUp()) ScheduleFailure(site);
+  // Maintenance follows a fixed calendar: next window one interval after
+  // this one began.
+  sim_->ScheduleIn(Days(rt.profile.maintenance_interval_days) -
+                       Hours(rt.profile.maintenance_hours),
+                   [this, site](SimTime) { OnMaintenanceStart(site); });
+}
+
+void NetworkProcessModel::ScheduleRepeaterFailure(RepeaterId repeater) {
+  RepeaterRuntime& rt = repeaters_[repeater];
+  double ttf = rt.rng.NextExponential(rt.profile.mttf_days);
+  sim_->ScheduleIn(ttf,
+                   [this, repeater](SimTime) { OnRepeaterFailure(repeater); });
+}
+
+void NetworkProcessModel::OnRepeaterFailure(RepeaterId repeater) {
+  RepeaterRuntime& rt = repeaters_[repeater];
+  rt.failed = true;
+  ++rt.failures;
+  net_->SetRepeaterUp(repeater, false);
+  Notify();
+
+  double repair_days = Hours(rt.profile.repair_const_hours);
+  if (rt.profile.repair_exp_hours > 0.0) {
+    repair_days += Hours(rt.rng.NextExponential(rt.profile.repair_exp_hours));
+  }
+  sim_->ScheduleIn(repair_days,
+                   [this, repeater](SimTime) { OnRepeaterRepair(repeater); });
+}
+
+void NetworkProcessModel::OnRepeaterRepair(RepeaterId repeater) {
+  RepeaterRuntime& rt = repeaters_[repeater];
+  rt.failed = false;
+  net_->SetRepeaterUp(repeater, true);
+  Notify();
+  ScheduleRepeaterFailure(repeater);
+}
+
+void NetworkProcessModel::PublishSite(SiteId site) {
+  net_->SetSiteUp(site, sites_[site].EffectiveUp());
+  Notify();
+}
+
+void NetworkProcessModel::Notify() {
+  if (on_change_) on_change_();
+}
+
+}  // namespace dynvote

@@ -1,0 +1,97 @@
+// Stochastic failure, repair and preventive-maintenance processes driving
+// a NetworkState through a Simulator, parameterised by Table 1 style
+// SiteProfiles. Site failures are exponential; repair is a
+// hardware/software mixture (constant restart vs constant-plus-exponential
+// service); maintenance follows a fixed calendar.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "model/site_profile.h"
+#include "net/network_state.h"
+#include "sim/simulator.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace dynvote {
+
+/// Drives site and repeater up/down transitions.
+///
+/// A site is up iff it is neither failed nor in maintenance. While a site
+/// is down its failure clock is stopped (a powered-off machine cannot
+/// fail); exponential lifetimes make the restart of the clock memoryless.
+class NetworkProcessModel {
+ public:
+  /// Invoked after every change of any site's or repeater's up state, with
+  /// the NetworkState already updated.
+  using ChangeCallback = std::function<void()>;
+
+  /// Creates the model. `profiles` must have one entry per topology site.
+  /// `repeater_profiles` must have one entry per topology repeater (none
+  /// in the paper's own network). `sim` and `net` must outlive the model.
+  static Result<std::unique_ptr<NetworkProcessModel>> Make(
+      Simulator* sim, NetworkState* net, std::vector<SiteProfile> profiles,
+      std::vector<RepeaterProfile> repeater_profiles, std::uint64_t seed);
+
+  NetworkProcessModel(const NetworkProcessModel&) = delete;
+  NetworkProcessModel& operator=(const NetworkProcessModel&) = delete;
+
+  void set_on_change(ChangeCallback callback) {
+    on_change_ = std::move(callback);
+  }
+
+  /// Schedules the initial failure and maintenance events. Call once.
+  void Start();
+
+  /// Total site failures generated so far.
+  std::uint64_t total_failures() const { return total_failures_; }
+  /// Failures of one site.
+  std::uint64_t failures_of(SiteId site) const {
+    return sites_[site].failures;
+  }
+
+ private:
+  struct SiteRuntime {
+    SiteProfile profile;
+    Rng rng{0};
+    bool failed = false;
+    bool in_maintenance = false;
+    EventId pending_failure = kInvalidEventId;
+    std::uint64_t failures = 0;
+    bool EffectiveUp() const { return !failed && !in_maintenance; }
+  };
+  struct RepeaterRuntime {
+    RepeaterProfile profile;
+    Rng rng{0};
+    bool failed = false;
+    std::uint64_t failures = 0;
+  };
+
+  NetworkProcessModel(Simulator* sim, NetworkState* net);
+
+  void ScheduleFailure(SiteId site);
+  void OnSiteFailure(SiteId site);
+  void OnSiteRepair(SiteId site);
+  void OnMaintenanceStart(SiteId site);
+  void OnMaintenanceEnd(SiteId site);
+  void ScheduleRepeaterFailure(RepeaterId repeater);
+  void OnRepeaterFailure(RepeaterId repeater);
+  void OnRepeaterRepair(RepeaterId repeater);
+
+  /// Pushes a site's effective state into the NetworkState and notifies.
+  void PublishSite(SiteId site);
+  void Notify();
+
+  Simulator* sim_;
+  NetworkState* net_;
+  std::vector<SiteRuntime> sites_;
+  std::vector<RepeaterRuntime> repeaters_;
+  ChangeCallback on_change_;
+  std::uint64_t total_failures_ = 0;
+};
+
+}  // namespace dynvote

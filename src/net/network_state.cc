@@ -1,0 +1,120 @@
+#include "net/network_state.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace dynvote {
+
+NetworkState::NetworkState(std::shared_ptr<const Topology> topology)
+    : topology_(std::move(topology)) {
+  DYNVOTE_CHECK_MSG(topology_ != nullptr, "NetworkState needs a topology");
+  site_up_.assign(topology_->num_sites(), true);
+  repeater_up_.assign(topology_->num_repeaters(), true);
+  segment_root_.assign(topology_->num_segments(), 0);
+}
+
+void NetworkState::SetSiteUp(SiteId site, bool up) {
+  DYNVOTE_CHECK(site >= 0 && site < topology_->num_sites());
+  if (site_up_[site] != up) {
+    site_up_[site] = up;
+    dirty_ = true;
+  }
+}
+
+void NetworkState::SetRepeaterUp(RepeaterId repeater, bool up) {
+  DYNVOTE_CHECK(repeater >= 0 && repeater < topology_->num_repeaters());
+  if (repeater_up_[repeater] != up) {
+    repeater_up_[repeater] = up;
+    dirty_ = true;
+  }
+}
+
+void NetworkState::AllUp() {
+  site_up_.assign(topology_->num_sites(), true);
+  repeater_up_.assign(topology_->num_repeaters(), true);
+  dirty_ = true;
+}
+
+SiteSet NetworkState::LiveSites() const {
+  SiteSet live;
+  for (SiteId s = 0; s < topology_->num_sites(); ++s) {
+    if (site_up_[s]) live.Add(s);
+  }
+  return live;
+}
+
+void NetworkState::Refresh() const {
+  if (!dirty_) return;
+  std::iota(segment_root_.begin(), segment_root_.end(), 0);
+  for (const BridgeInfo& b : topology_->bridges()) {
+    bool bridge_up = b.gateway_site.has_value()
+                         ? site_up_[*b.gateway_site]
+                         : repeater_up_[b.repeater];
+    if (!bridge_up) continue;
+    int ra = FindRoot(b.segment_a);
+    int rb = FindRoot(b.segment_b);
+    if (ra != rb) segment_root_[rb] = ra;
+  }
+  // Flatten so later FindRoot calls are O(1).
+  for (int seg = 0; seg < topology_->num_segments(); ++seg) {
+    segment_root_[seg] = FindRoot(seg);
+  }
+  dirty_ = false;
+}
+
+int NetworkState::FindRoot(int segment) const {
+  int root = segment;
+  while (segment_root_[root] != root) root = segment_root_[root];
+  // Path compression.
+  while (segment_root_[segment] != root) {
+    int next = segment_root_[segment];
+    segment_root_[segment] = root;
+    segment = next;
+  }
+  return root;
+}
+
+bool NetworkState::CanCommunicate(SiteId a, SiteId b) const {
+  if (!site_up_[a] || !site_up_[b]) return false;
+  Refresh();
+  return segment_root_[topology_->SegmentOf(a)] ==
+         segment_root_[topology_->SegmentOf(b)];
+}
+
+SiteSet NetworkState::ComponentOf(SiteId site) const {
+  if (!site_up_[site]) return SiteSet();
+  Refresh();
+  int root = segment_root_[topology_->SegmentOf(site)];
+  SiteSet component;
+  for (SiteId s = 0; s < topology_->num_sites(); ++s) {
+    if (site_up_[s] && segment_root_[topology_->SegmentOf(s)] == root) {
+      component.Add(s);
+    }
+  }
+  return component;
+}
+
+std::vector<SiteSet> NetworkState::Components() const {
+  Refresh();
+  std::vector<SiteSet> by_root(topology_->num_segments());
+  for (SiteId s = 0; s < topology_->num_sites(); ++s) {
+    if (site_up_[s]) {
+      by_root[segment_root_[topology_->SegmentOf(s)]].Add(s);
+    }
+  }
+  std::vector<SiteSet> out;
+  for (const SiteSet& group : by_root) {
+    if (!group.Empty()) out.push_back(group);
+  }
+  return out;
+}
+
+bool NetworkState::FullyConnected(SiteSet sites) const {
+  if (sites.Empty()) return true;
+  SiteId first = sites.RankMax();
+  if (!site_up_[first]) return false;
+  return sites.IsSubsetOf(ComponentOf(first));
+}
+
+}  // namespace dynvote

@@ -1,0 +1,70 @@
+// Mutable up/down state over an immutable Topology, plus the reachability
+// queries every voting protocol needs: which live sites can currently talk
+// to one another. Sites on one segment always communicate while up;
+// cross-segment communication requires a path of live bridges.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/topology.h"
+#include "util/site_set.h"
+
+namespace dynvote {
+
+/// Up/down state of all sites and repeaters, with connectivity queries.
+///
+/// Connectivity queries are recomputed lazily: mutations invalidate a
+/// cached union-find over segments, which is rebuilt on the next query.
+class NetworkState {
+ public:
+  /// Creates a state with every site and repeater up.
+  explicit NetworkState(std::shared_ptr<const Topology> topology);
+
+  const Topology& topology() const { return *topology_; }
+
+  /// --- mutation -----------------------------------------------------
+  void SetSiteUp(SiteId site, bool up);
+  void SetRepeaterUp(RepeaterId repeater, bool up);
+  /// Resets every site and repeater to up.
+  void AllUp();
+
+  /// --- observation ---------------------------------------------------
+  bool IsSiteUp(SiteId site) const { return site_up_[site]; }
+  bool IsRepeaterUp(RepeaterId repeater) const {
+    return repeater_up_[repeater];
+  }
+
+  /// Set of all live sites.
+  SiteSet LiveSites() const;
+
+  /// True iff `a` and `b` are both up and can exchange messages.
+  bool CanCommunicate(SiteId a, SiteId b) const;
+
+  /// The set of live sites reachable from `site` (including `site`), or
+  /// the empty set if `site` is down.
+  SiteSet ComponentOf(SiteId site) const;
+
+  /// All maximal groups of mutually communicating live sites. Every live
+  /// site appears in exactly one group; down sites appear in none.
+  std::vector<SiteSet> Components() const;
+
+  /// True iff all members of `sites` are live and mutually communicating.
+  bool FullyConnected(SiteSet sites) const;
+
+ private:
+  /// Rebuilds the segment-level union-find if state changed.
+  void Refresh() const;
+  int FindRoot(int segment) const;
+
+  std::shared_ptr<const Topology> topology_;
+  std::vector<bool> site_up_;
+  std::vector<bool> repeater_up_;
+
+  // Lazily maintained union-find over segments (path-halving on a copy).
+  mutable std::vector<int> segment_root_;
+  mutable bool dirty_ = true;
+};
+
+}  // namespace dynvote

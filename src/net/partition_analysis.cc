@@ -1,0 +1,110 @@
+#include "net/partition_analysis.h"
+
+#include <algorithm>
+
+namespace dynvote {
+
+namespace {
+
+/// The groups of live placement members, canonically sorted by mask.
+std::vector<SiteSet> PlacementGroups(const NetworkState& net,
+                                     SiteSet placement) {
+  std::vector<SiteSet> groups;
+  for (const SiteSet& g : net.Components()) {
+    SiteSet members = g.Intersect(placement);
+    if (!members.Empty()) groups.push_back(members);
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](SiteSet a, SiteSet b) { return a.mask() < b.mask(); });
+  return groups;
+}
+
+}  // namespace
+
+Result<PartitionVulnerability> AnalyzePartitionPoints(
+    std::shared_ptr<const Topology> topology, SiteSet placement) {
+  if (topology == nullptr) {
+    return Status::InvalidArgument("topology must not be null");
+  }
+  if (placement.Empty() ||
+      !placement.IsSubsetOf(topology->AllSites())) {
+    return Status::InvalidArgument("placement invalid for this topology");
+  }
+
+  PartitionVulnerability out;
+  NetworkState net(topology);
+
+  for (const BridgeInfo& bridge : topology->bridges()) {
+    net.AllUp();
+    if (bridge.gateway_site.has_value()) {
+      net.SetSiteUp(*bridge.gateway_site, false);
+      // Surviving members: everyone except the failed gateway itself.
+      SiteSet survivors = placement;
+      survivors.Remove(*bridge.gateway_site);
+      if (PlacementGroups(net, survivors).size() > 1) {
+        out.gateway_cut_points.push_back(*bridge.gateway_site);
+      }
+    } else {
+      net.SetRepeaterUp(bridge.repeater, false);
+      if (PlacementGroups(net, placement).size() > 1) {
+        out.repeater_cut_points.push_back(bridge.repeater);
+      }
+    }
+  }
+  // A gateway may carry several bridges; deduplicate.
+  auto& g = out.gateway_cut_points;
+  std::sort(g.begin(), g.end());
+  g.erase(std::unique(g.begin(), g.end()), g.end());
+  return out;
+}
+
+Result<std::vector<std::vector<SiteSet>>> EnumeratePlacementPartitions(
+    std::shared_ptr<const Topology> topology, SiteSet placement) {
+  if (topology == nullptr) {
+    return Status::InvalidArgument("topology must not be null");
+  }
+  if (placement.Empty() ||
+      !placement.IsSubsetOf(topology->AllSites())) {
+    return Status::InvalidArgument("placement invalid for this topology");
+  }
+  const int num_bridges = topology->num_bridges();
+  if (num_bridges > 20) {
+    return Status::InvalidArgument("enumeration limited to 20 bridges");
+  }
+
+  NetworkState net(topology);
+  std::vector<std::vector<SiteSet>> patterns;
+  for (std::uint64_t combo = 0; combo < (std::uint64_t{1} << num_bridges);
+       ++combo) {
+    net.AllUp();
+    // Kill the selected bridges. A gateway-host bridge is killed by
+    // failing the host; placement members that are gateways drop out of
+    // the live pattern, matching what their failure really does.
+    for (int i = 0; i < num_bridges; ++i) {
+      if (!((combo >> i) & 1)) continue;
+      const BridgeInfo& bridge = topology->bridges()[i];
+      if (bridge.gateway_site.has_value()) {
+        net.SetSiteUp(*bridge.gateway_site, false);
+      } else {
+        net.SetRepeaterUp(bridge.repeater, false);
+      }
+    }
+    std::vector<SiteSet> groups = PlacementGroups(net, placement);
+    if (std::find(patterns.begin(), patterns.end(), groups) ==
+        patterns.end()) {
+      patterns.push_back(std::move(groups));
+    }
+  }
+  std::sort(patterns.begin(), patterns.end(),
+            [](const std::vector<SiteSet>& a,
+               const std::vector<SiteSet>& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              for (std::size_t i = 0; i < a.size(); ++i) {
+                if (!(a[i] == b[i])) return a[i].mask() < b[i].mask();
+              }
+              return false;
+            });
+  return patterns;
+}
+
+}  // namespace dynvote

@@ -1,0 +1,52 @@
+// Static analysis of partition vulnerability: which single bridge
+// failures (gateway hosts or repeaters) can separate the sites of a
+// placement, and what distinct partition patterns are reachable at all.
+// Section 3 of the paper reasons exactly this way about its example ("the
+// repeaters X and Y are the only possible partition points and the only
+// possible partitions are ..."); Section 4 describes each configuration
+// by its partition points. This module computes both mechanically.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/network_state.h"
+#include "net/topology.h"
+#include "util/result.h"
+#include "util/site_set.h"
+
+namespace dynvote {
+
+/// Result of the single-failure cut-point analysis for one placement.
+struct PartitionVulnerability {
+  /// Gateway-host sites whose single failure splits the (otherwise live)
+  /// placement into more than one group.
+  std::vector<SiteId> gateway_cut_points;
+  /// Repeaters with the same property.
+  std::vector<RepeaterId> repeater_cut_points;
+
+  bool partitionable() const {
+    return !gateway_cut_points.empty() || !repeater_cut_points.empty();
+  }
+};
+
+/// Finds every single gateway/repeater failure that partitions
+/// `placement` (all placement sites assumed up). A gateway host that is
+/// itself a placement member is not a *partition* point for this analysis
+/// (its failure removes a copy rather than splitting the survivors);
+/// gateways in the placement are reported only if the surviving members
+/// split.
+Result<PartitionVulnerability> AnalyzePartitionPoints(
+    std::shared_ptr<const Topology> topology, SiteSet placement);
+
+/// Enumerates the distinct groupings of `placement` reachable by failing
+/// any subset of bridges (gateway hosts and repeaters; at most 20
+/// bridges). Each grouping is the list of placement groups, each group a
+/// SiteSet, sorted for canonical comparison; the trivial one-group
+/// pattern is included. This is the paper's "the only possible partitions
+/// are {{A,B,C},{D}}, {{A,B,D},{C}} and {{A,B},{C},{D}}" made executable.
+Result<std::vector<std::vector<SiteSet>>> EnumeratePlacementPartitions(
+    std::shared_ptr<const Topology> topology, SiteSet placement);
+
+}  // namespace dynvote

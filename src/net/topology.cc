@@ -1,0 +1,128 @@
+#include "net/topology.h"
+
+#include <sstream>
+
+namespace dynvote {
+
+TopologyBuilder Topology::Builder() { return TopologyBuilder(); }
+
+Result<SiteId> Topology::FindSite(const std::string& name) const {
+  for (const SiteInfo& s : sites_) {
+    if (s.name == name) return s.id;
+  }
+  return Status::NotFound("no site named '" + name + "'");
+}
+
+std::string Topology::ToString() const {
+  std::ostringstream os;
+  for (SegmentId seg = 0; seg < num_segments_; ++seg) {
+    os << "segment " << segment_names_[seg] << ":";
+    for (SiteId s : segment_sites_[seg]) {
+      os << " " << sites_[s].name << "(" << s << ")";
+    }
+    os << "\n";
+  }
+  for (const BridgeInfo& b : bridges_) {
+    os << "bridge " << b.name << ": " << segment_names_[b.segment_a]
+       << " <-> " << segment_names_[b.segment_b];
+    if (b.gateway_site.has_value()) {
+      os << " via gateway host " << sites_[*b.gateway_site].name;
+    } else {
+      os << " via repeater";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void TopologyBuilder::Defer(Status status) {
+  if (deferred_error_.ok()) deferred_error_ = std::move(status);
+}
+
+SegmentId TopologyBuilder::AddSegment(std::string name) {
+  SegmentId id = topo_.num_segments_++;
+  topo_.segment_names_.push_back(std::move(name));
+  topo_.segment_sites_.emplace_back();
+  return id;
+}
+
+SiteId TopologyBuilder::AddSite(std::string name, SegmentId segment) {
+  SiteId id = static_cast<SiteId>(topo_.sites_.size());
+  if (segment < 0 || segment >= topo_.num_segments_) {
+    Defer(Status::InvalidArgument("site '" + name +
+                                  "' references unknown segment"));
+    segment = 0;
+  }
+  if (id >= kMaxSites) {
+    Defer(Status::InvalidArgument("too many sites (max 64)"));
+  }
+  topo_.sites_.push_back(SiteInfo{id, std::move(name), segment});
+  if (segment < topo_.num_segments_) topo_.segment_sites_[segment].Add(id);
+  return id;
+}
+
+TopologyBuilder& TopologyBuilder::AddGateway(SiteId gateway,
+                                             SegmentId other_segment) {
+  if (gateway < 0 || gateway >= topo_.num_sites()) {
+    Defer(Status::InvalidArgument("gateway references unknown site"));
+    return *this;
+  }
+  if (other_segment < 0 || other_segment >= topo_.num_segments_) {
+    Defer(Status::InvalidArgument("gateway references unknown segment"));
+    return *this;
+  }
+  const SiteInfo& host = topo_.sites_[gateway];
+  if (host.segment == other_segment) {
+    Defer(Status::InvalidArgument("gateway '" + host.name +
+                                  "' bridges its own segment"));
+    return *this;
+  }
+  BridgeInfo bridge;
+  bridge.segment_a = host.segment;
+  bridge.segment_b = other_segment;
+  bridge.gateway_site = gateway;
+  bridge.name = host.name;
+  topo_.bridges_.push_back(std::move(bridge));
+  return *this;
+}
+
+RepeaterId TopologyBuilder::AddRepeater(std::string name, SegmentId a,
+                                        SegmentId b) {
+  if (a < 0 || a >= topo_.num_segments_ || b < 0 ||
+      b >= topo_.num_segments_) {
+    Defer(Status::InvalidArgument("repeater '" + name +
+                                  "' references unknown segment"));
+    return -1;
+  }
+  if (a == b) {
+    Defer(Status::InvalidArgument("repeater '" + name +
+                                  "' bridges its own segment"));
+    return -1;
+  }
+  RepeaterId id = topo_.num_repeaters_++;
+  BridgeInfo bridge;
+  bridge.segment_a = a;
+  bridge.segment_b = b;
+  bridge.repeater = id;
+  bridge.name = std::move(name);
+  topo_.bridges_.push_back(std::move(bridge));
+  return id;
+}
+
+Result<std::shared_ptr<const Topology>> TopologyBuilder::Build() {
+  if (!deferred_error_.ok()) return deferred_error_;
+  if (topo_.sites_.empty()) {
+    return Status::InvalidArgument("topology has no sites");
+  }
+  for (std::size_t i = 0; i < topo_.sites_.size(); ++i) {
+    for (std::size_t j = i + 1; j < topo_.sites_.size(); ++j) {
+      if (topo_.sites_[i].name == topo_.sites_[j].name) {
+        return Status::InvalidArgument("duplicate site name '" +
+                                       topo_.sites_[i].name + "'");
+      }
+    }
+  }
+  return std::shared_ptr<const Topology>(new Topology(std::move(topo_)));
+}
+
+}  // namespace dynvote

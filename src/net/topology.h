@@ -1,0 +1,144 @@
+// Static description of a local-area network in the paper's model: a set
+// of indivisible *segments* (unsegmented carrier-sense networks or token
+// rings, which can never partition internally), joined by *bridges*. A
+// bridge is either a *gateway host* — a site that also forwards traffic, so
+// the link is up exactly while that site is up — or a standalone *repeater*
+// with its own failure state (the X and Y of the paper's Section 3
+// example).
+//
+// Every site, including a gateway host, belongs to exactly one segment;
+// this is the paper's rule that makes Topological Dynamic Voting's
+// vote-carrying safe ("the simplest solution ... is to disallow membership
+// to multiple segments").
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/site_set.h"
+
+namespace dynvote {
+
+/// Identifier of a network segment, dense from 0.
+using SegmentId = int;
+
+/// Identifier of a repeater (standalone bridge), dense from 0.
+using RepeaterId = int;
+
+/// One site: a machine that may hold a physical copy of the replicated
+/// file and may additionally serve as a gateway between segments.
+struct SiteInfo {
+  SiteId id = -1;
+  std::string name;
+  /// The one segment the site belongs to.
+  SegmentId segment = -1;
+};
+
+/// One bridge between two segments.
+struct BridgeInfo {
+  SegmentId segment_a = -1;
+  SegmentId segment_b = -1;
+  /// If set, the bridge is a gateway host: it forwards iff this site is up.
+  std::optional<SiteId> gateway_site;
+  /// If gateway_site is empty, the bridge is repeater `repeater` with its
+  /// own up/down state.
+  RepeaterId repeater = -1;
+  std::string name;
+};
+
+class TopologyBuilder;
+
+/// Immutable network description shared by all simulation state.
+class Topology {
+ public:
+  /// Starts building a topology.
+  static TopologyBuilder Builder();
+
+  int num_sites() const { return static_cast<int>(sites_.size()); }
+  int num_segments() const { return num_segments_; }
+  int num_repeaters() const { return num_repeaters_; }
+  int num_bridges() const { return static_cast<int>(bridges_.size()); }
+
+  const SiteInfo& site(SiteId id) const { return sites_[id]; }
+  const std::vector<SiteInfo>& sites() const { return sites_; }
+  const std::vector<BridgeInfo>& bridges() const { return bridges_; }
+  const std::string& segment_name(SegmentId id) const {
+    return segment_names_[id];
+  }
+
+  /// The segment site `id` belongs to.
+  SegmentId SegmentOf(SiteId id) const { return sites_[id].segment; }
+
+  /// All sites whose home segment is `segment`.
+  SiteSet SitesOnSegment(SegmentId segment) const {
+    return segment_sites_[segment];
+  }
+
+  /// Set of all site ids.
+  SiteSet AllSites() const { return SiteSet::FirstN(num_sites()); }
+
+  /// True iff `a` and `b` share a home segment. Used by Topological
+  /// Dynamic Voting: co-segment sites can never be separated by a
+  /// partition, only by site failure.
+  bool SameSegment(SiteId a, SiteId b) const {
+    return sites_[a].segment == sites_[b].segment;
+  }
+
+  /// Resolves a site name; fails if unknown.
+  Result<SiteId> FindSite(const std::string& name) const;
+
+  /// Multi-line human-readable description of segments, sites and bridges.
+  std::string ToString() const;
+
+ private:
+  friend class TopologyBuilder;
+  Topology() = default;
+
+  std::vector<SiteInfo> sites_;
+  std::vector<BridgeInfo> bridges_;
+  std::vector<std::string> segment_names_;
+  std::vector<SiteSet> segment_sites_;
+  int num_segments_ = 0;
+  int num_repeaters_ = 0;
+};
+
+/// Incremental construction of a Topology. Usage:
+///
+///   auto b = Topology::Builder();
+///   SegmentId alpha = b.AddSegment("alpha");
+///   SegmentId beta  = b.AddSegment("beta");
+///   SiteId a = b.AddSite("A", alpha);
+///   b.AddSite("B", beta);
+///   b.AddGateway(a, beta);          // site A bridges alpha <-> beta
+///   auto topo = b.Build();          // Result<std::shared_ptr<Topology>>
+class TopologyBuilder {
+ public:
+  /// Declares a new segment and returns its id.
+  SegmentId AddSegment(std::string name);
+
+  /// Declares a new site on `segment` and returns its id.
+  SiteId AddSite(std::string name, SegmentId segment);
+
+  /// Declares that site `gateway` (on its home segment) also bridges to
+  /// `other_segment`.
+  TopologyBuilder& AddGateway(SiteId gateway, SegmentId other_segment);
+
+  /// Declares a standalone repeater bridging `a` and `b`; returns its id.
+  RepeaterId AddRepeater(std::string name, SegmentId a, SegmentId b);
+
+  /// Validates and freezes the topology. Fails on dangling segment ids,
+  /// duplicate site names, a bridge whose two ends are the same segment,
+  /// or an empty site list.
+  Result<std::shared_ptr<const Topology>> Build();
+
+ private:
+  Topology topo_;
+  Status deferred_error_;  // first construction error, reported by Build()
+  void Defer(Status status);
+};
+
+}  // namespace dynvote

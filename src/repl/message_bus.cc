@@ -1,0 +1,53 @@
+#include "repl/message_bus.h"
+
+#include <sstream>
+
+namespace dynvote {
+
+std::string MessageKindName(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kProbe:
+      return "probe";
+    case MessageKind::kProbeReply:
+      return "probe_reply";
+    case MessageKind::kStateRequest:
+      return "state_request";
+    case MessageKind::kStateReply:
+      return "state_reply";
+    case MessageKind::kCommit:
+      return "commit";
+    case MessageKind::kAbort:
+      return "abort";
+    case MessageKind::kFileCopy:
+      return "file_copy";
+    case MessageKind::kInstantRefresh:
+      return "instant_refresh";
+  }
+  return "unknown";
+}
+
+std::uint64_t MessageCounter::Total() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t c : counts_) sum += c;
+  return sum;
+}
+
+std::uint64_t MessageCounter::ControlTotal() const {
+  return Total() - count(MessageKind::kFileCopy);
+}
+
+void MessageCounter::Reset() {
+  for (std::uint64_t& c : counts_) c = 0;
+}
+
+std::string MessageCounter::ToString() const {
+  std::ostringstream os;
+  for (int k = 0; k < kNumMessageKinds; ++k) {
+    os << MessageKindName(static_cast<MessageKind>(k)) << "="
+       << counts_[k] << " ";
+  }
+  os << "total=" << Total();
+  return os.str();
+}
+
+}  // namespace dynvote

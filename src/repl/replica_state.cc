@@ -1,0 +1,18 @@
+#include "repl/replica_state.h"
+
+#include <sstream>
+
+namespace dynvote {
+
+std::string ReplicaState::ToString() const {
+  std::ostringstream os;
+  os << "o=" << op_number << " v=" << version
+     << " P=" << partition_set.ToString();
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const ReplicaState& state) {
+  return os << state.ToString();
+}
+
+}  // namespace dynvote

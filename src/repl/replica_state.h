@@ -1,0 +1,47 @@
+// The per-copy state ensemble of the paper (Section 2.1): every physical
+// copy of a replicated file maintains an operation number, a version
+// number and a partition set.
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "util/site_set.h"
+
+namespace dynvote {
+
+/// Monotonic counter of successful operations a copy has taken part in.
+using OpNumber = std::int64_t;
+
+/// Monotonic counter identifying the last write a copy has received.
+using VersionNumber = std::int64_t;
+
+/// State ensemble attached to one physical copy.
+///
+/// * `op_number` (o_i): incremented at every successful operation the copy
+///   participates in — reads, writes and recoveries alike. It identifies
+///   the most recent majority-block lineage without forcing a file copy on
+///   every read the way a version bump would (paper §2.1's discussion of
+///   the operation-number / recovery-time trade-off).
+/// * `version` (v_i): identifies the last successful *write*; copies with
+///   the maximal version among reachable sites are the current copies.
+/// * `partition_set` (P_i): the sites that took part in the most recent
+///   successful operation — the previous majority block. New quorums are
+///   majorities of this set.
+struct ReplicaState {
+  OpNumber op_number = 1;
+  VersionNumber version = 1;
+  SiteSet partition_set;
+
+  friend bool operator==(const ReplicaState& a,
+                         const ReplicaState& b) = default;
+
+  /// "o=8 v=8 P={0, 1, 2}".
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const ReplicaState& state);
+
+}  // namespace dynvote

@@ -1,0 +1,68 @@
+// Holds the state ensembles of all physical copies of one replicated file
+// and implements the bulk queries the voting algorithms are written in
+// terms of: Q (maximal-operation-number sites), S (maximal-version sites)
+// and the COMMIT that installs a new partition set.
+
+#pragma once
+
+#include <vector>
+
+#include "repl/replica_state.h"
+#include "util/result.h"
+#include "util/site_set.h"
+
+namespace dynvote {
+
+/// State ensembles for the copies of one replicated file.
+///
+/// The store is indexed by global SiteId; only sites in `placement` hold
+/// copies. Querying a non-placement site is a programming error (checked).
+class ReplicaStore {
+ public:
+  /// Creates a store for copies at `placement` (must be non-empty) in the
+  /// paper's initial state: o = v = 1, partition set = placement.
+  static Result<ReplicaStore> Make(SiteSet placement);
+
+  /// Returns every copy to the initial state.
+  void Reset();
+
+  SiteSet placement() const { return placement_; }
+  int num_copies() const { return placement_.Size(); }
+
+  /// State of the copy at `site`; `site` must be in placement().
+  const ReplicaState& state(SiteId site) const;
+  ReplicaState* mutable_state(SiteId site);
+
+  /// Restricts `sites` to sites actually holding copies.
+  SiteSet CopiesAmong(SiteSet sites) const {
+    return sites.Intersect(placement_);
+  }
+
+  /// Maximum operation number among copies in `among` (∩ placement).
+  /// `among` must contain at least one copy.
+  OpNumber MaxOp(SiteSet among) const;
+
+  /// Maximum version among copies in `among` (∩ placement).
+  VersionNumber MaxVersion(SiteSet among) const;
+
+  /// Q of the paper: copies in `among` whose operation number equals the
+  /// maximum over `among`. Empty iff `among` holds no copies.
+  SiteSet MaxOpSites(SiteSet among) const;
+
+  /// S of the paper: copies in `among` whose version equals the maximum
+  /// over `among`. Empty iff `among` holds no copies.
+  SiteSet MaxVersionSites(SiteSet among) const;
+
+  /// COMMIT of the paper: installs `op`/`version`/`new_partition_set` at
+  /// every copy in `participants` (∩ placement).
+  void Commit(SiteSet participants, OpNumber op, VersionNumber version,
+              SiteSet new_partition_set);
+
+ private:
+  explicit ReplicaStore(SiteSet placement);
+
+  SiteSet placement_;
+  std::vector<ReplicaState> states_;  // indexed by SiteId, dense to max id
+};
+
+}  // namespace dynvote

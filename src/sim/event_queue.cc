@@ -1,0 +1,60 @@
+#include "sim/event_queue.h"
+
+#include "util/logging.h"
+
+namespace dynvote {
+
+EventId EventQueue::Schedule(SimTime when, Callback callback) {
+  DYNVOTE_CHECK_MSG(callback != nullptr, "scheduled a null callback");
+  EventId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id, std::move(callback)});
+  live_.insert(id);
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  // Only ids that are still live (scheduled, unfired, uncancelled) may be
+  // cancelled; anything else — never issued, already fired, already
+  // cancelled — is a no-op.
+  if (live_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  return true;
+}
+
+void EventQueue::SkimCancelled() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::PeekTime() {
+  SkimCancelled();
+  DYNVOTE_CHECK_MSG(!heap_.empty(), "PeekTime on empty queue");
+  return heap_.top().when;
+}
+
+SimTime EventQueue::RunNext() {
+  SkimCancelled();
+  DYNVOTE_CHECK_MSG(!heap_.empty(), "RunNext on empty queue");
+  // priority_queue::top() is const; moving the callback out requires a
+  // const_cast, which is safe because we pop immediately afterwards.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  SimTime when = top.when;
+  EventId id = top.id;
+  Callback cb = std::move(top.callback);
+  heap_.pop();
+  live_.erase(id);
+  cb(when);
+  return when;
+}
+
+void EventQueue::Clear() {
+  while (!heap_.empty()) heap_.pop();
+  cancelled_.clear();
+  live_.clear();
+}
+
+}  // namespace dynvote

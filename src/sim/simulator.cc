@@ -1,0 +1,42 @@
+#include "sim/simulator.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dynvote {
+
+EventId Simulator::ScheduleIn(SimTime delay, EventQueue::Callback callback) {
+  DYNVOTE_CHECK_MSG(delay >= 0.0 && std::isfinite(delay),
+                    "event delay must be finite and non-negative");
+  return queue_.Schedule(now_ + delay, std::move(callback));
+}
+
+EventId Simulator::ScheduleAt(SimTime when, EventQueue::Callback callback) {
+  DYNVOTE_CHECK_MSG(when >= now_ && std::isfinite(when),
+                    "event time must be finite and not in the past");
+  return queue_.Schedule(when, std::move(callback));
+}
+
+Status Simulator::RunUntil(SimTime horizon) {
+  if (!(horizon >= now_) || !std::isfinite(horizon)) {
+    return Status::InvalidArgument("horizon must be finite and >= Now()");
+  }
+  while (!queue_.Empty() && queue_.PeekTime() <= horizon) {
+    now_ = queue_.PeekTime();
+    queue_.RunNext();
+    ++events_run_;
+  }
+  now_ = horizon;
+  return Status::OK();
+}
+
+bool Simulator::Step() {
+  if (queue_.Empty()) return false;
+  now_ = queue_.PeekTime();
+  queue_.RunNext();
+  ++events_run_;
+  return true;
+}
+
+}  // namespace dynvote

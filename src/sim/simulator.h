@@ -1,0 +1,64 @@
+// The discrete-event simulator: a clock plus an event calendar. Processes
+// (failure generators, maintenance schedules, access workloads) schedule
+// callbacks; RunUntil() advances the clock through them in time order.
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+#include "util/status.h"
+
+namespace dynvote {
+
+/// Single-threaded discrete-event simulator.
+///
+/// Invariants: the clock never moves backwards; callbacks observe
+/// `Now() == when` for their scheduled time; scheduling in the past fails.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime Now() const { return now_; }
+
+  /// Number of events executed so far.
+  std::uint64_t EventsRun() const { return events_run_; }
+
+  /// Schedules `callback` to run `delay` days from now. `delay` must be
+  /// >= 0 and finite; a zero delay runs after all earlier-scheduled events
+  /// at the current instant (FIFO within a timestamp).
+  EventId ScheduleIn(SimTime delay, EventQueue::Callback callback);
+
+  /// Schedules `callback` at absolute time `when` (>= Now()).
+  EventId ScheduleAt(SimTime when, EventQueue::Callback callback);
+
+  /// Cancels a scheduled event; see EventQueue::Cancel.
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  /// Runs events in time order until the calendar is empty or the next
+  /// event is later than `horizon`. The clock finishes at
+  /// min(horizon, time of last executed event ... horizon): it is set to
+  /// `horizon` exactly, so time-weighted statistics can close their last
+  /// interval.
+  Status RunUntil(SimTime horizon);
+
+  /// Runs a single event if one exists. Returns true if an event ran.
+  bool Step();
+
+  /// Discards all pending events without advancing the clock.
+  void ClearPending() { queue_.Clear(); }
+
+  /// True iff no events are pending.
+  bool Idle() const { return queue_.Empty(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t events_run_ = 0;
+};
+
+}  // namespace dynvote

@@ -1,0 +1,24 @@
+// Simulation time. The paper quotes all of Table 1 in mixed units (days,
+// hours, minutes); we standardise on *days* as the simulation time unit and
+// provide explicit conversions so unit slips are impossible to write
+// silently.
+
+#pragma once
+
+namespace dynvote {
+
+/// Simulated time in days since the start of the run.
+using SimTime = double;
+
+/// Unit conversions into days.
+constexpr SimTime Days(double d) { return d; }
+constexpr SimTime Hours(double h) { return h / 24.0; }
+constexpr SimTime Minutes(double m) { return m / (24.0 * 60.0); }
+constexpr SimTime Years(double y) { return y * 365.0; }
+
+/// Conversions out of days.
+constexpr double ToHours(SimTime t) { return t * 24.0; }
+constexpr double ToMinutes(SimTime t) { return t * 24.0 * 60.0; }
+constexpr double ToYears(SimTime t) { return t / 365.0; }
+
+}  // namespace dynvote

@@ -1,0 +1,48 @@
+#include "stats/batch_means.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace dynvote {
+
+std::string BatchStats::ToString() const {
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed << mean << " ± " << ci95_halfwidth << " (n=" << num_batches
+     << ")";
+  return os.str();
+}
+
+double StudentT975(int df) {
+  static const double kTable[] = {
+      // df = 1 .. 30
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df < 1) return 0.0;
+  if (df <= 30) return kTable[df - 1];
+  return 1.96;
+}
+
+BatchStats ComputeBatchStats(const std::vector<double>& batch_values) {
+  BatchStats stats;
+  stats.num_batches = static_cast<int>(batch_values.size());
+  if (stats.num_batches == 0) return stats;
+
+  double sum = 0.0;
+  for (double v : batch_values) sum += v;
+  stats.mean = sum / stats.num_batches;
+
+  if (stats.num_batches < 2) return stats;
+  double sq = 0.0;
+  for (double v : batch_values) {
+    double d = v - stats.mean;
+    sq += d * d;
+  }
+  stats.stddev = std::sqrt(sq / (stats.num_batches - 1));
+  stats.ci95_halfwidth = StudentT975(stats.num_batches - 1) * stats.stddev /
+                         std::sqrt(static_cast<double>(stats.num_batches));
+  return stats;
+}
+
+}  // namespace dynvote

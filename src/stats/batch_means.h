@@ -1,0 +1,38 @@
+// Batch-means analysis, the technique the paper uses to attach 95 %
+// confidence intervals to steady-state simulation estimates: the
+// measurement window is cut into equal batches, the per-batch means are
+// treated as (approximately) independent samples, and a Student-t interval
+// is computed over them.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dynvote {
+
+/// Summary of a batch-means estimate.
+struct BatchStats {
+  /// Number of batches contributing.
+  int num_batches = 0;
+  /// Mean of the per-batch values.
+  double mean = 0.0;
+  /// Sample standard deviation of the per-batch values.
+  double stddev = 0.0;
+  /// Half-width of the 95 % confidence interval for the mean
+  /// (t-quantile * stddev / sqrt(n)); 0 when fewer than two batches.
+  double ci95_halfwidth = 0.0;
+
+  /// "0.001234 ± 0.000056 (n=20)".
+  std::string ToString() const;
+};
+
+/// Two-sided Student-t 97.5 % quantile for `df` degrees of freedom
+/// (exact table for df <= 30, 1.96 beyond).
+double StudentT975(int df);
+
+/// Computes batch statistics over per-batch values.
+BatchStats ComputeBatchStats(const std::vector<double>& batch_values);
+
+}  // namespace dynvote

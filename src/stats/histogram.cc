@@ -1,0 +1,71 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dynvote {
+
+void Histogram::Add(double value) {
+  values_.push_back(value);
+  sorted_ = false;
+}
+
+void Histogram::AddCensored(double lower_bound) {
+  Add(lower_bound);
+  ++censored_;
+}
+
+void Histogram::Ensure() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::Mean() const {
+  DYNVOTE_CHECK_MSG(!Empty(), "Mean of empty histogram");
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / values_.size();
+}
+
+double Histogram::Min() const {
+  DYNVOTE_CHECK_MSG(!Empty(), "Min of empty histogram");
+  Ensure();
+  return values_.front();
+}
+
+double Histogram::Max() const {
+  DYNVOTE_CHECK_MSG(!Empty(), "Max of empty histogram");
+  Ensure();
+  return values_.back();
+}
+
+double Histogram::Quantile(double q) const {
+  DYNVOTE_CHECK_MSG(!Empty(), "Quantile of empty histogram");
+  DYNVOTE_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile outside [0, 1]");
+  Ensure();
+  if (values_.size() == 1) return values_[0];
+  double position = q * (values_.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(position);
+  std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  double frac = position - lo;
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+std::string Histogram::Summary(int precision) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision);
+  os << "n=" << count();
+  if (censored_ > 0) os << " (" << censored_ << " censored)";
+  if (!Empty()) {
+    os << " mean=" << Mean() << " p50=" << Median()
+       << " p90=" << Quantile(0.9) << " max=" << Max();
+  }
+  return os.str();
+}
+
+}  // namespace dynvote

@@ -1,0 +1,68 @@
+#include "stats/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace dynvote {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddRule() { rows_.emplace_back(); }
+
+std::string TextTable::ToString() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      os << (c == 0 ? "" : "  ") << std::left << std::setw(widths[c]) << cell;
+    }
+    os << "\n";
+  };
+  auto emit_rule = [&]() {
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      total += widths[c] + (c == 0 ? 0 : 2);
+    }
+    os << std::string(total, '-') << "\n";
+  };
+
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_rule();
+    } else {
+      emit_row(row);
+    }
+  }
+  return os.str();
+}
+
+std::string TextTable::Fixed6(double value, const std::string& dash) {
+  if (value < 0) return dash;
+  return Fixed(value, 6);
+}
+
+std::string TextTable::Fixed(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+}  // namespace dynvote

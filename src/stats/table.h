@@ -1,0 +1,39 @@
+// Plain-text table formatting for the benchmark binaries, which print the
+// same row/column grids as the paper's Tables 2 and 3.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dynvote {
+
+/// A simple left-padded text table.
+class TextTable {
+ public:
+  /// Sets the header row.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; it may have fewer cells than the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal rule.
+  void AddRule();
+
+  /// Renders with columns sized to the widest cell.
+  std::string ToString() const;
+
+  /// Formats a value like the paper's tables: 6 decimal places, or `dash`
+  /// when `value` < 0 (Table 3 prints "-" for configurations that were
+  /// never unavailable).
+  static std::string Fixed6(double value, const std::string& dash = "-");
+
+  /// Formats with `digits` decimal places.
+  static std::string Fixed(double value, int digits);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == rule
+};
+
+}  // namespace dynvote

@@ -1,0 +1,95 @@
+#include "stats/tracker.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dynvote {
+
+AvailabilityTracker::AvailabilityTracker(SimTime start, SimTime batch_length,
+                                         int num_batches)
+    : start_(start),
+      batch_length_(batch_length),
+      num_batches_(num_batches),
+      end_(start + batch_length * num_batches) {
+  DYNVOTE_CHECK_MSG(batch_length > 0.0 && num_batches > 0,
+                    "tracker needs a positive measurement window");
+  batch_unavailable_time_.assign(num_batches_, 0.0);
+  // The simulation starts with every site up: available until told
+  // otherwise.
+  last_time_ = 0.0;
+  last_status_ = true;
+}
+
+void AvailabilityTracker::AccumulateUnavailable(SimTime from, SimTime to) {
+  from = std::max(from, start_);
+  to = std::min(to, end_);
+  if (to <= from) return;
+
+  unavailable_time_ += to - from;
+  if (!in_period_) {
+    in_period_ = true;
+    ++num_periods_;
+  }
+  if (first_outage_ < 0.0) first_outage_ = from - start_;
+
+  int first = static_cast<int>((from - start_) / batch_length_);
+  int last = static_cast<int>((to - start_) / batch_length_);
+  first = std::clamp(first, 0, num_batches_ - 1);
+  last = std::clamp(last, 0, num_batches_ - 1);
+  for (int b = first; b <= last; ++b) {
+    SimTime lo = std::max(from, start_ + b * batch_length_);
+    SimTime hi = std::min(to, start_ + (b + 1) * batch_length_);
+    if (hi > lo) batch_unavailable_time_[b] += hi - lo;
+  }
+}
+
+void AvailabilityTracker::Update(SimTime now, bool available) {
+  DYNVOTE_CHECK_MSG(!finished_, "Update after Finish");
+  DYNVOTE_CHECK_MSG(now >= last_time_, "time moved backwards");
+  if (!last_status_) {
+    AccumulateUnavailable(last_time_, now);
+  }
+  if (available) {
+    // A transition to available closes any open unavailable period. The
+    // period was only *counted* if part of it fell inside the window.
+    in_period_ = false;
+  }
+  last_time_ = now;
+  last_status_ = available;
+}
+
+void AvailabilityTracker::Finish(SimTime end) {
+  DYNVOTE_CHECK_MSG(!finished_, "Finish called twice");
+  DYNVOTE_CHECK_MSG(end >= last_time_, "Finish before the last Update");
+  if (!last_status_) {
+    AccumulateUnavailable(last_time_, end);
+  }
+  last_time_ = std::max(end, last_time_);
+  finished_ = true;
+
+  batch_unavailability_.reserve(num_batches_);
+  for (double t : batch_unavailable_time_) {
+    batch_unavailability_.push_back(t / batch_length_);
+  }
+}
+
+double AvailabilityTracker::TotalTime() const {
+  SimTime measured_end = std::min(last_time_, end_);
+  return std::max(0.0, measured_end - start_);
+}
+
+double AvailabilityTracker::Unavailability() const {
+  double total = TotalTime();
+  return total > 0.0 ? unavailable_time_ / total : 0.0;
+}
+
+double AvailabilityTracker::MeanUnavailableDuration() const {
+  return num_periods_ > 0 ? unavailable_time_ / num_periods_ : 0.0;
+}
+
+BatchStats AvailabilityTracker::Stats() const {
+  return ComputeBatchStats(batch_unavailability_);
+}
+
+}  // namespace dynvote

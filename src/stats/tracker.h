@@ -1,0 +1,84 @@
+// Time-weighted availability bookkeeping for one (protocol, placement)
+// pair over one simulation run: total unavailable time, unavailable time
+// per batch (feeding batch-means confidence intervals, Table 2) and the
+// durations of individual unavailable periods (Table 3).
+
+#pragma once
+
+#include <vector>
+
+#include "sim/time.h"
+#include "stats/batch_means.h"
+
+namespace dynvote {
+
+/// Accumulates the availability status of a replicated file over
+/// simulated time.
+///
+/// Usage: construct with the measurement window and batch count, call
+/// Update(now, available) at every instant the status may have changed
+/// (the status is treated as piecewise-constant between calls: the value
+/// passed at time t holds from t until the next call), and Finish(end)
+/// once. Time outside [start, end) is ignored, which implements the
+/// warm-up period.
+class AvailabilityTracker {
+ public:
+  /// Tracks [start, start + num_batches * batch_length).
+  AvailabilityTracker(SimTime start, SimTime batch_length, int num_batches);
+
+  /// Reports the status from `now` onward. `now` must not decrease.
+  void Update(SimTime now, bool available);
+
+  /// Closes the final interval and any open unavailable period. Must be
+  /// called exactly once, with `end` >= the last Update time.
+  void Finish(SimTime end);
+
+  /// --- results (valid after Finish) ----------------------------------
+  SimTime window_start() const { return start_; }
+  SimTime window_end() const { return end_; }
+  /// Measured time (window length clipped to the Finish time).
+  double TotalTime() const;
+  /// Time the file was unavailable within the window.
+  double UnavailableTime() const { return unavailable_time_; }
+  /// UnavailableTime / TotalTime (0 for an empty window).
+  double Unavailability() const;
+  /// Number of unavailable periods intersecting the window.
+  int NumUnavailablePeriods() const { return num_periods_; }
+  /// Mean length of an unavailable period, in days (0 if none — printed
+  /// as "-" by the table formatter, as in the paper's Table 3).
+  double MeanUnavailableDuration() const;
+  /// Per-batch unavailability values.
+  const std::vector<double>& BatchUnavailabilities() const {
+    return batch_unavailability_;
+  }
+  /// Time (within the window) at which the file first became unavailable,
+  /// measured from the window start; -1 if it never did. The paper's
+  /// reliability figure ("continuously available for more than three
+  /// hundred years") is the distribution of this value.
+  double TimeToFirstOutage() const { return first_outage_; }
+  /// Batch-means summary of the unavailability.
+  BatchStats Stats() const;
+
+ private:
+  /// Adds [from, to) of unavailable time into the batch accumulators.
+  void AccumulateUnavailable(SimTime from, SimTime to);
+
+  SimTime start_;
+  SimTime batch_length_;
+  int num_batches_;
+  SimTime end_;
+
+  SimTime last_time_ = 0.0;
+  bool last_status_ = true;
+  bool started_ = false;
+  bool finished_ = false;
+
+  double unavailable_time_ = 0.0;
+  int num_periods_ = 0;
+  bool in_period_ = false;  // an unavailable period overlaps the window
+  double first_outage_ = -1.0;
+  std::vector<double> batch_unavailable_time_;
+  std::vector<double> batch_unavailability_;  // filled by Finish()
+};
+
+}  // namespace dynvote

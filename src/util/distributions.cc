@@ -1,0 +1,93 @@
+#include "util/distributions.h"
+
+#include <sstream>
+
+namespace dynvote {
+
+Result<std::unique_ptr<Distribution>> ConstantDistribution::Make(
+    double value) {
+  if (value < 0.0) {
+    return Status::InvalidArgument("constant distribution value < 0");
+  }
+  return std::unique_ptr<Distribution>(new ConstantDistribution(value));
+}
+
+double ConstantDistribution::Sample(Rng* /*rng*/) const { return value_; }
+
+std::string ConstantDistribution::ToString() const {
+  std::ostringstream os;
+  os << "Const(" << value_ << ")";
+  return os.str();
+}
+
+Result<std::unique_ptr<Distribution>> ExponentialDistribution::Make(
+    double mean) {
+  if (mean <= 0.0) {
+    return Status::InvalidArgument("exponential mean must be > 0");
+  }
+  return std::unique_ptr<Distribution>(new ExponentialDistribution(mean));
+}
+
+double ExponentialDistribution::Sample(Rng* rng) const {
+  return rng->NextExponential(mean_);
+}
+
+std::string ExponentialDistribution::ToString() const {
+  std::ostringstream os;
+  os << "Exp(mean=" << mean_ << ")";
+  return os.str();
+}
+
+Result<std::unique_ptr<Distribution>> ShiftedExponentialDistribution::Make(
+    double offset, double exp_mean) {
+  if (offset < 0.0) {
+    return Status::InvalidArgument("shifted-exponential offset < 0");
+  }
+  if (exp_mean < 0.0) {
+    return Status::InvalidArgument("shifted-exponential mean < 0");
+  }
+  return std::unique_ptr<Distribution>(
+      new ShiftedExponentialDistribution(offset, exp_mean));
+}
+
+double ShiftedExponentialDistribution::Sample(Rng* rng) const {
+  double exp_part = exp_mean_ > 0.0 ? rng->NextExponential(exp_mean_) : 0.0;
+  return offset_ + exp_part;
+}
+
+std::string ShiftedExponentialDistribution::ToString() const {
+  std::ostringstream os;
+  os << "Const(" << offset_ << ")+Exp(mean=" << exp_mean_ << ")";
+  return os.str();
+}
+
+Result<std::unique_ptr<Distribution>> MixtureDistribution::Make(
+    double p_first, std::unique_ptr<Distribution> first,
+    std::unique_ptr<Distribution> second) {
+  if (p_first < 0.0 || p_first > 1.0) {
+    return Status::InvalidArgument("mixture probability outside [0, 1]");
+  }
+  if (first == nullptr || second == nullptr) {
+    return Status::InvalidArgument("mixture component is null");
+  }
+  return std::unique_ptr<Distribution>(new MixtureDistribution(
+      p_first, std::move(first), std::move(second)));
+}
+
+double MixtureDistribution::Sample(Rng* rng) const {
+  return rng->NextBernoulli(p_first_) ? first_->Sample(rng)
+                                      : second_->Sample(rng);
+}
+
+double MixtureDistribution::Mean() const {
+  return p_first_ * first_->Mean() + (1.0 - p_first_) * second_->Mean();
+}
+
+std::string MixtureDistribution::ToString() const {
+  std::ostringstream os;
+  os << "Mix(p=" << p_first_ << ", " << first_->ToString() << ", "
+     << second_->ToString() << ")";
+  return os.str();
+}
+
+}  // namespace dynvote

@@ -1,0 +1,108 @@
+// Random-variate distributions used by the failure / repair / workload
+// models. The paper (Section 4) models time-to-failure as exponential,
+// software restarts as constants, and hardware repair as a constant service
+// part plus an exponentially distributed repair part.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace dynvote {
+
+/// A nonnegative random variate generator.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Draws one sample using the given generator.
+  virtual double Sample(Rng* rng) const = 0;
+
+  /// Expected value of the distribution.
+  virtual double Mean() const = 0;
+
+  /// Human-readable description, e.g. "Exp(mean=36.5)".
+  virtual std::string ToString() const = 0;
+};
+
+/// Degenerate distribution: always `value`.
+class ConstantDistribution final : public Distribution {
+ public:
+  /// Creates the distribution; `value` must be >= 0.
+  static Result<std::unique_ptr<Distribution>> Make(double value);
+
+  double Sample(Rng* rng) const override;
+  double Mean() const override { return value_; }
+  std::string ToString() const override;
+
+ private:
+  explicit ConstantDistribution(double value) : value_(value) {}
+  double value_;
+};
+
+/// Exponential distribution with the given mean.
+class ExponentialDistribution final : public Distribution {
+ public:
+  /// Creates the distribution; `mean` must be > 0.
+  static Result<std::unique_ptr<Distribution>> Make(double mean);
+
+  double Sample(Rng* rng) const override;
+  double Mean() const override { return mean_; }
+  std::string ToString() const override;
+
+ private:
+  explicit ExponentialDistribution(double mean) : mean_(mean) {}
+  double mean_;
+};
+
+/// Constant offset plus an exponential part: the paper's hardware-repair
+/// model ("a constant term representing the minimum service time plus an
+/// exponentially distributed term representing the actual repair process").
+class ShiftedExponentialDistribution final : public Distribution {
+ public:
+  /// Creates the distribution; `offset` >= 0 and `exp_mean` >= 0. A zero
+  /// `exp_mean` degenerates to a constant.
+  static Result<std::unique_ptr<Distribution>> Make(double offset,
+                                                    double exp_mean);
+
+  double Sample(Rng* rng) const override;
+  double Mean() const override { return offset_ + exp_mean_; }
+  std::string ToString() const override;
+
+ private:
+  ShiftedExponentialDistribution(double offset, double exp_mean)
+      : offset_(offset), exp_mean_(exp_mean) {}
+  double offset_;
+  double exp_mean_;
+};
+
+/// Two-point mixture: with probability `p_first` sample from `first`,
+/// otherwise from `second`. Models the paper's hardware-vs-software repair
+/// split (Table 1's "Hardware Failures (%)" column).
+class MixtureDistribution final : public Distribution {
+ public:
+  /// Creates the mixture; `p_first` must lie in [0, 1] and both components
+  /// must be non-null.
+  static Result<std::unique_ptr<Distribution>> Make(
+      double p_first, std::unique_ptr<Distribution> first,
+      std::unique_ptr<Distribution> second);
+
+  double Sample(Rng* rng) const override;
+  double Mean() const override;
+  std::string ToString() const override;
+
+ private:
+  MixtureDistribution(double p_first, std::unique_ptr<Distribution> first,
+                      std::unique_ptr<Distribution> second)
+      : p_first_(p_first),
+        first_(std::move(first)),
+        second_(std::move(second)) {}
+  double p_first_;
+  std::unique_ptr<Distribution> first_;
+  std::unique_ptr<Distribution> second_;
+};
+
+}  // namespace dynvote

@@ -1,0 +1,64 @@
+// Minimal leveled logging and debug-check macros. The library core is
+// silent by default; examples and benches may raise the level.
+
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dynvote {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Defaults to
+/// kWarning so library internals stay quiet in tests and benches.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              const std::string& message);
+
+}  // namespace internal
+}  // namespace dynvote
+
+#define DYNVOTE_LOG(level)                                             \
+  ::dynvote::internal::LogMessage(::dynvote::LogLevel::k##level,       \
+                                  __FILE__, __LINE__)
+
+/// Aborts with a diagnostic when `expr` is false. Active in all build
+/// types: protocol invariants guard data consistency, so violating one is
+/// never recoverable.
+#define DYNVOTE_CHECK(expr)                                            \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::dynvote::internal::CheckFailed(#expr, __FILE__, __LINE__, ""); \
+    }                                                                  \
+  } while (false)
+
+#define DYNVOTE_CHECK_MSG(expr, msg)                                    \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::dynvote::internal::CheckFailed(#expr, __FILE__, __LINE__, msg); \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,86 @@
+// Result<T>: a value or an error Status, in the style of arrow::Result.
+
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace dynvote {
+
+/// Holds either a value of type T or an error Status.
+///
+///   Result<int> r = ParsePort(text);
+///   if (!r.ok()) return r.status();
+///   int port = *r;
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit by design, mirroring
+  /// arrow::Result, so `return value;` works in functions returning Result).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. `status` must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Accesses the value; must hold a value.
+  const T& operator*() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& operator*() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& operator*() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  /// Moves the value out; must hold a value.
+  T MoveValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace dynvote
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error Status to the caller.
+#define DYNVOTE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(*tmp)
+
+#define DYNVOTE_ASSIGN_OR_RETURN(lhs, expr)                                 \
+  DYNVOTE_ASSIGN_OR_RETURN_IMPL(DYNVOTE_CONCAT_(_result_, __LINE__), lhs,   \
+                                expr)
+
+#define DYNVOTE_CONCAT_INNER_(a, b) a##b
+#define DYNVOTE_CONCAT_(a, b) DYNVOTE_CONCAT_INNER_(a, b)

@@ -1,0 +1,68 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace dynvote {
+
+namespace {
+constexpr std::uint64_t RotL(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.Next();
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = RotL(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = RotL(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 top bits scaled into [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDoubleOpenLow() { return 1.0 - NextDouble(); }
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  // Lemire's unbiased bounded sampling.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextExponential(double mean) {
+  return -mean * std::log(NextDoubleOpenLow());
+}
+
+Rng Rng::Split() {
+  SplitMix64 sm(Next() ^ 0xA5A5A5A5A5A5A5A5ULL);
+  return Rng(sm.Next());
+}
+
+}  // namespace dynvote

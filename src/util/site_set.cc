@@ -1,0 +1,24 @@
+#include "util/site_set.h"
+
+#include <sstream>
+
+namespace dynvote {
+
+std::string SiteSet::ToString() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (SiteId s : *this) {
+    if (!first) os << ", ";
+    os << s;
+    first = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, SiteSet set) {
+  return os << set.ToString();
+}
+
+}  // namespace dynvote

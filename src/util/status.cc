@@ -1,0 +1,39 @@
+#include "util/status.h"
+
+namespace dynvote {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNoQuorum:
+      return "NoQuorum";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace dynvote

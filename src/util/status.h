@@ -1,0 +1,110 @@
+// Status: error propagation without exceptions, in the style used by the
+// large C++ database codebases (Arrow, RocksDB, LevelDB). Public library
+// entry points return Status (or Result<T>, see util/result.h) instead of
+// throwing.
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dynvote {
+
+/// Machine-readable category of a Status.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  /// A quorum could not be assembled: the request originated outside the
+  /// majority partition. This is the "expected" failure of every voting
+  /// protocol and is reported as a distinct code so callers can retry.
+  kNoQuorum = 1,
+  /// The target site (or another required participant) is down.
+  kUnavailable = 2,
+  /// Malformed argument (unknown site, empty placement, bad weights, ...).
+  kInvalidArgument = 3,
+  /// Internal invariant violated; indicates a bug, never expected behaviour.
+  kInternal = 4,
+  /// Requested entity does not exist (e.g. key lookup in the KV store).
+  kNotFound = 5,
+  /// Operation is not implemented by this protocol (e.g. witnesses cannot
+  /// serve reads of file contents).
+  kNotSupported = 6,
+};
+
+/// Human-readable name of a StatusCode ("OK", "NoQuorum", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation: a code plus, for errors, a message.
+///
+/// Ok statuses carry no allocation; error statuses own a short message.
+/// Statuses are cheap to move and compare. Typical use:
+///
+///   Status s = protocol->Write(site, ...);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status NoQuorum(std::string msg) {
+    return Status(StatusCode::kNoQuorum, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// True iff the status carries the given error code.
+  bool Is(StatusCode code) const { return code_ == code; }
+  bool IsNoQuorum() const { return Is(StatusCode::kNoQuorum); }
+  bool IsUnavailable() const { return Is(StatusCode::kUnavailable); }
+  bool IsInvalidArgument() const { return Is(StatusCode::kInvalidArgument); }
+  bool IsInternal() const { return Is(StatusCode::kInternal); }
+  bool IsNotFound() const { return Is(StatusCode::kNotFound); }
+  bool IsNotSupported() const { return Is(StatusCode::kNotSupported); }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace dynvote
+
+/// Propagates a non-OK Status to the caller.
+#define DYNVOTE_RETURN_NOT_OK(expr)                  \
+  do {                                               \
+    ::dynvote::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (false)

@@ -1,0 +1,159 @@
+#include "core/available_copy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/test_topologies.h"
+#include "net/network_state.h"
+
+namespace dynvote {
+namespace {
+
+using testing_util::SingleSegment;
+
+TEST(AvailableCopyTest, MakeValidates) {
+  EXPECT_TRUE(AvailableCopy::Make(SiteSet()).status().IsInvalidArgument());
+  auto ac = AvailableCopy::Make(SiteSet{0, 1});
+  ASSERT_TRUE(ac.ok());
+  EXPECT_EQ((*ac)->name(), "AC");
+  EXPECT_FALSE((*ac)->partition_safe());
+  EXPECT_TRUE((*ac)->uses_instantaneous_information());
+}
+
+TEST(AvailableCopyTest, SurvivesAllButOneFailure) {
+  // The whole point of AC: on a non-partitionable network one copy is
+  // enough.
+  auto topo = SingleSegment(3);
+  auto ac = *AvailableCopy::Make(SiteSet{0, 1, 2});
+  NetworkState net(topo);
+  net.SetSiteUp(0, false);
+  ac->OnNetworkEvent(net);
+  net.SetSiteUp(1, false);
+  ac->OnNetworkEvent(net);
+  EXPECT_TRUE(ac->WouldGrant(net, 2, AccessType::kWrite));
+  EXPECT_TRUE(ac->Write(net, 2).ok());
+  EXPECT_EQ(ac->current_set(), SiteSet{2});
+}
+
+TEST(AvailableCopyTest, WritesGoToAllLiveCopies) {
+  auto topo = SingleSegment(3);
+  auto ac = *AvailableCopy::Make(SiteSet{0, 1, 2});
+  NetworkState net(topo);
+  net.SetSiteUp(1, false);
+  ac->OnNetworkEvent(net);
+  ASSERT_TRUE(ac->Write(net, 0).ok());
+  EXPECT_EQ(ac->store().state(0).version, 2);
+  EXPECT_EQ(ac->store().state(2).version, 2);
+  EXPECT_EQ(ac->store().state(1).version, 1);
+  EXPECT_EQ(ac->current_set(), (SiteSet{0, 2}));
+}
+
+TEST(AvailableCopyTest, DownCopyStaysCurrentIfNoWritesMissed) {
+  // A copy that was down across no writes is still current on restart.
+  auto topo = SingleSegment(2);
+  auto ac = *AvailableCopy::Make(SiteSet{0, 1});
+  NetworkState net(topo);
+  net.SetSiteUp(1, false);
+  ac->OnNetworkEvent(net);
+  EXPECT_TRUE(ac->current_set().Contains(1));
+  net.SetSiteUp(1, true);
+  ac->OnNetworkEvent(net);
+  EXPECT_TRUE(ac->WouldGrant(net, 1, AccessType::kRead));
+}
+
+TEST(AvailableCopyTest, StaleCopyRecoversAutomatically) {
+  auto topo = SingleSegment(2);
+  auto ac = *AvailableCopy::Make(SiteSet{0, 1});
+  NetworkState net(topo);
+  net.SetSiteUp(1, false);
+  ac->OnNetworkEvent(net);
+  ASSERT_TRUE(ac->Write(net, 0).ok());  // 1 misses the write
+  EXPECT_EQ(ac->current_set(), SiteSet{0});
+  net.SetSiteUp(1, true);
+  ac->OnNetworkEvent(net);  // instantaneous reintegration
+  EXPECT_EQ(ac->current_set(), (SiteSet{0, 1}));
+  EXPECT_EQ(ac->store().state(1).version, 2);
+  EXPECT_EQ(ac->counter()->count(MessageKind::kFileCopy), 1u);
+}
+
+TEST(AvailableCopyTest, TotalFailureNeedsLastCurrentCopyBack) {
+  auto topo = SingleSegment(3);
+  auto ac = *AvailableCopy::Make(SiteSet{0, 1, 2});
+  NetworkState net(topo);
+  net.SetSiteUp(0, false);
+  ac->OnNetworkEvent(net);
+  ASSERT_TRUE(ac->Write(net, 1).ok());  // current = {1, 2}
+  net.SetSiteUp(1, false);
+  ac->OnNetworkEvent(net);
+  ASSERT_TRUE(ac->Write(net, 2).ok());  // current = {2}
+  net.SetSiteUp(2, false);
+  ac->OnNetworkEvent(net);
+
+  // Total failure. Site 0 restarting does not help: it is stale.
+  net.SetSiteUp(0, true);
+  ac->OnNetworkEvent(net);
+  EXPECT_FALSE(ac->IsAvailable(net));
+  EXPECT_TRUE(ac->Read(net, 0).IsNoQuorum());
+  EXPECT_TRUE(ac->Recover(net, 0).IsNoQuorum());
+
+  // Only the last current copy (site 2) restores availability — and then
+  // site 0 can catch up.
+  net.SetSiteUp(2, true);
+  ac->OnNetworkEvent(net);
+  EXPECT_TRUE(ac->IsAvailable(net));
+  EXPECT_EQ(ac->store().state(0).version, 3);
+  EXPECT_TRUE(ac->current_set().Contains(0));
+}
+
+TEST(AvailableCopyTest, ReadNeedsCurrentCopy) {
+  auto topo = SingleSegment(2);
+  auto ac = *AvailableCopy::Make(SiteSet{0, 1});
+  NetworkState net(topo);
+  net.SetSiteUp(1, false);
+  ac->OnNetworkEvent(net);
+  ASSERT_TRUE(ac->Write(net, 0).ok());
+  net.SetSiteUp(0, false);
+  net.SetSiteUp(1, true);
+  // Note: OnNetworkEvent would try (and fail) to recover site 1; reads
+  // must likewise be refused — site 1's copy is stale.
+  ac->OnNetworkEvent(net);
+  EXPECT_FALSE(ac->WouldGrant(net, 1, AccessType::kRead));
+}
+
+TEST(AvailableCopyTest, NotPartitionSafeByDesign) {
+  // On a partitionable topology, both sides of a partition keep current
+  // copies and both grant writes: the documented reason AC requires a
+  // non-partitionable network.
+  auto topo = testing_util::TwoPairSegments();
+  auto ac = *AvailableCopy::Make(SiteSet{0, 1, 2, 3});
+  NetworkState net(topo);
+  net.SetRepeaterUp(0, false);
+  int granted = 0;
+  for (const SiteSet& group : net.Components()) {
+    if (ac->WouldGrant(net, group.RankMax(), AccessType::kWrite)) ++granted;
+  }
+  EXPECT_EQ(granted, 2);
+}
+
+TEST(AvailableCopyTest, RecoverFromDownSiteFails) {
+  auto topo = SingleSegment(2);
+  auto ac = *AvailableCopy::Make(SiteSet{0, 1});
+  NetworkState net(topo);
+  net.SetSiteUp(1, false);
+  EXPECT_TRUE(ac->Recover(net, 1).IsUnavailable());
+  EXPECT_TRUE(ac->Recover(net, 5).IsInvalidArgument());
+}
+
+TEST(AvailableCopyTest, ResetRestores) {
+  auto topo = SingleSegment(2);
+  auto ac = *AvailableCopy::Make(SiteSet{0, 1});
+  NetworkState net(topo);
+  net.SetSiteUp(1, false);
+  ac->OnNetworkEvent(net);
+  ASSERT_TRUE(ac->Write(net, 0).ok());
+  ac->Reset();
+  EXPECT_EQ(ac->current_set(), (SiteSet{0, 1}));
+  EXPECT_EQ(ac->store().state(0).version, 1);
+}
+
+}  // namespace
+}  // namespace dynvote

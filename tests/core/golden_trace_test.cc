@@ -1,0 +1,70 @@
+// Golden-sequence test: the Section 2.1 walkthrough produces a known,
+// exact sequence of quorum decisions. Pinning the trace guards the whole
+// decision pipeline (evaluation, tie-break, commit bookkeeping, logging)
+// against silent behavioural drift.
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic_voting.h"
+#include "core/test_topologies.h"
+#include "net/network_state.h"
+
+namespace dynvote {
+namespace {
+
+TEST(GoldenTraceTest, WalkthroughDecisionSequence) {
+  // A(0), B(1), C(2) on separate segments star-bridged through A.
+  auto builder = Topology::Builder();
+  SegmentId sa = builder.AddSegment("a");
+  SegmentId sb = builder.AddSegment("b");
+  SegmentId sc = builder.AddSegment("c");
+  builder.AddSite("A", sa);
+  builder.AddSite("B", sb);
+  builder.AddSite("C", sc);
+  builder.AddRepeater("ab", sa, sb);
+  RepeaterId ac = builder.AddRepeater("ac", sa, sc);
+  auto topo = builder.Build().MoveValue();
+
+  auto odv = MakeODV(topo, SiteSet{0, 1, 2}).MoveValue();
+  DecisionLog log;
+  odv->set_decision_log(&log);
+  NetworkState net(topo);
+
+  ASSERT_TRUE(odv->Write(net, 0).ok());       // full quorum
+  net.SetSiteUp(1, false);                    // B fails
+  ASSERT_TRUE(odv->Write(net, 2).ok());       // {A, C} majority
+  net.SetRepeaterUp(ac, false);               // A-C link fails
+  ASSERT_TRUE(odv->Write(net, 0).ok());       // A wins the tie
+  ASSERT_TRUE(odv->Write(net, 2).IsNoQuorum());  // C loses it
+  net.SetRepeaterUp(ac, true);
+  ASSERT_TRUE(odv->Recover(net, 2).ok());     // C reintegrates
+  net.SetSiteUp(1, true);
+  ASSERT_TRUE(odv->Recover(net, 1).ok());     // B reintegrates, copies
+
+  const std::string expected =
+      "#1 ODV write@0 GRANTED R={0, 1, 2} Q={0, 1, 2} S={0, 1, 2} "
+      "counted={0, 1, 2} Pm={0, 1, 2}\n"
+      "#2 ODV write@2 GRANTED R={0, 2} Q={0, 2} S={0, 2} "
+      "counted={0, 2} Pm={0, 1, 2}\n"
+      "#3 ODV write@0 GRANTED (tie-break) R={0} Q={0} S={0} "
+      "counted={0} Pm={0, 2}\n"
+      "#4 ODV write@2 DENIED R={2} Q={2} S={2} "
+      "counted={2} Pm={0, 2}\n"
+      "#5 ODV recover@2 GRANTED R={0, 2} Q={0} S={0} "
+      "counted={0} Pm={0}\n"
+      "#6 ODV recover@1 GRANTED R={0, 1, 2} Q={0, 2} S={0, 2} "
+      "counted={0, 2} Pm={0, 2}\n";
+  EXPECT_EQ(log.ToString(), expected);
+
+  EXPECT_EQ(log.granted_count(), 5u);
+  EXPECT_EQ(log.denied_count(), 1u);
+
+  // The CSV rendering carries the same rows.
+  std::string csv = log.ToCsv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 7);  // header + 6
+  EXPECT_NE(csv.find("3,ODV,write,0,1,1"), std::string::npos)
+      << "tie-break flag column\n" << csv;
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,142 @@
+#include "core/jm_voting.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic_voting.h"
+#include "core/test_topologies.h"
+#include "net/network_state.h"
+#include "util/rng.h"
+
+namespace dynvote {
+namespace {
+
+using testing_util::SingleSegment;
+
+TEST(JmVotingTest, MakeValidates) {
+  auto topo = SingleSegment(3);
+  EXPECT_FALSE(JajodiaMutchlerVoting::Make(nullptr, SiteSet{0}).ok());
+  EXPECT_FALSE(JajodiaMutchlerVoting::Make(topo, SiteSet()).ok());
+  EXPECT_FALSE(JajodiaMutchlerVoting::Make(topo, SiteSet{0, 9}).ok());
+  auto jm = JajodiaMutchlerVoting::Make(topo, SiteSet{0, 1, 2});
+  ASSERT_TRUE(jm.ok());
+  EXPECT_EQ((*jm)->name(), "JM-DV");
+  EXPECT_TRUE((*jm)->uses_instantaneous_information());
+  EXPECT_TRUE((*jm)->partition_safe());
+}
+
+TEST(JmVotingTest, InitialStateAndBasicOperation) {
+  auto topo = SingleSegment(3);
+  auto jm = *JajodiaMutchlerVoting::Make(topo, SiteSet{0, 1, 2});
+  EXPECT_EQ(jm->state(0).update_number, 1);
+  EXPECT_EQ(jm->state(0).last_cardinality, 3);
+  NetworkState net(topo);
+  ASSERT_TRUE(jm->Write(net, 0).ok());
+  EXPECT_EQ(jm->state(1).update_number, 2);
+  EXPECT_EQ(jm->state(1).data_version, 2);
+  EXPECT_EQ(jm->state(1).last_cardinality, 3);
+}
+
+TEST(JmVotingTest, CardinalityShrinksWithTheQuorum) {
+  auto topo = SingleSegment(3);
+  auto jm = *JajodiaMutchlerVoting::Make(topo, SiteSet{0, 1, 2});
+  NetworkState net(topo);
+  net.SetSiteUp(2, false);
+  jm->OnNetworkEvent(net);
+  EXPECT_EQ(jm->state(0).last_cardinality, 2);
+  // 1 of 2 is a tie — and JM has no tie-break: both halves blocked.
+  net.SetSiteUp(1, false);
+  jm->OnNetworkEvent(net);
+  EXPECT_FALSE(jm->WouldGrant(net, 0, AccessType::kWrite));
+  EXPECT_FALSE(jm->IsAvailable(net));
+}
+
+TEST(JmVotingTest, StaleMembersCatchUpOnUpdate) {
+  auto topo = SingleSegment(3);
+  auto jm = *JajodiaMutchlerVoting::Make(topo, SiteSet{0, 1, 2});
+  NetworkState net(topo);
+  net.SetSiteUp(2, false);
+  jm->OnNetworkEvent(net);
+  ASSERT_TRUE(jm->Write(net, 0).ok());
+  net.SetSiteUp(2, true);
+  jm->OnNetworkEvent(net);  // whole partition made current
+  EXPECT_EQ(jm->state(2).data_version, jm->state(0).data_version);
+  EXPECT_EQ(jm->state(2).last_cardinality, 3);
+  EXPECT_GT(jm->counter()->count(MessageKind::kFileCopy), 0u);
+}
+
+TEST(JmVotingTest, StaleSiteAloneStaysBlocked) {
+  auto topo = SingleSegment(2);
+  auto jm = *JajodiaMutchlerVoting::Make(topo, SiteSet{0, 1});
+  NetworkState net(topo);
+  // Either site alone is 1 of 2: blocked — JM's known cost at two copies.
+  net.SetSiteUp(1, false);
+  jm->OnNetworkEvent(net);
+  EXPECT_FALSE(jm->IsAvailable(net));
+}
+
+// The headline: on identical histories the cardinality-based protocol is
+// availability-equivalent to the partition-set implementation of plain
+// DV — the two representations carry the same quorum information. (The
+// lexicographic tie-break, by contrast, is inexpressible without the
+// member identities; see the last test.)
+TEST(JmVotingTest, AvailabilityEquivalentToPartitionSetDv) {
+  for (const char* topo_kind : {"single", "pairs", "section3"}) {
+    std::shared_ptr<const Topology> topo;
+    if (std::string(topo_kind) == "single") {
+      topo = SingleSegment(5);
+    } else if (std::string(topo_kind) == "pairs") {
+      topo = testing_util::TwoPairSegments();
+    } else {
+      topo = testing_util::Section3Network();
+    }
+    SiteSet placement = SiteSet::FirstN(std::min(4, topo->num_sites()));
+    auto jm = *JajodiaMutchlerVoting::Make(topo, placement);
+    auto dv = *MakeDV(topo, placement);
+    NetworkState net(topo);
+    Rng rng(0x1987 + topo->num_segments());
+
+    for (int step = 0; step < 5000; ++step) {
+      // Random mutation.
+      if (topo->num_repeaters() > 0 && rng.NextBernoulli(0.2)) {
+        RepeaterId r = static_cast<RepeaterId>(
+            rng.NextBounded(topo->num_repeaters()));
+        net.SetRepeaterUp(r, !net.IsRepeaterUp(r));
+      } else {
+        SiteId s =
+            static_cast<SiteId>(rng.NextBounded(topo->num_sites()));
+        net.SetSiteUp(s, !net.IsSiteUp(s));
+      }
+      jm->OnNetworkEvent(net);
+      dv->OnNetworkEvent(net);
+      if (rng.NextBernoulli(0.3)) {
+        Status a = jm->UserAccess(net, AccessType::kWrite);
+        Status b = dv->UserAccess(net, AccessType::kWrite);
+        ASSERT_EQ(a.ok(), b.ok()) << topo_kind << " step " << step;
+      }
+      for (SiteId s = 0; s < topo->num_sites(); ++s) {
+        if (!net.IsSiteUp(s) || !placement.Contains(s)) continue;
+        ASSERT_EQ(jm->WouldGrant(net, s, AccessType::kWrite),
+                  dv->WouldGrant(net, s, AccessType::kWrite))
+            << topo_kind << " step " << step << " site " << s;
+      }
+    }
+  }
+}
+
+TEST(JmVotingTest, CannotExpressLexicographicTieBreak) {
+  // LDV keeps the file available through a clean 2-2 partition; JM's
+  // state has no distinguished member, so it must block — the storage /
+  // capability trade-off Section 2.1 describes.
+  auto topo = testing_util::TwoPairSegments();
+  auto jm = *JajodiaMutchlerVoting::Make(topo, SiteSet{0, 1, 2, 3});
+  auto ldv = *MakeLDV(topo, SiteSet{0, 1, 2, 3});
+  NetworkState net(topo);
+  net.SetRepeaterUp(0, false);
+  jm->OnNetworkEvent(net);
+  ldv->OnNetworkEvent(net);
+  EXPECT_FALSE(jm->IsAvailable(net));
+  EXPECT_TRUE(ldv->IsAvailable(net));
+}
+
+}  // namespace
+}  // namespace dynvote

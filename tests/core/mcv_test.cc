@@ -1,0 +1,188 @@
+#include "core/mcv.h"
+
+#include <gtest/gtest.h>
+
+#include "core/test_topologies.h"
+#include "net/network_state.h"
+
+namespace dynvote {
+namespace {
+
+using testing_util::SingleSegment;
+using testing_util::TwoPairSegments;
+
+TEST(McvMakeTest, DefaultsToStrictMajority) {
+  auto mcv = MajorityConsensusVoting::Make(SiteSet{0, 1, 2});
+  ASSERT_TRUE(mcv.ok());
+  EXPECT_EQ((*mcv)->read_quorum(), 2);
+  EXPECT_EQ((*mcv)->write_quorum(), 2);
+  EXPECT_EQ((*mcv)->name(), "MCV");
+}
+
+TEST(McvMakeTest, ValidatesGiffordConstraints) {
+  McvOptions r1w1;
+  r1w1.read_quorum = 1;
+  r1w1.write_quorum = 1;
+  EXPECT_TRUE(MajorityConsensusVoting::Make(SiteSet{0, 1, 2}, r1w1)
+                  .status()
+                  .IsInvalidArgument());  // r + w <= n
+
+  McvOptions r1w3;
+  r1w3.read_quorum = 1;
+  r1w3.write_quorum = 3;
+  EXPECT_TRUE(MajorityConsensusVoting::Make(SiteSet{0, 1, 2}, r1w3).ok());
+
+  McvOptions w_too_small;
+  w_too_small.read_quorum = 3;
+  w_too_small.write_quorum = 2;  // 2w <= n for n = 4
+  EXPECT_TRUE(
+      MajorityConsensusVoting::Make(SiteSet{0, 1, 2, 3}, w_too_small)
+          .status()
+          .IsInvalidArgument());
+
+  McvOptions out_of_range;
+  out_of_range.read_quorum = 9;
+  EXPECT_TRUE(MajorityConsensusVoting::Make(SiteSet{0, 1, 2}, out_of_range)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(McvTest, MajorityGrantsMinorityDenied) {
+  auto topo = SingleSegment(3);
+  auto mcv = *MajorityConsensusVoting::Make(SiteSet{0, 1, 2});
+  NetworkState net(topo);
+  EXPECT_TRUE(mcv->WouldGrant(net, 0, AccessType::kWrite));
+  net.SetSiteUp(1, false);
+  EXPECT_TRUE(mcv->WouldGrant(net, 0, AccessType::kWrite));
+  net.SetSiteUp(2, false);
+  EXPECT_FALSE(mcv->WouldGrant(net, 0, AccessType::kWrite));
+  EXPECT_TRUE(mcv->Write(net, 0).IsNoQuorum());
+}
+
+TEST(McvTest, QuorumIsStatic) {
+  // The defining weakness: even after running happily on {0, 1} for a
+  // long time, MCV still needs 2 of the original 3 — unlike dynamic
+  // voting it never adapts. With 0 and 1 down, site 2 alone stays blocked
+  // forever even though it held the last writes... and conversely, the
+  // quorum never shrinks below 2.
+  auto topo = SingleSegment(3);
+  auto mcv = *MajorityConsensusVoting::Make(SiteSet{0, 1, 2});
+  NetworkState net(topo);
+  net.SetSiteUp(2, false);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(mcv->Write(net, 0).ok());
+  }
+  net.SetSiteUp(1, false);
+  EXPECT_FALSE(mcv->WouldGrant(net, 0, AccessType::kWrite));
+}
+
+TEST(McvTest, EvenSplitTieBrokenByMaxSite) {
+  // Default MCV resolves a 2-2 split toward the group holding site 0
+  // (see McvOptions::tie_break for why the paper's Table 2 requires a
+  // tie-resolving static scheme).
+  auto topo = TwoPairSegments();
+  auto mcv = *MajorityConsensusVoting::Make(SiteSet{0, 1, 2, 3});
+  NetworkState net(topo);
+  net.SetRepeaterUp(0, false);
+  EXPECT_TRUE(mcv->WouldGrant(net, 0, AccessType::kWrite));
+  EXPECT_FALSE(mcv->WouldGrant(net, 2, AccessType::kWrite));
+}
+
+TEST(McvTest, StrictVariantBlocksOnTie) {
+  auto topo = TwoPairSegments();
+  McvOptions options;
+  options.tie_break = TieBreak::kNone;
+  auto mcv = *MajorityConsensusVoting::Make(SiteSet{0, 1, 2, 3}, options);
+  NetworkState net(topo);
+  net.SetRepeaterUp(0, false);
+  EXPECT_FALSE(mcv->WouldGrant(net, 0, AccessType::kWrite));
+  EXPECT_FALSE(mcv->WouldGrant(net, 2, AccessType::kWrite));
+}
+
+TEST(McvTest, GiffordAsymmetricQuorums) {
+  // r = 1, w = 3 on three copies: reads survive two failures, writes
+  // survive none.
+  auto topo = SingleSegment(3);
+  McvOptions options;
+  options.read_quorum = 1;
+  options.write_quorum = 3;
+  auto mcv = *MajorityConsensusVoting::Make(SiteSet{0, 1, 2}, options);
+  NetworkState net(topo);
+  net.SetSiteUp(1, false);
+  EXPECT_TRUE(mcv->WouldGrant(net, 0, AccessType::kRead));
+  EXPECT_FALSE(mcv->WouldGrant(net, 0, AccessType::kWrite));
+}
+
+TEST(McvTest, WeightedVoting) {
+  // Gifford's weighted voting: site 0 holds 2 of 4 votes; {0, any} is a
+  // majority but {1, 2} (2 votes) is exactly half and — with the strict
+  // rule — denied.
+  auto topo = SingleSegment(3);
+  McvOptions options;
+  options.weights = *VoteWeights::Make({2, 1, 1});
+  options.tie_break = TieBreak::kNone;
+  auto mcv = *MajorityConsensusVoting::Make(SiteSet{0, 1, 2}, options);
+  EXPECT_EQ(mcv->name(), "WMCV");
+  EXPECT_EQ(mcv->write_quorum(), 3);
+  NetworkState net(topo);
+  net.SetSiteUp(1, false);
+  EXPECT_TRUE(mcv->WouldGrant(net, 0, AccessType::kWrite));
+  net.AllUp();
+  net.SetSiteUp(0, false);
+  EXPECT_FALSE(mcv->WouldGrant(net, 1, AccessType::kWrite));
+}
+
+TEST(McvTest, WritesPropagateVersions) {
+  auto topo = SingleSegment(3);
+  auto mcv = *MajorityConsensusVoting::Make(SiteSet{0, 1, 2});
+  NetworkState net(topo);
+  net.SetSiteUp(2, false);
+  ASSERT_TRUE(mcv->Write(net, 0).ok());
+  ASSERT_TRUE(mcv->Write(net, 1).ok());
+  EXPECT_EQ(mcv->store().state(0).version, 3);
+  EXPECT_EQ(mcv->store().state(1).version, 3);
+  EXPECT_EQ(mcv->store().state(2).version, 1);  // down: missed both
+}
+
+TEST(McvTest, RecoverRefreshesStaleCopy) {
+  auto topo = SingleSegment(3);
+  auto mcv = *MajorityConsensusVoting::Make(SiteSet{0, 1, 2});
+  NetworkState net(topo);
+  net.SetSiteUp(2, false);
+  ASSERT_TRUE(mcv->Write(net, 0).ok());
+  net.SetSiteUp(2, true);
+  ASSERT_TRUE(mcv->Recover(net, 2).ok());
+  EXPECT_EQ(mcv->store().state(2).version, 2);
+  EXPECT_EQ(mcv->counter()->count(MessageKind::kFileCopy), 1u);
+}
+
+TEST(McvTest, PartitionSafety) {
+  // Under any partition at most one side has a strict majority; with the
+  // lexicographic tie rule at most one side has half-plus-max.
+  auto topo = TwoPairSegments();
+  auto mcv = *MajorityConsensusVoting::Make(SiteSet{0, 1, 2, 3});
+  EXPECT_TRUE(mcv->partition_safe());
+  NetworkState net(topo);
+  net.SetRepeaterUp(0, false);
+  int granted = 0;
+  for (const SiteSet& group : net.Components()) {
+    if (mcv->WouldGrant(net, group.RankMax(), AccessType::kWrite)) {
+      ++granted;
+    }
+  }
+  EXPECT_LE(granted, 1);
+}
+
+TEST(McvTest, IsAvailableChecksAllGroups) {
+  auto topo = TwoPairSegments();
+  auto mcv = *MajorityConsensusVoting::Make(SiteSet{1, 2, 3});
+  NetworkState net(topo);
+  net.SetRepeaterUp(0, false);
+  // Group {2,3} holds 2 of 3 votes even though group {0,1} does not.
+  EXPECT_TRUE(mcv->IsAvailable(net));
+  net.SetSiteUp(3, false);
+  EXPECT_FALSE(mcv->IsAvailable(net));
+}
+
+}  // namespace
+}  // namespace dynvote

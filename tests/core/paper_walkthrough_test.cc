@@ -1,0 +1,134 @@
+// Replays the worked example of Section 2.1 step by step and checks that
+// every intermediate (o, v, P) ensemble matches the states printed in the
+// paper. Sites: A = 0, B = 1, C = 2 (lower id = higher rank, so A > B > C
+// as the paper assumes).
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic_voting.h"
+#include "core/test_topologies.h"
+#include "net/network_state.h"
+
+namespace dynvote {
+namespace {
+
+class PaperWalkthroughTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // A and C must be separable by a partition ("assume that the link
+    // between A and C fails"), so each site gets its own segment, joined
+    // in a star around A's segment: killing the ac repeater separates A
+    // and C even while B's segment is bridged.
+    auto builder = Topology::Builder();
+    SegmentId sa = builder.AddSegment("seg-a");
+    SegmentId sb = builder.AddSegment("seg-b");
+    SegmentId sc = builder.AddSegment("seg-c");
+    a_ = builder.AddSite("A", sa);
+    b_ = builder.AddSite("B", sb);
+    c_ = builder.AddSite("C", sc);
+    ab_link_ = builder.AddRepeater("ab", sa, sb);
+    ac_link_ = builder.AddRepeater("ac", sa, sc);
+    auto topo = builder.Build();
+    ASSERT_TRUE(topo.ok());
+    topo_ = topo.MoveValue();
+    net_ = std::make_unique<NetworkState>(topo_);
+
+    // The walkthrough uses plain (non-optimistic) lexicographic dynamic
+    // voting driven explicitly: we call the operations ourselves, so an
+    // optimistic instance gives full control over when state changes.
+    auto dv = MakeODV(topo_, SiteSet{a_, b_, c_});
+    ASSERT_TRUE(dv.ok());
+    dv_ = dv.MoveValue();
+  }
+
+  void ExpectState(SiteId site, OpNumber o, VersionNumber v, SiteSet p) {
+    const ReplicaState& s = dv_->store().state(site);
+    EXPECT_EQ(s.op_number, o) << "site " << site;
+    EXPECT_EQ(s.version, v) << "site " << site;
+    EXPECT_EQ(s.partition_set, p) << "site " << site;
+  }
+
+  std::shared_ptr<const Topology> topo_;
+  std::unique_ptr<NetworkState> net_;
+  std::unique_ptr<DynamicVoting> dv_;
+  SiteId a_ = -1, b_ = -1, c_ = -1;
+  RepeaterId ab_link_ = -1, ac_link_ = -1;
+};
+
+TEST_F(PaperWalkthroughTest, FullScenario) {
+  // Initial state: o = v = 1, P = {A, B, C} everywhere.
+  for (SiteId s : {a_, b_, c_}) ExpectState(s, 1, 1, SiteSet{a_, b_, c_});
+
+  // "After seven write operations are successfully completed": o = v = 8.
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(dv_->Write(*net_, a_).ok());
+  }
+  for (SiteId s : {a_, b_, c_}) ExpectState(s, 8, 8, SiteSet{a_, b_, c_});
+
+  // "Suppose now that site B fails. Information is exchanged only at
+  // access time, so there is no change in the state information."
+  net_->SetSiteUp(b_, false);
+  for (SiteId s : {a_, b_, c_}) ExpectState(s, 8, 8, SiteSet{a_, b_, c_});
+
+  // "The partition consisting of sites A and C contains a majority ... it
+  // will therefore become the new majority partition. After three more
+  // write operations": A and C at o = v = 11, P = {A, C}; B unchanged.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(dv_->Write(*net_, c_).ok());
+  }
+  ExpectState(a_, 11, 11, SiteSet{a_, c_});
+  ExpectState(b_, 8, 8, SiteSet{a_, b_, c_});
+  ExpectState(c_, 11, 11, SiteSet{a_, c_});
+
+  // "Assume that the link between A and C fails. Again, no information is
+  // exchanged ... "
+  net_->SetRepeaterUp(ac_link_, false);
+  ExpectState(a_, 11, 11, SiteSet{a_, c_});
+  ExpectState(c_, 11, 11, SiteSet{a_, c_});
+
+  // "site A, by itself, constitutes the new majority partition" (A ranks
+  // above C). "By the same reasoning, site C determines that it is not
+  // the majority partition."
+  EXPECT_TRUE(dv_->WouldGrant(*net_, a_, AccessType::kWrite));
+  EXPECT_FALSE(dv_->WouldGrant(*net_, c_, AccessType::kWrite));
+  EXPECT_TRUE(dv_->Write(*net_, c_).IsNoQuorum());
+
+  // "Four more write operations would leave the file in the state"
+  // A: o = v = 15, P = {A}; B and C unchanged.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(dv_->Write(*net_, a_).ok());
+  }
+  ExpectState(a_, 15, 15, SiteSet{a_});
+  ExpectState(b_, 8, 8, SiteSet{a_, b_, c_});
+  ExpectState(c_, 11, 11, SiteSet{a_, c_});
+}
+
+TEST_F(PaperWalkthroughTest, ReadsBumpOperationNumberOnly) {
+  // The operation/version split of Section 2.1: reads advance o (so the
+  // partition set can shrink without forcing file copies) but not v.
+  ASSERT_TRUE(dv_->Read(*net_, b_).ok());
+  for (SiteId s : {a_, b_, c_}) ExpectState(s, 2, 1, SiteSet{a_, b_, c_});
+}
+
+TEST_F(PaperWalkthroughTest, RecoveryReintegratesStaleCopy) {
+  // Continue the scenario: B restarts while A and C hold the majority.
+  net_->SetSiteUp(b_, false);
+  ASSERT_TRUE(dv_->Write(*net_, a_).ok());  // P shrinks to {A, C}
+  net_->SetSiteUp(b_, true);
+
+  // B alone is not the majority partition, so its recovery must fail
+  // while it cannot reach A or C.
+  net_->SetRepeaterUp(ab_link_, false);
+  EXPECT_TRUE(dv_->Recover(*net_, b_).IsNoQuorum());
+
+  // Once reconnected, RECOVER copies the file and rejoins: partition set
+  // becomes S ∪ {B} = {A, B, C}, version unchanged, o bumped.
+  net_->SetRepeaterUp(ab_link_, true);
+  ASSERT_TRUE(dv_->Recover(*net_, b_).ok());
+  ExpectState(b_, 3, 2, SiteSet{a_, b_, c_});
+  ExpectState(a_, 3, 2, SiteSet{a_, b_, c_});
+  EXPECT_EQ(dv_->counter()->count(MessageKind::kFileCopy), 1u);
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,185 @@
+#include "core/regenerating.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic_voting.h"
+#include "core/test_topologies.h"
+#include "net/network_state.h"
+#include "util/rng.h"
+
+namespace dynvote {
+namespace {
+
+using testing_util::SingleSegment;
+
+std::unique_ptr<RegeneratingVoting> MakeR(
+    std::shared_ptr<const Topology> topo, SiteSet data, SiteSet witnesses,
+    int threshold = 2) {
+  RegeneratingOptions options;
+  options.regeneration_threshold = threshold;
+  auto r = RegeneratingVoting::Make(std::move(topo), data, witnesses,
+                                    options);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.MoveValue();
+}
+
+TEST(RegeneratingTest, MakeValidates) {
+  auto topo = SingleSegment(4);
+  EXPECT_FALSE(
+      RegeneratingVoting::Make(nullptr, SiteSet{0}, SiteSet{}).ok());
+  EXPECT_FALSE(
+      RegeneratingVoting::Make(topo, SiteSet{}, SiteSet{1}).ok());
+  // Witness overlapping a data copy.
+  EXPECT_FALSE(
+      RegeneratingVoting::Make(topo, SiteSet{0, 1}, SiteSet{1}).ok());
+  RegeneratingOptions bad;
+  bad.regeneration_threshold = 0;
+  EXPECT_FALSE(
+      RegeneratingVoting::Make(topo, SiteSet{0, 1}, SiteSet{2}, bad).ok());
+  auto ok = RegeneratingVoting::Make(topo, SiteSet{0, 1}, SiteSet{2});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)->name(), "RLDV");
+  EXPECT_EQ((*ok)->placement(), (SiteSet{0, 1, 2}));
+  EXPECT_EQ((*ok)->data_sites(), (SiteSet{0, 1}));
+  EXPECT_EQ((*ok)->witnesses(), SiteSet{2});
+}
+
+TEST(RegeneratingTest, BehavesLikeWitnessLdvBeforeAnyRegeneration) {
+  auto topo = SingleSegment(4);
+  auto r = MakeR(topo, SiteSet{0, 1}, SiteSet{2}, /*threshold=*/100);
+  NetworkState net(topo);
+  ASSERT_TRUE(r->Write(net, 0).ok());
+  net.SetSiteUp(1, false);
+  r->OnNetworkEvent(net);
+  // Data copy 0 + witness 2 form 2 of 3.
+  EXPECT_TRUE(r->WouldGrant(net, 0, AccessType::kWrite));
+  net.SetSiteUp(0, false);
+  r->OnNetworkEvent(net);
+  // Witness alone can vote but not serve data.
+  EXPECT_FALSE(r->IsAvailable(net));
+}
+
+TEST(RegeneratingTest, WitnessRegeneratesAfterThresholdMisses) {
+  auto topo = SingleSegment(4);
+  auto r = MakeR(topo, SiteSet{0, 1}, SiteSet{2}, /*threshold=*/2);
+  NetworkState net(topo);
+
+  net.SetSiteUp(2, false);  // witness host crashes
+  r->OnNetworkEvent(net);   // miss 1
+  EXPECT_EQ(r->regenerations(), 0u);
+  EXPECT_EQ(r->witnesses(), SiteSet{2});
+  net.SetSiteUp(3, true);   // (no-op: already up) second event via flap
+  net.SetSiteUp(3, false);
+  r->OnNetworkEvent(net);   // miss 2 -> regenerate... but host 3 is down
+  net.SetSiteUp(3, true);
+  r->OnNetworkEvent(net);   // miss 3 -> regenerate on site 3
+  EXPECT_EQ(r->regenerations(), 1u);
+  EXPECT_EQ(r->witnesses(), SiteSet{3});
+  EXPECT_EQ(r->placement(), (SiteSet{0, 1, 3}));
+
+  // The fresh witness is a full voting member: data copy 1 + witness 3
+  // carry on when 0 fails.
+  net.SetSiteUp(0, false);
+  r->OnNetworkEvent(net);
+  EXPECT_TRUE(r->WouldGrant(net, 1, AccessType::kWrite));
+  ASSERT_TRUE(r->Write(net, 1).ok());
+}
+
+TEST(RegeneratingTest, RetiredWitnessCannotDisturbTheLineage) {
+  auto topo = SingleSegment(4);
+  auto r = MakeR(topo, SiteSet{0, 1}, SiteSet{2}, /*threshold=*/1);
+  NetworkState net(topo);
+  ASSERT_TRUE(r->Write(net, 0).ok());
+  net.SetSiteUp(2, false);
+  r->OnNetworkEvent(net);  // threshold 1: regenerates immediately on 3
+  ASSERT_EQ(r->witnesses(), SiteSet{3});
+  ASSERT_TRUE(r->Write(net, 0).ok());
+
+  // The retired witness restarts: it is no longer a member; its stale
+  // ensemble is ignored and it never forms or joins a quorum.
+  net.SetSiteUp(2, true);
+  r->OnNetworkEvent(net);
+  EXPECT_FALSE(r->placement().Contains(2));
+  EXPECT_TRUE(r->Recover(net, 2).IsInvalidArgument());
+  int granted = 0;
+  for (const SiteSet& group : net.Components()) {
+    if (r->WouldGrant(net, group.RankMax(), AccessType::kWrite)) ++granted;
+  }
+  EXPECT_EQ(granted, 1);
+}
+
+TEST(RegeneratingTest, NoRegenerationWithoutCandidateHost) {
+  // Three sites total: data on 0, 1; witness on 2; nowhere to regenerate.
+  auto topo = SingleSegment(3);
+  auto r = MakeR(topo, SiteSet{0, 1}, SiteSet{2}, /*threshold=*/1);
+  NetworkState net(topo);
+  net.SetSiteUp(2, false);
+  r->OnNetworkEvent(net);
+  r->OnNetworkEvent(net);
+  EXPECT_EQ(r->regenerations(), 0u);
+  EXPECT_EQ(r->witnesses(), SiteSet{2});
+  // And the witness reintegrates normally when it returns.
+  net.SetSiteUp(2, true);
+  r->OnNetworkEvent(net);
+  EXPECT_TRUE(r->WouldGrant(net, 0, AccessType::kWrite));
+}
+
+TEST(RegeneratingTest, HostAllowListRespected) {
+  auto topo = SingleSegment(5);
+  RegeneratingOptions options;
+  options.regeneration_threshold = 1;
+  options.witness_hosts = SiteSet{4};  // only site 4 may host witnesses
+  auto r = *RegeneratingVoting::Make(topo, SiteSet{0, 1}, SiteSet{2},
+                                     options);
+  NetworkState net(topo);
+  net.SetSiteUp(2, false);
+  r->OnNetworkEvent(net);
+  EXPECT_EQ(r->witnesses(), SiteSet{4});  // not 3, despite higher rank
+}
+
+TEST(RegeneratingTest, RegenerationImprovesAvailabilityUnderChurn) {
+  // Random churn where witness hosts die for long stretches: the
+  // regenerating protocol should grant at least as often as the fixed
+  // -witness one, never less.
+  auto topo = SingleSegment(6);
+  auto fixed_result = DynamicVoting::Make(topo, SiteSet{0, 1, 2}, [] {
+    DynamicVotingOptions o;
+    o.witnesses = SiteSet{2};
+    return o;
+  }());
+  ASSERT_TRUE(fixed_result.ok());
+  auto& fixed = *fixed_result;
+  auto regen = MakeR(topo, SiteSet{0, 1}, SiteSet{2}, /*threshold=*/2);
+
+  NetworkState net(topo);
+  Rng rng(0x9E9E);
+  int fixed_available = 0;
+  int regen_available = 0;
+  for (int step = 0; step < 4000; ++step) {
+    SiteId s = static_cast<SiteId>(rng.NextBounded(6));
+    net.SetSiteUp(s, rng.NextBernoulli(0.7));
+    fixed->OnNetworkEvent(net);
+    regen->OnNetworkEvent(net);
+    if (fixed->IsAvailable(net)) ++fixed_available;
+    if (regen->IsAvailable(net)) ++regen_available;
+    // Mutual exclusion for both, every step.
+    for (ConsistencyProtocol* p :
+         {static_cast<ConsistencyProtocol*>(fixed.get()),
+          static_cast<ConsistencyProtocol*>(regen.get())}) {
+      int granted = 0;
+      for (const SiteSet& group : net.Components()) {
+        SiteSet copies = group.Intersect(p->placement());
+        if (!copies.Empty() &&
+            p->WouldGrant(net, copies.RankMax(), AccessType::kWrite)) {
+          ++granted;
+        }
+      }
+      ASSERT_LE(granted, 1) << p->name() << " step " << step;
+    }
+  }
+  EXPECT_GT(regen->regenerations(), 0u);
+  EXPECT_GE(regen_available, fixed_available);
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,41 @@
+#include "core/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "core/test_topologies.h"
+
+namespace dynvote {
+namespace {
+
+TEST(RegistryTest, KnownNames) {
+  EXPECT_EQ(KnownProtocolNames().size(), 8u);
+  EXPECT_EQ(PaperProtocolNames(),
+            (std::vector<std::string>{"MCV", "DV", "LDV", "ODV", "TDV",
+                                      "OTDV"}));
+}
+
+TEST(RegistryTest, BuildsEveryKnownProtocol) {
+  auto topo = testing_util::SingleSegment(4);
+  for (const std::string& name : KnownProtocolNames()) {
+    auto p = MakeProtocolByName(name, topo, SiteSet{0, 1, 2});
+    ASSERT_TRUE(p.ok()) << name << ": " << p.status();
+    EXPECT_EQ((*p)->name(), name);
+    EXPECT_EQ((*p)->placement(), (SiteSet{0, 1, 2}));
+  }
+}
+
+TEST(RegistryTest, UnknownNameFails) {
+  auto topo = testing_util::SingleSegment(2);
+  EXPECT_TRUE(MakeProtocolByName("PAXOS", topo, SiteSet{0, 1})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(RegistryTest, PropagatesConstructionErrors) {
+  auto topo = testing_util::SingleSegment(2);
+  EXPECT_FALSE(MakeProtocolByName("LDV", topo, SiteSet{0, 5}).ok());
+  EXPECT_FALSE(MakeProtocolByName("MCV", topo, SiteSet()).ok());
+}
+
+}  // namespace
+}  // namespace dynvote

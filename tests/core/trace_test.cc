@@ -1,0 +1,144 @@
+#include "core/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic_voting.h"
+#include "core/mcv.h"
+#include "core/test_topologies.h"
+#include "net/network_state.h"
+
+namespace dynvote {
+namespace {
+
+using testing_util::SingleSegment;
+
+DecisionRecord MakeRecord(bool granted) {
+  DecisionRecord r;
+  r.protocol = "LDV";
+  r.operation = DecisionRecord::Operation::kWrite;
+  r.origin = 0;
+  r.granted = granted;
+  return r;
+}
+
+TEST(DecisionLogTest, AssignsSequenceNumbers) {
+  DecisionLog log;
+  log.Record(MakeRecord(true));
+  log.Record(MakeRecord(false));
+  ASSERT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.records()[0].sequence, 1u);
+  EXPECT_EQ(log.records()[1].sequence, 2u);
+  EXPECT_EQ(log.total_recorded(), 2u);
+  EXPECT_EQ(log.granted_count(), 1u);
+  EXPECT_EQ(log.denied_count(), 1u);
+}
+
+TEST(DecisionLogTest, BoundedCapacity) {
+  DecisionLog log(3);
+  for (int i = 0; i < 10; ++i) log.Record(MakeRecord(true));
+  EXPECT_EQ(log.records().size(), 3u);
+  EXPECT_EQ(log.total_recorded(), 10u);
+  EXPECT_EQ(log.records().front().sequence, 8u);  // oldest retained
+}
+
+TEST(DecisionLogTest, ClearResets) {
+  DecisionLog log;
+  log.Record(MakeRecord(true));
+  log.Clear();
+  EXPECT_TRUE(log.records().empty());
+  EXPECT_EQ(log.total_recorded(), 0u);
+}
+
+TEST(DecisionLogTest, OperationNames) {
+  EXPECT_EQ(DecisionRecord::OperationName(DecisionRecord::Operation::kRead),
+            "read");
+  EXPECT_EQ(
+      DecisionRecord::OperationName(DecisionRecord::Operation::kRecover),
+      "recover");
+  EXPECT_EQ(
+      DecisionRecord::OperationName(DecisionRecord::Operation::kRefresh),
+      "refresh");
+}
+
+TEST(DecisionLogTest, ProtocolIntegration) {
+  auto topo = SingleSegment(3);
+  auto ldv = *MakeLDV(topo, SiteSet{0, 1, 2});
+  DecisionLog log;
+  ldv->set_decision_log(&log);
+  NetworkState net(topo);
+
+  ASSERT_TRUE(ldv->Write(net, 0).ok());
+  net.SetSiteUp(1, false);
+  ldv->OnNetworkEvent(net);  // refresh decision
+  net.SetSiteUp(0, false);
+  ldv->OnNetworkEvent(net);  // tie-losing refresh
+  EXPECT_TRUE(ldv->Read(net, 2).IsNoQuorum());
+
+  ASSERT_GE(log.total_recorded(), 4u);
+  const DecisionRecord& first = log.records().front();
+  EXPECT_EQ(first.protocol, "LDV");
+  EXPECT_EQ(first.operation, DecisionRecord::Operation::kWrite);
+  EXPECT_EQ(first.origin, 0);
+  EXPECT_TRUE(first.granted);
+  EXPECT_EQ(first.decision.prev_partition, (SiteSet{0, 1, 2}));
+
+  const DecisionRecord& last = log.records().back();
+  EXPECT_EQ(last.operation, DecisionRecord::Operation::kRead);
+  EXPECT_FALSE(last.granted);
+  EXPECT_GT(log.denied_count(), 0u);
+}
+
+TEST(DecisionLogTest, RecoverDecisionsLogged) {
+  auto topo = SingleSegment(3);
+  auto ldv = *MakeLDV(topo, SiteSet{0, 1, 2});
+  DecisionLog log;
+  ldv->set_decision_log(&log);
+  NetworkState net(topo);
+  net.SetSiteUp(2, false);
+  ldv->OnNetworkEvent(net);
+  ASSERT_TRUE(ldv->Write(net, 0).ok());
+  net.SetSiteUp(2, true);
+  ASSERT_TRUE(ldv->Recover(net, 2).ok());
+  bool saw_recover = false;
+  for (const DecisionRecord& r : log.records()) {
+    if (r.operation == DecisionRecord::Operation::kRecover) {
+      saw_recover = true;
+      EXPECT_EQ(r.origin, 2);
+      EXPECT_TRUE(r.granted);
+    }
+  }
+  EXPECT_TRUE(saw_recover);
+}
+
+TEST(DecisionLogTest, McvDecisionsLogged) {
+  auto topo = SingleSegment(3);
+  auto mcv = *MajorityConsensusVoting::Make(SiteSet{0, 1, 2});
+  DecisionLog log;
+  mcv->set_decision_log(&log);
+  NetworkState net(topo);
+  ASSERT_TRUE(mcv->Write(net, 0).ok());
+  net.SetSiteUp(0, false);
+  net.SetSiteUp(1, false);
+  EXPECT_TRUE(mcv->Read(net, 2).IsNoQuorum());
+  ASSERT_EQ(log.total_recorded(), 2u);
+  EXPECT_TRUE(log.records()[0].granted);
+  EXPECT_FALSE(log.records()[1].granted);
+  // Static voting: the "previous partition" is always the placement.
+  EXPECT_EQ(log.records()[1].decision.prev_partition, (SiteSet{0, 1, 2}));
+}
+
+TEST(DecisionLogTest, ToStringAndCsv) {
+  DecisionLog log;
+  DecisionRecord r = MakeRecord(true);
+  r.decision.reachable_copies = SiteSet{0, 1};
+  r.decision.prev_partition = SiteSet{0, 1, 2};
+  log.Record(r);
+  std::string text = log.ToString();
+  EXPECT_NE(text.find("#1 LDV write@0"), std::string::npos);
+  std::string csv = log.ToCsv();
+  EXPECT_NE(csv.find("sequence,protocol"), std::string::npos);
+  EXPECT_NE(csv.find("1,LDV,write,0,1,0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,106 @@
+// Interaction of the two quorum-rule generalisations: per-site vote
+// weights combined with the topological closure (weighted TDV, the
+// paper's two future-work directions applied together).
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic_voting.h"
+#include "core/test_topologies.h"
+#include "net/network_state.h"
+
+namespace dynvote {
+namespace {
+
+using testing_util::Section3Network;
+
+std::unique_ptr<DynamicVoting> MakeWeightedTdv(
+    std::shared_ptr<const Topology> topo, SiteSet placement,
+    std::vector<int> weights) {
+  DynamicVotingOptions options;
+  options.topological = true;
+  options.weights = VoteWeights::Make(std::move(weights)).MoveValue();
+  auto dv = DynamicVoting::Make(std::move(topo), placement, options);
+  EXPECT_TRUE(dv.ok()) << dv.status();
+  return dv.MoveValue();
+}
+
+TEST(WeightedTopologicalTest, CarriedVotesCountWithTheirWeights) {
+  // A(0), B(1) on alpha with weights 1 and 3; C(2) on gamma with 2.
+  // Block = {A, B, C}, total 6. A alone carries B: T = {A, B} = 4 > 3.
+  auto topo = Section3Network();
+  auto dv = MakeWeightedTdv(topo, SiteSet{0, 1, 2}, {1, 3, 2});
+  EXPECT_EQ(dv->name(), "WTDV");
+  NetworkState net(topo);
+  net.SetSiteUp(1, false);
+  net.SetRepeaterUp(0, false);  // C partitioned away
+  dv->OnNetworkEvent(net);
+  EXPECT_TRUE(dv->WouldGrant(net, 0, AccessType::kWrite));
+  // C alone: weight 2 of 6, and it cannot carry anyone: denied.
+  EXPECT_FALSE(dv->WouldGrant(net, 2, AccessType::kWrite));
+}
+
+TEST(WeightedTopologicalTest, HeavySiteAloneOnItsSegmentGainsNothing) {
+  // Give the cross-segment singleton C weight 3 (of 5): C alone is a
+  // strict weighted majority, carried votes irrelevant — and safe,
+  // because the others can never outvote it.
+  auto topo = Section3Network();
+  auto dv = MakeWeightedTdv(topo, SiteSet{0, 1, 2}, {1, 1, 3});
+  NetworkState net(topo);
+  net.SetRepeaterUp(0, false);
+  dv->OnNetworkEvent(net);
+  EXPECT_TRUE(dv->WouldGrant(net, 2, AccessType::kWrite));
+  // A carrying B gives weight 2 of 5: denied.
+  EXPECT_FALSE(dv->WouldGrant(net, 0, AccessType::kWrite));
+  // Never two granted groups at once.
+  int granted = 0;
+  for (const SiteSet& group : net.Components()) {
+    SiteSet copies = group.Intersect(dv->placement());
+    if (!copies.Empty() &&
+        dv->WouldGrant(net, copies.RankMax(), AccessType::kWrite)) {
+      ++granted;
+    }
+  }
+  EXPECT_EQ(granted, 1);
+}
+
+TEST(WeightedTopologicalTest, WeightedTieUsesQNotT) {
+  // Weighted tie: the tie-winning element must be in Q (reachable and
+  // current), exactly as in the unweighted Figure 5 condition.
+  auto topo = Section3Network();
+  // A=2, B=1, C=1: total 4. Block {A,B,C}. C alone: weight 1 < 2. B
+  // carrying A: T = {A, B} weight 3 > 2: granted. A down + B down: C has
+  // 1 of 4: denied.
+  auto dv = MakeWeightedTdv(topo, SiteSet{0, 1, 2}, {2, 1, 1});
+  NetworkState net(topo);
+  net.SetSiteUp(0, false);
+  dv->OnNetworkEvent(net);
+  EXPECT_TRUE(dv->WouldGrant(net, 1, AccessType::kWrite));
+  net.SetSiteUp(1, false);
+  dv->OnNetworkEvent(net);
+  EXPECT_FALSE(dv->WouldGrant(net, 2, AccessType::kWrite));
+}
+
+TEST(WeightedTopologicalTest, WitnessWeightAndTopologyCompose) {
+  // A data copy pair on alpha, a *witness* on gamma with weight 2: the
+  // witness's votes break what would otherwise be a 2-2 structure, and
+  // the alpha pair still enjoys intra-segment vote carrying.
+  auto topo = Section3Network();
+  DynamicVotingOptions options;
+  options.topological = true;
+  options.witnesses = SiteSet{2};
+  options.weights = VoteWeights::Make({1, 1, 2}).MoveValue();
+  auto dv = DynamicVoting::Make(topo, SiteSet{0, 1, 2}, options)
+                .MoveValue();
+  EXPECT_EQ(dv->name(), "WTDV+wit");
+  NetworkState net(topo);
+  // Witness partitioned away: A carries B... T = {A, B} = 2 = half of 4:
+  // tie, max(Pm) = A in Q: granted.
+  net.SetRepeaterUp(0, false);
+  dv->OnNetworkEvent(net);
+  EXPECT_TRUE(dv->WouldGrant(net, 0, AccessType::kWrite));
+  // The witness side alone has weight 2 = half but no data copy: denied.
+  EXPECT_FALSE(dv->WouldGrant(net, 2, AccessType::kWrite));
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,113 @@
+// Voting with witnesses (Pâris 1986), the extension the paper's
+// conclusion calls for: witnesses hold the (o, v, P) ensemble and vote,
+// but store no data, so an access additionally needs a current *data*
+// copy in the quorum.
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic_voting.h"
+#include "core/test_topologies.h"
+#include "net/network_state.h"
+
+namespace dynvote {
+namespace {
+
+using testing_util::SingleSegment;
+
+std::unique_ptr<DynamicVoting> MakeWithWitness(
+    std::shared_ptr<const Topology> topo, SiteSet placement,
+    SiteSet witnesses) {
+  DynamicVotingOptions options;
+  options.witnesses = witnesses;
+  auto dv = DynamicVoting::Make(std::move(topo), placement, options);
+  EXPECT_TRUE(dv.ok()) << dv.status();
+  return dv.MoveValue();
+}
+
+TEST(WitnessTest, NameAndDataCopies) {
+  auto topo = SingleSegment(3);
+  auto dv = MakeWithWitness(topo, SiteSet{0, 1, 2}, SiteSet{2});
+  EXPECT_EQ(dv->name(), "LDV+wit");
+  EXPECT_EQ(dv->data_copies(), (SiteSet{0, 1}));
+}
+
+TEST(WitnessTest, WitnessBreaksTies) {
+  // Two data copies + one witness: when data copy 1 fails, data copy 0
+  // plus the witness form 2 of 3 — the witness substitutes for a third
+  // data copy at a fraction of the storage.
+  auto topo = SingleSegment(3);
+  auto dv = MakeWithWitness(topo, SiteSet{0, 1, 2}, SiteSet{2});
+  NetworkState net(topo);
+  net.SetSiteUp(1, false);
+  dv->OnNetworkEvent(net);
+  EXPECT_TRUE(dv->WouldGrant(net, 0, AccessType::kWrite));
+  ASSERT_TRUE(dv->Write(net, 0).ok());
+  // The witness tracks the version number without holding data.
+  EXPECT_EQ(dv->store().state(2).version, dv->store().state(0).version);
+}
+
+TEST(WitnessTest, QuorumOfWitnessesAloneIsRefused) {
+  // Witness + witness may outvote a lone data copy, but without a current
+  // data copy there is nothing to read or write.
+  auto topo = SingleSegment(3);
+  auto dv = MakeWithWitness(topo, SiteSet{0, 1, 2}, SiteSet{1, 2});
+  NetworkState net(topo);
+  net.SetSiteUp(0, false);  // the only data copy
+  dv->OnNetworkEvent(net);
+  EXPECT_FALSE(dv->WouldGrant(net, 1, AccessType::kRead));
+  EXPECT_TRUE(dv->UserAccess(net, AccessType::kRead).IsNoQuorum());
+}
+
+TEST(WitnessTest, StaleDataCopyCannotServeCurrentData) {
+  // Lineage: all three current. Data copy 0 goes down; 1 (data) + 2
+  // (witness) continue and commit writes, shrinking the block to {1, 2}.
+  // Then 1 fails and 0 returns: 0 is a stale non-member (its operation
+  // number predates the {1, 2} lineage), so the quorum rule refuses the
+  // group even though it would hold 2 of 3 sites — the current data
+  // lives at 1 and nothing may be served until 1 returns.
+  auto topo = SingleSegment(3);
+  auto dv = MakeWithWitness(topo, SiteSet{0, 1, 2}, SiteSet{2});
+  NetworkState net(topo);
+  net.SetSiteUp(0, false);
+  dv->OnNetworkEvent(net);
+  ASSERT_TRUE(dv->Write(net, 1).ok());
+  net.SetSiteUp(1, false);
+  net.SetSiteUp(0, true);
+  dv->OnNetworkEvent(net);
+  EXPECT_FALSE(dv->WouldGrant(net, 0, AccessType::kRead));
+
+  // Once 1 returns, everything reintegrates and works again.
+  net.SetSiteUp(1, true);
+  dv->OnNetworkEvent(net);
+  EXPECT_TRUE(dv->WouldGrant(net, 0, AccessType::kRead));
+  EXPECT_EQ(dv->store().state(0).version, dv->store().state(1).version);
+}
+
+TEST(WitnessTest, RecoveringWitnessDoesNotCopyTheFile) {
+  auto topo = SingleSegment(3);
+  auto dv = MakeWithWitness(topo, SiteSet{0, 1, 2}, SiteSet{2});
+  NetworkState net(topo);
+  net.SetSiteUp(2, false);
+  dv->OnNetworkEvent(net);
+  ASSERT_TRUE(dv->Write(net, 0).ok());
+  net.SetSiteUp(2, true);
+  dv->OnNetworkEvent(net);
+  EXPECT_EQ(dv->store().state(2).version, dv->store().state(0).version);
+  EXPECT_EQ(dv->counter()->count(MessageKind::kFileCopy), 0u);
+}
+
+TEST(WitnessTest, OptimisticWitnessVariant) {
+  auto topo = SingleSegment(3);
+  DynamicVotingOptions options;
+  options.optimistic = true;
+  options.witnesses = SiteSet{2};
+  auto dv = *DynamicVoting::Make(topo, SiteSet{0, 1, 2}, options);
+  EXPECT_EQ(dv->name(), "ODV+wit");
+  NetworkState net(topo);
+  net.SetSiteUp(1, false);
+  ASSERT_TRUE(dv->UserAccess(net, AccessType::kWrite).ok());
+  EXPECT_EQ(dv->store().state(0).partition_set, (SiteSet{0, 2}));
+}
+
+}  // namespace
+}  // namespace dynvote

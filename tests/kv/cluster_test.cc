@@ -1,0 +1,83 @@
+#include "kv/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "core/test_topologies.h"
+
+namespace dynvote {
+namespace {
+
+using testing_util::Section3Network;
+using testing_util::SingleSegment;
+
+TEST(KvClusterTest, MakeValidates) {
+  auto topo = SingleSegment(3);
+  EXPECT_FALSE(KvCluster::Make(nullptr, SiteSet{0}, "LDV").ok());
+  EXPECT_FALSE(KvCluster::Make(topo, SiteSet{0, 1}, "NOPE").ok());
+  EXPECT_TRUE(KvCluster::Make(topo, SiteSet{0, 1, 2}, "LDV").ok());
+}
+
+TEST(KvClusterTest, BasicOperation) {
+  auto topo = SingleSegment(3);
+  auto cluster = KvCluster::Make(topo, SiteSet{0, 1, 2}, "LDV").MoveValue();
+  EXPECT_TRUE(cluster->IsAvailable());
+  ASSERT_TRUE(cluster->Put(0, "user:1", "alice").ok());
+  EXPECT_EQ(*cluster->Get(2, "user:1"), "alice");
+}
+
+TEST(KvClusterTest, SurvivesMinorityFailure) {
+  auto topo = SingleSegment(3);
+  auto cluster = KvCluster::Make(topo, SiteSet{0, 1, 2}, "LDV").MoveValue();
+  ASSERT_TRUE(cluster->Put(0, "k", "v1").ok());
+  cluster->KillSite(2);
+  EXPECT_TRUE(cluster->IsAvailable());
+  ASSERT_TRUE(cluster->Put(0, "k", "v2").ok());
+  cluster->KillSite(1);  // quorum shrank to {0, 1}; 0 carries the tie
+  EXPECT_TRUE(cluster->IsAvailable());
+  EXPECT_EQ(*cluster->Get(0, "k"), "v2");
+}
+
+TEST(KvClusterTest, PartitionMinoritySideRefused) {
+  auto topo = Section3Network();  // A,B | C | D with repeaters X, Y
+  auto cluster =
+      KvCluster::Make(topo, SiteSet{0, 1, 2, 3}, "LDV").MoveValue();
+  ASSERT_TRUE(cluster->Put(0, "k", "v").ok());
+  cluster->KillRepeater(0);  // C (site 2) cut off
+  EXPECT_TRUE(cluster->Get(2, "k").status().IsNoQuorum());
+  EXPECT_TRUE(cluster->Put(2, "k", "evil").IsNoQuorum());
+  // The majority side continues.
+  ASSERT_TRUE(cluster->Put(0, "k", "v2").ok());
+  // Heal: C reintegrates instantly (LDV) and serves the latest value.
+  cluster->RestartRepeater(0);
+  EXPECT_EQ(*cluster->Get(2, "k"), "v2");
+}
+
+TEST(KvClusterTest, OptimisticRecoveryViaExplicitRecover) {
+  auto topo = SingleSegment(3);
+  auto cluster = KvCluster::Make(topo, SiteSet{0, 1, 2}, "ODV").MoveValue();
+  ASSERT_TRUE(cluster->Put(0, "k", "v1").ok());
+  cluster->KillSite(2);
+  ASSERT_TRUE(cluster->Put(0, "k", "v2").ok());  // 2 misses this
+  cluster->RestartSite(2);
+  ASSERT_TRUE(cluster->TryRecover(2).ok());
+  EXPECT_EQ(cluster->store().ReplicaContents(2).at("k"), "v2");
+}
+
+TEST(KvClusterTest, TotalFailureBlocksUntilRightSiteReturns) {
+  auto topo = SingleSegment(2);
+  auto cluster = KvCluster::Make(topo, SiteSet{0, 1}, "LDV").MoveValue();
+  ASSERT_TRUE(cluster->Put(0, "k", "v").ok());
+  cluster->KillSite(1);  // majority {0} via tie-break
+  ASSERT_TRUE(cluster->Put(0, "k", "v2").ok());
+  cluster->KillSite(0);
+  EXPECT_FALSE(cluster->IsAvailable());
+  cluster->RestartSite(1);  // stale: must stay blocked
+  EXPECT_FALSE(cluster->IsAvailable());
+  EXPECT_TRUE(cluster->Get(1, "k").status().IsNoQuorum());
+  cluster->RestartSite(0);
+  EXPECT_TRUE(cluster->IsAvailable());
+  EXPECT_EQ(*cluster->Get(1, "k"), "v2");
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,146 @@
+#include "kv/kv_store.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic_voting.h"
+#include "core/registry.h"
+#include "core/test_topologies.h"
+
+namespace dynvote {
+namespace {
+
+using testing_util::SingleSegment;
+
+std::unique_ptr<ReplicatedKvStore> MakeStore(
+    std::shared_ptr<const Topology> topo, SiteSet placement,
+    const std::string& protocol = "LDV") {
+  auto p = MakeProtocolByName(protocol, std::move(topo), placement);
+  EXPECT_TRUE(p.ok());
+  auto store = ReplicatedKvStore::Make(p.MoveValue());
+  EXPECT_TRUE(store.ok());
+  return store.MoveValue();
+}
+
+TEST(ReplicatedKvStoreTest, MakeValidates) {
+  EXPECT_TRUE(ReplicatedKvStore::Make(nullptr).status().IsInvalidArgument());
+}
+
+TEST(ReplicatedKvStoreTest, PutThenGet) {
+  auto topo = SingleSegment(3);
+  auto store = MakeStore(topo, SiteSet{0, 1, 2});
+  NetworkState net(topo);
+  ASSERT_TRUE(store->Put(net, 0, "k", "v1").ok());
+  auto got = store->Get(net, 2, "k");
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, "v1");
+}
+
+TEST(ReplicatedKvStoreTest, GetMissingKeyIsNotFound) {
+  auto topo = SingleSegment(3);
+  auto store = MakeStore(topo, SiteSet{0, 1, 2});
+  NetworkState net(topo);
+  EXPECT_TRUE(store->Get(net, 0, "nope").status().IsNotFound());
+}
+
+TEST(ReplicatedKvStoreTest, OverwriteAndDelete) {
+  auto topo = SingleSegment(3);
+  auto store = MakeStore(topo, SiteSet{0, 1, 2});
+  NetworkState net(topo);
+  ASSERT_TRUE(store->Put(net, 0, "k", "v1").ok());
+  ASSERT_TRUE(store->Put(net, 1, "k", "v2").ok());
+  EXPECT_EQ(*store->Get(net, 2, "k"), "v2");
+  ASSERT_TRUE(store->Delete(net, 2, "k").ok());
+  EXPECT_TRUE(store->Get(net, 0, "k").status().IsNotFound());
+}
+
+TEST(ReplicatedKvStoreTest, WritesReplicateToAllCurrentCopies) {
+  auto topo = SingleSegment(3);
+  auto store = MakeStore(topo, SiteSet{0, 1, 2});
+  NetworkState net(topo);
+  ASSERT_TRUE(store->Put(net, 0, "k", "v").ok());
+  for (SiteId s : {0, 1, 2}) {
+    EXPECT_EQ(store->ReplicaContents(s).at("k"), "v") << s;
+  }
+}
+
+TEST(ReplicatedKvStoreTest, NoQuorumNoMutation) {
+  auto topo = SingleSegment(3);
+  auto store = MakeStore(topo, SiteSet{0, 1, 2});
+  NetworkState net(topo);
+  net.SetSiteUp(0, false);
+  net.SetSiteUp(1, false);
+  store->protocol()->OnNetworkEvent(net);
+  EXPECT_TRUE(store->Put(net, 2, "k", "v").IsNoQuorum());
+  EXPECT_TRUE(store->ReplicaContents(2).empty());
+  EXPECT_TRUE(store->Get(net, 2, "k").status().IsNoQuorum());
+}
+
+TEST(ReplicatedKvStoreTest, DownReplicaMissesWritesThenRecovers) {
+  auto topo = SingleSegment(3);
+  auto store = MakeStore(topo, SiteSet{0, 1, 2});
+  NetworkState net(topo);
+  net.SetSiteUp(2, false);
+  store->protocol()->OnNetworkEvent(net);
+  ASSERT_TRUE(store->Put(net, 0, "k", "v").ok());
+  EXPECT_TRUE(store->ReplicaContents(2).empty());
+  net.SetSiteUp(2, true);
+  store->protocol()->OnNetworkEvent(net);  // instantaneous recovery copies
+  EXPECT_EQ(store->ReplicaContents(2).at("k"), "v");
+}
+
+TEST(ReplicatedKvStoreTest, StaleReplicaNeverServesReads) {
+  auto topo = SingleSegment(3);
+  auto store = MakeStore(topo, SiteSet{0, 1, 2}, "ODV");
+  NetworkState net(topo);
+  ASSERT_TRUE(store->Put(net, 0, "k", "old").ok());
+  net.SetSiteUp(2, false);
+  ASSERT_TRUE(store->Put(net, 0, "k", "new").ok());
+  net.SetSiteUp(2, true);
+  // Optimistic protocol: site 2 is back but stale (no recovery ran). A
+  // read issued anywhere in the majority partition must see "new".
+  for (SiteId origin : {0, 1, 2}) {
+    auto got = store->Get(net, origin, "k");
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, "new") << "origin " << origin;
+  }
+}
+
+TEST(ReplicatedKvStoreTest, SizeThroughQuorum) {
+  auto topo = SingleSegment(3);
+  auto store = MakeStore(topo, SiteSet{0, 1, 2});
+  NetworkState net(topo);
+  ASSERT_TRUE(store->Put(net, 0, "a", "1").ok());
+  ASSERT_TRUE(store->Put(net, 0, "b", "2").ok());
+  auto size = store->Size(net, 1);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 2u);
+}
+
+TEST(ReplicatedKvStoreTest, WitnessesHoldNoData) {
+  auto topo = SingleSegment(3);
+  DynamicVotingOptions options;
+  options.witnesses = SiteSet{2};
+  auto dv = DynamicVoting::Make(topo, SiteSet{0, 1, 2}, options);
+  ASSERT_TRUE(dv.ok());
+  auto store = ReplicatedKvStore::Make(dv.MoveValue()).MoveValue();
+  NetworkState net(topo);
+  EXPECT_EQ(store->protocol()->data_sites(), (SiteSet{0, 1}));
+  ASSERT_TRUE(store->Put(net, 0, "k", "v").ok());
+  EXPECT_EQ(store->ReplicaContents(0).at("k"), "v");
+  EXPECT_EQ(store->ReplicaContents(1).at("k"), "v");
+  // The witness voted on the commit but holds no data; reads are served
+  // from data copies.
+  auto got = store->Get(net, 1, "k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "v");
+  // Even with a data copy down, witness + one data copy form a quorum and
+  // reads still return the value.
+  net.SetSiteUp(1, false);
+  store->protocol()->OnNetworkEvent(net);
+  auto got2 = store->Get(net, 0, "k");
+  ASSERT_TRUE(got2.ok());
+  EXPECT_EQ(*got2, "v");
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,121 @@
+#include "kv/multi_store.h"
+
+#include <gtest/gtest.h>
+
+#include "core/test_topologies.h"
+#include "model/site_profile.h"
+
+namespace dynvote {
+namespace {
+
+TEST(MultiKvStoreTest, MakeValidates) {
+  auto topo = testing_util::SingleSegment(3);
+  EXPECT_FALSE(MultiKvStore::Make(nullptr, "LDV", SiteSet{0}).ok());
+  EXPECT_FALSE(MultiKvStore::Make(topo, "NOPE", SiteSet{0}).ok());
+  EXPECT_FALSE(MultiKvStore::Make(topo, "LDV", SiteSet{}).ok());
+  EXPECT_TRUE(MultiKvStore::Make(topo, "LDV", SiteSet{0, 1, 2}).ok());
+}
+
+TEST(MultiKvStoreTest, LazyObjectCreationWithDefaultPlacement) {
+  auto topo = testing_util::SingleSegment(3);
+  auto store = MultiKvStore::Make(topo, "LDV", SiteSet{0, 1, 2})
+                   .MoveValue();
+  NetworkState net(topo);
+  EXPECT_EQ(store->num_objects(), 0u);
+  ASSERT_TRUE(store->Put(net, 0, "a", "1").ok());
+  ASSERT_TRUE(store->Put(net, 0, "b", "2").ok());
+  EXPECT_EQ(store->num_objects(), 2u);
+  EXPECT_EQ(*store->Get(net, 2, "a"), "1");
+  EXPECT_TRUE(store->Get(net, 2, "missing").status().IsNotFound());
+}
+
+TEST(MultiKvStoreTest, DeclareKeyRejectsDuplicates) {
+  auto topo = testing_util::SingleSegment(3);
+  auto store = MultiKvStore::Make(topo, "LDV", SiteSet{0, 1, 2})
+                   .MoveValue();
+  ASSERT_TRUE(store->DeclareKey("a", SiteSet{0, 1}).ok());
+  EXPECT_TRUE(store->DeclareKey("a", SiteSet{0, 1})
+                  .IsInvalidArgument());
+}
+
+TEST(MultiKvStoreTest, PerKeyPlacementsFailIndependently) {
+  // Key "left" lives on sites {0,1} of the left segment; key "spread"
+  // has a majority on the right. Killing both left sites kills "left"
+  // while "spread" adapts and stays writable: per-object quorums fail
+  // independently.
+  auto topo = testing_util::TwoPairSegments();
+  auto store = MultiKvStore::Make(topo, "LDV", SiteSet{0, 1, 2, 3})
+                   .MoveValue();
+  NetworkState net(topo);
+  ASSERT_TRUE(store->DeclareKey("left", SiteSet{0, 1}).ok());
+  ASSERT_TRUE(store->DeclareKey("spread", SiteSet{0, 2, 3}).ok());
+  ASSERT_TRUE(store->Put(net, 0, "left", "L").ok());
+  ASSERT_TRUE(store->Put(net, 0, "spread", "S").ok());
+
+  net.SetSiteUp(0, false);
+  store->OnNetworkEvent(net);
+  net.SetSiteUp(1, false);
+  store->OnNetworkEvent(net);
+
+  EXPECT_FALSE(*store->IsKeyAvailable(net, "left"));
+  EXPECT_TRUE(*store->IsKeyAvailable(net, "spread"));
+  EXPECT_EQ(*store->Get(net, 2, "spread"), "S");
+  EXPECT_TRUE(store->Get(net, 2, "left").status().IsNoQuorum());
+  EXPECT_TRUE(store->IsKeyAvailable(net, "nope").status().IsNotFound());
+}
+
+TEST(MultiKvStoreTest, MixedProtocolsPerKey) {
+  auto topo = testing_util::SingleSegment(4);
+  auto store = MultiKvStore::Make(topo, "LDV", SiteSet{0, 1, 2})
+                   .MoveValue();
+  ASSERT_TRUE(store->DeclareKey("static", SiteSet{0, 1, 2}, "MCV").ok());
+  ASSERT_TRUE(store->DeclareKey("topo", SiteSet{0, 1, 2, 3}, "TDV").ok());
+  EXPECT_EQ(store->protocol_of("static")->name(), "MCV");
+  EXPECT_EQ(store->protocol_of("topo")->name(), "TDV");
+  EXPECT_EQ(store->protocol_of("nope"), nullptr);
+  NetworkState net(topo);
+  ASSERT_TRUE(store->Put(net, 0, "static", "s").ok());
+  ASSERT_TRUE(store->Put(net, 0, "topo", "t").ok());
+  EXPECT_EQ(*store->Get(net, 3, "topo"), "t");
+}
+
+TEST(MultiKvStoreTest, MessageCostScalesWithObjectCount) {
+  // The [BMP87] practicality point: instantaneous protocols pay the
+  // connection-vector cost per object.
+  auto topo = testing_util::SingleSegment(3);
+  auto ldv_store = MultiKvStore::Make(topo, "LDV", SiteSet{0, 1, 2})
+                       .MoveValue();
+  auto odv_store = MultiKvStore::Make(topo, "ODV", SiteSet{0, 1, 2})
+                       .MoveValue();
+  NetworkState net(topo);
+  for (int k = 0; k < 20; ++k) {
+    std::string key = "k" + std::to_string(k);
+    ASSERT_TRUE(ldv_store->Put(net, 0, key, "v").ok());
+    ASSERT_TRUE(odv_store->Put(net, 0, key, "v").ok());
+  }
+  std::uint64_t ldv_before = ldv_store->TotalMessages();
+  std::uint64_t odv_before = odv_store->TotalMessages();
+  for (int event = 0; event < 10; ++event) {
+    net.SetSiteUp(2, event % 2 == 0);
+    ldv_store->OnNetworkEvent(net);
+    odv_store->OnNetworkEvent(net);
+  }
+  // LDV paid refresh traffic for all 20 objects on every event; ODV paid
+  // nothing.
+  EXPECT_GT(ldv_store->TotalMessages(), ldv_before + 20 * 10);
+  EXPECT_EQ(odv_store->TotalMessages(), odv_before);
+}
+
+TEST(MultiKvStoreTest, DeleteThroughQuorum) {
+  auto topo = testing_util::SingleSegment(3);
+  auto store = MultiKvStore::Make(topo, "LDV", SiteSet{0, 1, 2})
+                   .MoveValue();
+  NetworkState net(topo);
+  ASSERT_TRUE(store->Put(net, 0, "k", "v").ok());
+  ASSERT_TRUE(store->Delete(net, 1, "k").ok());
+  EXPECT_TRUE(store->Get(net, 2, "k").status().IsNotFound());
+  EXPECT_TRUE(store->Delete(net, 1, "never").IsNotFound());
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,160 @@
+#include "kv/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "core/test_topologies.h"
+
+namespace dynvote {
+namespace {
+
+std::shared_ptr<const Topology> ThreeSites() {
+  auto builder = Topology::Builder();
+  SegmentId lan = builder.AddSegment("lan");
+  builder.AddSite("A", lan);
+  builder.AddSite("B", lan);
+  builder.AddSite("C", lan);
+  auto topo = builder.Build();
+  EXPECT_TRUE(topo.ok());
+  return topo.MoveValue();
+}
+
+std::unique_ptr<KvCluster> Cluster(std::shared_ptr<const Topology> topo,
+                                   const std::string& protocol = "LDV") {
+  auto c = KvCluster::Make(std::move(topo), SiteSet{0, 1, 2}, protocol);
+  EXPECT_TRUE(c.ok());
+  return c.MoveValue();
+}
+
+TEST(ScenarioParseTest, ParsesCommandsAndComments) {
+  auto topo = ThreeSites();
+  auto scenario = Scenario::Parse(topo, R"(
+# a comment line
+put A color blue     # trailing comment
+get B color expect blue
+delete C color
+get A color expect missing
+kill B
+restart B
+recover B expect ok
+expect-available yes
+)");
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  EXPECT_EQ(scenario->steps().size(), 8u);
+  EXPECT_EQ(scenario->steps()[0].kind, ScenarioStep::Kind::kPut);
+  EXPECT_EQ(scenario->steps()[0].value, "blue");
+  EXPECT_EQ(scenario->steps()[3].expect, ScenarioStep::Expect::kMissing);
+  EXPECT_EQ(scenario->steps()[7].kind,
+            ScenarioStep::Kind::kExpectAvailable);
+}
+
+TEST(ScenarioParseTest, RejectsBadInput) {
+  auto topo = ThreeSites();
+  EXPECT_FALSE(Scenario::Parse(topo, "put A").ok());          // too short
+  EXPECT_FALSE(Scenario::Parse(topo, "put Z k v").ok());      // bad site
+  EXPECT_FALSE(Scenario::Parse(topo, "get A k").ok());        // no expect
+  EXPECT_FALSE(Scenario::Parse(topo, "frobnicate A").ok());   // unknown
+  EXPECT_FALSE(Scenario::Parse(topo, "expect-available maybe").ok());
+  EXPECT_FALSE(Scenario::Parse(topo, "kill-repeater X").ok());  // none
+  EXPECT_FALSE(Scenario::Parse(nullptr, "kill A").ok());
+  // Error message carries the line number.
+  Status st = Scenario::Parse(topo, "put A k v\nbogus").status();
+  EXPECT_NE(st.message().find("line 2"), std::string::npos);
+}
+
+TEST(ScenarioRunTest, HappyPath) {
+  auto topo = ThreeSites();
+  auto cluster = Cluster(topo);
+  auto scenario = Scenario::Parse(topo, R"(
+put A color blue
+get C color expect blue
+kill C
+put A color green
+kill B
+get A color expect green
+expect-available yes
+restart B
+recover B expect ok
+get B color expect green
+)");
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  std::string transcript;
+  Status st = scenario->Run(cluster.get(), &transcript);
+  EXPECT_TRUE(st.ok()) << st << "\n" << transcript;
+  EXPECT_NE(transcript.find("put A color=blue"), std::string::npos);
+}
+
+TEST(ScenarioRunTest, DeniedExpectations) {
+  auto topo = ThreeSites();
+  auto cluster = Cluster(topo);
+  auto scenario = Scenario::Parse(topo, R"(
+put A k v1
+kill A
+kill B
+get C k expect denied
+put C k v2 expect denied
+recover C expect denied
+expect-available no
+restart A
+restart B
+get C k expect v1
+)");
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  Status st = scenario->Run(cluster.get());
+  EXPECT_TRUE(st.ok()) << st;
+}
+
+TEST(ScenarioRunTest, FailedExpectationNamesLine) {
+  auto topo = ThreeSites();
+  auto cluster = Cluster(topo);
+  auto scenario = Scenario::Parse(topo, "put A k v1\nget B k expect WRONG");
+  ASSERT_TRUE(scenario.ok());
+  Status st = scenario->Run(cluster.get());
+  ASSERT_TRUE(st.IsInternal());
+  EXPECT_NE(st.message().find("line 2"), std::string::npos);
+  EXPECT_NE(st.message().find("WRONG"), std::string::npos);
+}
+
+TEST(ScenarioRunTest, RepeaterCommands) {
+  // Section 3 network with named repeaters X and Y.
+  auto topo = testing_util::Section3Network();
+  auto cluster = KvCluster::Make(topo, SiteSet{0, 1, 2, 3}, "LDV")
+                     .MoveValue();
+  auto scenario = Scenario::Parse(topo, R"(
+put A k v1
+kill-repeater X
+get C k expect denied      # C is partitioned away
+put A k v2
+restart-repeater X
+get C k expect v2          # instantaneous reintegration
+)");
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  Status st = scenario->Run(cluster.get());
+  EXPECT_TRUE(st.ok()) << st;
+}
+
+TEST(ScenarioRunTest, TieBreakScenario) {
+  // The quickstart story as a script: A survives alone, B cannot.
+  auto topo = ThreeSites();
+  auto cluster = Cluster(topo);
+  auto scenario = Scenario::Parse(topo, R"(
+put A k v1
+kill C
+put A k v2
+kill B
+put A k v3             # A is half of {A,B} with the max element
+kill A
+restart B
+expect-available no    # B alone must stay blocked
+recover B expect denied
+restart A
+expect-available yes
+get B k expect v3
+)");
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  std::string transcript;
+  Status st = scenario->Run(cluster.get(), &transcript);
+  EXPECT_TRUE(st.ok()) << st << "\n" << transcript;
+}
+
+}  // namespace
+}  // namespace dynvote

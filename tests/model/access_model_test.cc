@@ -1,0 +1,98 @@
+#include "model/access_model.h"
+
+#include <gtest/gtest.h>
+
+namespace dynvote {
+namespace {
+
+TEST(AccessProcessTest, MakeValidates) {
+  Simulator sim;
+  AccessOptions bad_rate;
+  bad_rate.rate_per_day = 0.0;
+  EXPECT_FALSE(AccessProcess::Make(&sim, bad_rate, 1).ok());
+  AccessOptions bad_write;
+  bad_write.write_fraction = 1.5;
+  EXPECT_FALSE(AccessProcess::Make(&sim, bad_write, 1).ok());
+  EXPECT_FALSE(AccessProcess::Make(nullptr, AccessOptions{}, 1).ok());
+}
+
+TEST(AccessProcessTest, PoissonRateApproximatelyCorrect) {
+  Simulator sim;
+  AccessOptions options;
+  options.rate_per_day = 2.0;
+  auto access = AccessProcess::Make(&sim, options, 7).MoveValue();
+  int count = 0;
+  access->set_callback([&](AccessType) { ++count; });
+  access->Start();
+  ASSERT_TRUE(sim.RunUntil(Days(5000)).ok());
+  EXPECT_NEAR(count / 5000.0, 2.0, 0.1);
+  EXPECT_EQ(access->total_accesses(), static_cast<std::uint64_t>(count));
+}
+
+TEST(AccessProcessTest, DeterministicArrivals) {
+  Simulator sim;
+  AccessOptions options;
+  options.rate_per_day = 1.0;
+  options.deterministic = true;
+  auto access = AccessProcess::Make(&sim, options, 7).MoveValue();
+  std::vector<double> times;
+  access->set_callback([&](AccessType) { times.push_back(sim.Now()); });
+  access->Start();
+  ASSERT_TRUE(sim.RunUntil(Days(5.5)).ok());
+  ASSERT_EQ(times.size(), 5u);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_DOUBLE_EQ(times[i], static_cast<double>(i + 1));
+  }
+}
+
+TEST(AccessProcessTest, WriteFractionRespected) {
+  Simulator sim;
+  AccessOptions options;
+  options.rate_per_day = 10.0;
+  options.write_fraction = 0.25;
+  auto access = AccessProcess::Make(&sim, options, 13).MoveValue();
+  int writes = 0;
+  int total = 0;
+  access->set_callback([&](AccessType type) {
+    ++total;
+    if (type == AccessType::kWrite) ++writes;
+  });
+  access->Start();
+  ASSERT_TRUE(sim.RunUntil(Days(2000)).ok());
+  EXPECT_NEAR(static_cast<double>(writes) / total, 0.25, 0.02);
+}
+
+TEST(AccessProcessTest, AllReadsOrAllWrites) {
+  for (double fraction : {0.0, 1.0}) {
+    Simulator sim;
+    AccessOptions options;
+    options.rate_per_day = 5.0;
+    options.write_fraction = fraction;
+    auto access = AccessProcess::Make(&sim, options, 17).MoveValue();
+    bool mixed = false;
+    access->set_callback([&](AccessType type) {
+      bool is_write = type == AccessType::kWrite;
+      if (is_write != (fraction == 1.0)) mixed = true;
+    });
+    access->Start();
+    ASSERT_TRUE(sim.RunUntil(Days(100)).ok());
+    EXPECT_FALSE(mixed);
+  }
+}
+
+TEST(AccessProcessTest, DisabledGeneratesNothing) {
+  Simulator sim;
+  AccessOptions options;
+  options.enabled = false;
+  options.rate_per_day = -5.0;  // ignored when disabled
+  auto access = AccessProcess::Make(&sim, options, 19).MoveValue();
+  int count = 0;
+  access->set_callback([&](AccessType) { ++count; });
+  access->Start();
+  ASSERT_TRUE(sim.RunUntil(Days(100)).ok());
+  EXPECT_EQ(count, 0);
+  EXPECT_TRUE(sim.Idle());
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,69 @@
+#include "model/export.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace dynvote {
+namespace {
+
+LabeledResult SampleRow() {
+  LabeledResult row;
+  row.label = "B";
+  row.result.name = "ODV";
+  row.result.unavailability = 0.000808;
+  row.result.stats.ci95_halfwidth = 0.000133;
+  row.result.mean_unavailable_duration = 0.066;
+  row.result.num_unavailable_periods = 2671;
+  row.result.accesses_attempted = 219000;
+  row.result.accesses_granted = 218800;
+  row.result.messages.Add(MessageKind::kProbe, 100);
+  row.result.messages.Add(MessageKind::kFileCopy, 7);
+  row.result.dual_majority_instants = 0;
+  row.result.measured_time = 219000.0;
+  return row;
+}
+
+TEST(ExportTest, CsvHasHeaderAndRow) {
+  std::string csv = ResultsToCsv({SampleRow()});
+  EXPECT_NE(csv.find("label,policy,unavailability"), std::string::npos);
+  EXPECT_NE(csv.find("B,ODV,0.000808"), std::string::npos);
+  EXPECT_NE(csv.find(",2671,"), std::string::npos);
+  // Exactly two lines.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+TEST(ExportTest, CsvEmptyInput) {
+  std::string csv = ResultsToCsv({});
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1);  // header only
+}
+
+TEST(ExportTest, JsonWellFormedEnough) {
+  std::string json = ResultsToJson({SampleRow(), SampleRow()});
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"policy\": \"ODV\""), std::string::npos);
+  EXPECT_NE(json.find("\"unavailability\": 0.000808"), std::string::npos);
+  EXPECT_NE(json.find("\"file_copies\": 7"), std::string::npos);
+  // Two objects, comma-separated.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 2);
+  EXPECT_NE(json.find("},"), std::string::npos);
+}
+
+TEST(ExportTest, WriteFileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/dynvote_export_test.csv";
+  std::string contents = ResultsToCsv({SampleRow()});
+  ASSERT_TRUE(WriteFile(path, contents).ok());
+  std::ifstream in(path);
+  std::string read_back((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  EXPECT_EQ(read_back, contents);
+  std::remove(path.c_str());
+}
+
+TEST(ExportTest, WriteFileBadPathFails) {
+  EXPECT_FALSE(WriteFile("/nonexistent-dir/x/y.csv", "data").ok());
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,186 @@
+#include "model/failure_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/test_topologies.h"
+
+namespace dynvote {
+namespace {
+
+SiteProfile SimpleProfile(double mttf_days, double repair_hours) {
+  SiteProfile p;
+  p.name = "site";
+  p.mttf_days = mttf_days;
+  p.hardware_fraction = 1.0;
+  p.hw_repair_const_hours = 0.0;
+  p.hw_repair_exp_hours = repair_hours;
+  return p;
+}
+
+TEST(NetworkProcessModelTest, MakeValidates) {
+  auto topo = testing_util::SingleSegment(2);
+  Simulator sim;
+  NetworkState net(topo);
+  // Wrong profile count.
+  EXPECT_FALSE(NetworkProcessModel::Make(&sim, &net, {SimpleProfile(10, 2)},
+                                         {}, 1)
+                   .ok());
+  // Bad MTTF.
+  EXPECT_FALSE(NetworkProcessModel::Make(
+                   &sim, &net, {SimpleProfile(0, 2), SimpleProfile(10, 2)},
+                   {}, 1)
+                   .ok());
+  // Bad hardware fraction.
+  SiteProfile bad = SimpleProfile(10, 2);
+  bad.hardware_fraction = 1.5;
+  EXPECT_FALSE(NetworkProcessModel::Make(
+                   &sim, &net, {bad, SimpleProfile(10, 2)}, {}, 1)
+                   .ok());
+  // Null pointers.
+  EXPECT_FALSE(NetworkProcessModel::Make(nullptr, &net, {}, {}, 1).ok());
+  EXPECT_FALSE(NetworkProcessModel::Make(&sim, nullptr, {}, {}, 1).ok());
+}
+
+TEST(NetworkProcessModelTest, GeneratesFailuresAndRepairs) {
+  auto topo = testing_util::SingleSegment(1);
+  Simulator sim;
+  NetworkState net(topo);
+  auto model = NetworkProcessModel::Make(&sim, &net,
+                                         {SimpleProfile(10.0, 24.0)}, {}, 7)
+                   .MoveValue();
+  int transitions = 0;
+  model->set_on_change([&]() { ++transitions; });
+  model->Start();
+  ASSERT_TRUE(sim.RunUntil(Years(10)).ok());
+  // ~365 failures expected over 10 years; each has a failure and a repair
+  // transition.
+  EXPECT_GT(model->total_failures(), 200u);
+  EXPECT_LT(model->total_failures(), 600u);
+  EXPECT_EQ(static_cast<std::uint64_t>(transitions),
+            2 * model->total_failures());
+}
+
+TEST(NetworkProcessModelTest, SingleSiteAvailabilityMatchesTheory) {
+  // Exponential failures (MTTF m) with exponential repair (mean r) give
+  // steady-state availability m / (m + r). This validates the whole
+  // failure/repair pipeline against the Markov closed form.
+  const double mttf = 10.0;
+  const double repair_days = 1.0;
+  auto topo = testing_util::SingleSegment(1);
+  Simulator sim;
+  NetworkState net(topo);
+  auto model = NetworkProcessModel::Make(
+                   &sim, &net, {SimpleProfile(mttf, repair_days * 24.0)},
+                   {}, 99)
+                   .MoveValue();
+  double up_time = 0.0;
+  double last_t = 0.0;
+  bool was_up = true;
+  model->set_on_change([&]() {
+    if (was_up) up_time += sim.Now() - last_t;
+    last_t = sim.Now();
+    was_up = net.IsSiteUp(0);
+  });
+  model->Start();
+  const double horizon = Years(4000);
+  ASSERT_TRUE(sim.RunUntil(horizon).ok());
+  if (was_up) up_time += horizon - last_t;
+  double availability = up_time / horizon;
+  EXPECT_NEAR(availability, mttf / (mttf + repair_days), 0.005);
+}
+
+TEST(NetworkProcessModelTest, MixedRepairsUsesRestartForSoftware) {
+  // hardware_fraction = 0: every repair is a (fast) software restart, so
+  // availability must be very high even with a huge hardware repair term.
+  SiteProfile p = SimpleProfile(1.0, 10000.0);
+  p.hardware_fraction = 0.0;
+  p.restart_minutes = 1.0;
+  auto topo = testing_util::SingleSegment(1);
+  Simulator sim;
+  NetworkState net(topo);
+  auto model = NetworkProcessModel::Make(&sim, &net, {p}, {}, 5).MoveValue();
+  double down_time = 0.0;
+  double last_t = 0.0;
+  bool was_up = true;
+  model->set_on_change([&]() {
+    if (!was_up) down_time += sim.Now() - last_t;
+    last_t = sim.Now();
+    was_up = net.IsSiteUp(0);
+  });
+  model->Start();
+  ASSERT_TRUE(sim.RunUntil(Years(20)).ok());
+  // Expected unavailability ~ 1 minute per day ~ 7e-4.
+  EXPECT_LT(down_time / Years(20), 0.01);
+  EXPECT_GT(model->total_failures(), 1000u);
+}
+
+TEST(NetworkProcessModelTest, MaintenanceWindowsHappen) {
+  SiteProfile p = SimpleProfile(1e9, 1.0);  // effectively never fails
+  p.maintenance_interval_days = 90.0;
+  p.maintenance_hours = 3.0;
+  auto topo = testing_util::SingleSegment(1);
+  Simulator sim;
+  NetworkState net(topo);
+  auto model = NetworkProcessModel::Make(&sim, &net, {p}, {}, 3).MoveValue();
+  double down_time = 0.0;
+  double last_t = 0.0;
+  bool was_up = true;
+  int down_transitions = 0;
+  model->set_on_change([&]() {
+    if (!was_up) down_time += sim.Now() - last_t;
+    if (was_up && !net.IsSiteUp(0)) ++down_transitions;
+    last_t = sim.Now();
+    was_up = net.IsSiteUp(0);
+  });
+  model->Start();
+  const double horizon = Days(900.0);
+  ASSERT_TRUE(sim.RunUntil(horizon).ok());
+  // 9-10 windows of 3 h in 900 days.
+  EXPECT_GE(down_transitions, 9);
+  EXPECT_LE(down_transitions, 11);
+  EXPECT_NEAR(down_time, down_transitions * Hours(3.0), 1e-9);
+}
+
+TEST(NetworkProcessModelTest, RepeaterFailuresPartition) {
+  auto topo = testing_util::TwoPairSegments();
+  Simulator sim;
+  NetworkState net(topo);
+  std::vector<SiteProfile> profiles(4, SimpleProfile(1e9, 1.0));
+  RepeaterProfile bridge{"bridge", 5.0, 0.0, 24.0};
+  auto model =
+      NetworkProcessModel::Make(&sim, &net, profiles, {bridge}, 11)
+          .MoveValue();
+  int partitions = 0;
+  model->set_on_change([&]() {
+    if (net.Components().size() > 1) ++partitions;
+  });
+  model->Start();
+  ASSERT_TRUE(sim.RunUntil(Years(2)).ok());
+  EXPECT_GT(partitions, 50);  // ~140 repeater failures expected
+}
+
+TEST(NetworkProcessModelTest, DeterministicForFixedSeed) {
+  auto topo = testing_util::SingleSegment(3);
+  std::vector<SiteProfile> profiles(3, SimpleProfile(5.0, 12.0));
+  std::vector<double> first_times;
+  for (int run = 0; run < 2; ++run) {
+    Simulator sim;
+    NetworkState net(topo);
+    auto model =
+        NetworkProcessModel::Make(&sim, &net, profiles, {}, 42).MoveValue();
+    std::vector<double>* times =
+        run == 0 ? &first_times : nullptr;
+    std::vector<double> this_times;
+    model->set_on_change([&]() { this_times.push_back(sim.Now()); });
+    model->Start();
+    ASSERT_TRUE(sim.RunUntil(Years(1)).ok());
+    if (times != nullptr) {
+      *times = this_times;
+    } else {
+      EXPECT_EQ(this_times, first_times);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,78 @@
+// Integration smoke over the full Table 2 grid: every configuration A-H
+// with all six policies on a shortened run. Asserts structural sanity and
+// the orderings that hold robustly even at short horizons.
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "model/experiment.h"
+#include "model/site_profile.h"
+
+namespace dynvote {
+namespace {
+
+class PaperGridTest : public ::testing::TestWithParam<char> {};
+
+TEST_P(PaperGridTest, AllPoliciesRunAndBehave) {
+  char config = GetParam();
+  ExperimentOptions options;
+  options.warmup = Days(360);
+  options.num_batches = 8;
+  options.batch_length = Years(5);
+  options.seed = 4242;
+
+  auto results = RunPaperExperiment(config, PaperProtocolNames(), options);
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_EQ(results->size(), 6u);
+
+  auto find = [&](const std::string& name) -> const PolicyResult& {
+    for (const PolicyResult& r : *results) {
+      if (r.name == name) return r;
+    }
+    ADD_FAILURE() << name << " missing";
+    return (*results)[0];
+  };
+
+  for (const PolicyResult& r : *results) {
+    EXPECT_GE(r.unavailability, 0.0) << r.name;
+    EXPECT_LE(r.unavailability, 0.5) << r.name;
+    EXPECT_GT(r.accesses_attempted, 10000u) << r.name;
+    EXPECT_GE(r.accesses_granted,
+              static_cast<std::uint64_t>(0.8 * r.accesses_attempted))
+        << r.name;
+    EXPECT_GT(r.messages.Total(), 0u) << r.name;
+    if (r.num_unavailable_periods > 0) {
+      EXPECT_GT(r.mean_unavailable_duration, 0.0) << r.name;
+    } else {
+      EXPECT_EQ(r.mean_unavailable_duration, 0.0) << r.name;
+    }
+    // The paper's user model at 1 access/day: granted fraction tracks
+    // (1 - unavailability) loosely.
+    double granted_fraction = static_cast<double>(r.accesses_granted) /
+                              r.accesses_attempted;
+    EXPECT_NEAR(granted_fraction, 1.0 - r.unavailability, 0.02) << r.name;
+  }
+
+  // Robust orderings.
+  EXPECT_LE(find("LDV").unavailability, find("DV").unavailability);
+  EXPECT_LE(find("TDV").unavailability,
+            find("LDV").unavailability + 1e-9);
+  // Partition-safe policies never fork.
+  for (const char* safe : {"MCV", "DV", "LDV", "ODV"}) {
+    EXPECT_EQ(find(safe).dual_majority_instants, 0u) << safe;
+  }
+  // Instantaneous protocols pay refresh traffic; optimistic ones do not.
+  EXPECT_GT(find("LDV").messages.count(MessageKind::kInstantRefresh), 0u);
+  EXPECT_EQ(find("ODV").messages.count(MessageKind::kInstantRefresh), 0u);
+  EXPECT_EQ(find("OTDV").messages.count(MessageKind::kInstantRefresh), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configurations, PaperGridTest,
+                         ::testing::Values('A', 'B', 'C', 'D', 'E', 'F',
+                                           'G', 'H'),
+                         [](const ::testing::TestParamInfo<char>& info) {
+                           return std::string(1, info.param);
+                         });
+
+}  // namespace
+}  // namespace dynvote

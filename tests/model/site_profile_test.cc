@@ -1,0 +1,108 @@
+#include "model/site_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace dynvote {
+namespace {
+
+TEST(PaperNetworkTest, MatchesFigure8) {
+  auto paper = MakePaperNetwork();
+  ASSERT_TRUE(paper.ok());
+  const Topology& topo = *paper->topology;
+  EXPECT_EQ(topo.num_sites(), 8);
+  EXPECT_EQ(topo.num_segments(), 3);
+  EXPECT_EQ(topo.num_repeaters(), 0);  // gateway hosts only
+  EXPECT_EQ(topo.num_bridges(), 2);
+
+  // Five sites on the main segment; gateways wizard (3) and amos (4)
+  // belong to it.
+  EXPECT_EQ(topo.SitesOnSegment(topo.SegmentOf(0)).Size(), 5);
+  EXPECT_TRUE(topo.SameSegment(0, 3));
+  EXPECT_TRUE(topo.SameSegment(0, 4));
+  EXPECT_FALSE(topo.SameSegment(0, 5));
+  EXPECT_TRUE(topo.SameSegment(6, 7));  // rip and mangle
+
+  // Names match Table 1 order.
+  EXPECT_EQ(topo.site(0).name, "csvax");
+  EXPECT_EQ(topo.site(1).name, "beowulf");
+  EXPECT_EQ(topo.site(7).name, "mangle");
+}
+
+TEST(PaperNetworkTest, ProfilesMatchTable1) {
+  auto paper = MakePaperNetwork();
+  ASSERT_TRUE(paper.ok());
+  ASSERT_EQ(paper->profiles.size(), 8u);
+  const SiteProfile& csvax = paper->profiles[0];
+  EXPECT_EQ(csvax.mttf_days, 36.5);
+  EXPECT_EQ(csvax.hardware_fraction, 0.10);
+  EXPECT_EQ(csvax.restart_minutes, 20.0);
+  EXPECT_EQ(csvax.hw_repair_const_hours, 0.0);
+  EXPECT_EQ(csvax.hw_repair_exp_hours, 2.0);
+  EXPECT_EQ(csvax.maintenance_interval_days, 90.0);
+  EXPECT_EQ(csvax.maintenance_hours, 3.0);
+
+  const SiteProfile& wizard = paper->profiles[3];
+  EXPECT_EQ(wizard.mttf_days, 50.0);
+  EXPECT_EQ(wizard.hardware_fraction, 0.50);
+  EXPECT_EQ(wizard.hw_repair_const_hours, 168.0);
+  EXPECT_EQ(wizard.hw_repair_exp_hours, 168.0);
+  EXPECT_EQ(wizard.maintenance_interval_days, 0.0);
+
+  // Sites 1, 3, 5 (ids 0, 2, 4) have maintenance; others do not.
+  for (int id : {0, 2, 4}) {
+    EXPECT_GT(paper->profiles[id].maintenance_interval_days, 0.0) << id;
+  }
+  for (int id : {1, 3, 5, 6, 7}) {
+    EXPECT_EQ(paper->profiles[id].maintenance_interval_days, 0.0) << id;
+  }
+}
+
+TEST(SiteProfileTest, MeanRepairDays) {
+  // wizard: 50% hw (168 + 168 h) + 50% sw (15 min).
+  SiteProfile wizard{"wizard", 50.0, 0.50, 15.0, 168.0, 168.0, 0.0, 0.0};
+  double expected = 0.5 * (336.0 / 24.0) + 0.5 * (15.0 / 1440.0);
+  EXPECT_NEAR(wizard.MeanRepairDays(), expected, 1e-12);
+}
+
+TEST(PaperConfigurationsTest, AllEightWithCorrectPlacements) {
+  const auto& configs = PaperConfigurations();
+  ASSERT_EQ(configs.size(), 8u);
+  EXPECT_EQ(configs[0].label, 'A');
+  EXPECT_EQ(configs[0].placement, (SiteSet{0, 1, 3}));
+  EXPECT_EQ(configs[3].label, 'D');
+  EXPECT_EQ(configs[3].placement, (SiteSet{5, 6, 7}));
+  EXPECT_EQ(configs[7].label, 'H');
+  EXPECT_EQ(configs[7].placement, (SiteSet{0, 1, 6, 7}));
+  // First four have three copies, last four have four.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(configs[i].placement.Size(), 3);
+  for (int i = 4; i < 8; ++i) EXPECT_EQ(configs[i].placement.Size(), 4);
+}
+
+TEST(PaperTablesTest, Table2Lookups) {
+  EXPECT_DOUBLE_EQ(PaperTable2Value('A', "MCV"), 0.002130);
+  EXPECT_DOUBLE_EQ(PaperTable2Value('F', "DV"), 0.108034);
+  EXPECT_DOUBLE_EQ(PaperTable2Value('E', "TDV"), 0.000000);
+  EXPECT_DOUBLE_EQ(PaperTable2Value('H', "OTDV"), 0.000043);
+  EXPECT_EQ(PaperTable2Value('Z', "MCV"), -1.0);
+  EXPECT_EQ(PaperTable2Value('A', "PAXOS"), -1.0);
+}
+
+TEST(PaperTablesTest, Table3Lookups) {
+  EXPECT_DOUBLE_EQ(PaperTable3Value('A', "MCV"), 0.101968);
+  EXPECT_DOUBLE_EQ(PaperTable3Value('D', "LDV"), 7.443789);
+  // "-" entries: configuration E never became unavailable under TDV/OTDV.
+  EXPECT_EQ(PaperTable3Value('E', "TDV"), -1.0);
+  EXPECT_EQ(PaperTable3Value('E', "OTDV"), -1.0);
+}
+
+TEST(PaperTablesTest, Table2CoversFullGrid) {
+  for (const auto& config : PaperConfigurations()) {
+    for (const char* policy : {"MCV", "DV", "LDV", "ODV", "TDV", "OTDV"}) {
+      EXPECT_GE(PaperTable2Value(config.label, policy), 0.0)
+          << config.label << "/" << policy;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,189 @@
+#include "net/network_state.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "model/site_profile.h"
+
+namespace dynvote {
+namespace {
+
+// Section 3 example topology (repeaters X, Y) — see topology_test.cc.
+struct Net {
+  std::shared_ptr<const Topology> topo;
+  SiteId a = 0, b = 1, c = 2, d = 3;
+  RepeaterId x = 0, y = 1;
+};
+
+Net MakeNet() {
+  Net n;
+  auto builder = Topology::Builder();
+  SegmentId alpha = builder.AddSegment("alpha");
+  SegmentId gamma = builder.AddSegment("gamma");
+  SegmentId delta = builder.AddSegment("delta");
+  builder.AddSite("A", alpha);
+  builder.AddSite("B", alpha);
+  builder.AddSite("C", gamma);
+  builder.AddSite("D", delta);
+  builder.AddRepeater("X", alpha, gamma);
+  builder.AddRepeater("Y", alpha, delta);
+  auto topo = builder.Build();
+  EXPECT_TRUE(topo.ok());
+  n.topo = topo.MoveValue();
+  return n;
+}
+
+TEST(NetworkStateTest, EverythingUpInitially) {
+  Net n = MakeNet();
+  NetworkState net(n.topo);
+  EXPECT_EQ(net.LiveSites(), SiteSet::FirstN(4));
+  EXPECT_TRUE(net.CanCommunicate(n.a, n.d));
+  auto groups = net.Components();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], SiteSet::FirstN(4));
+}
+
+TEST(NetworkStateTest, SiteFailureRemovesFromComponents) {
+  Net n = MakeNet();
+  NetworkState net(n.topo);
+  net.SetSiteUp(n.b, false);
+  EXPECT_FALSE(net.IsSiteUp(n.b));
+  EXPECT_EQ(net.LiveSites(), (SiteSet{n.a, n.c, n.d}));
+  EXPECT_FALSE(net.CanCommunicate(n.a, n.b));
+  EXPECT_EQ(net.ComponentOf(n.b), SiteSet());
+  EXPECT_EQ(net.ComponentOf(n.a), (SiteSet{n.a, n.c, n.d}));
+}
+
+TEST(NetworkStateTest, RepeaterFailurePartitions) {
+  Net n = MakeNet();
+  NetworkState net(n.topo);
+  net.SetRepeaterUp(n.x, false);
+  // The only possible partitions of the Section 3 example are
+  // {{A,B,C},{D}}, {{A,B,D},{C}} and {{A,B},{C},{D}}.
+  EXPECT_FALSE(net.CanCommunicate(n.a, n.c));
+  EXPECT_TRUE(net.CanCommunicate(n.a, n.d));
+  auto groups = net.Components();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_TRUE(std::count(groups.begin(), groups.end(),
+                         (SiteSet{n.a, n.b, n.d})) == 1);
+  EXPECT_TRUE(std::count(groups.begin(), groups.end(), SiteSet{n.c}) == 1);
+}
+
+TEST(NetworkStateTest, BothRepeatersDownTriplePartition) {
+  Net n = MakeNet();
+  NetworkState net(n.topo);
+  net.SetRepeaterUp(n.x, false);
+  net.SetRepeaterUp(n.y, false);
+  auto groups = net.Components();
+  EXPECT_EQ(groups.size(), 3u);
+  EXPECT_TRUE(net.CanCommunicate(n.a, n.b));  // same segment, unaffected
+  EXPECT_FALSE(net.CanCommunicate(n.c, n.d));
+}
+
+TEST(NetworkStateTest, SameSegmentNeverPartitioned) {
+  Net n = MakeNet();
+  NetworkState net(n.topo);
+  net.SetRepeaterUp(n.x, false);
+  net.SetRepeaterUp(n.y, false);
+  EXPECT_TRUE(net.CanCommunicate(n.a, n.b));
+}
+
+TEST(NetworkStateTest, RepairRestoresConnectivity) {
+  Net n = MakeNet();
+  NetworkState net(n.topo);
+  net.SetRepeaterUp(n.x, false);
+  EXPECT_FALSE(net.CanCommunicate(n.a, n.c));
+  net.SetRepeaterUp(n.x, true);
+  EXPECT_TRUE(net.CanCommunicate(n.a, n.c));
+  net.SetSiteUp(n.a, false);
+  net.SetSiteUp(n.a, true);
+  EXPECT_TRUE(net.CanCommunicate(n.a, n.d));
+}
+
+TEST(NetworkStateTest, AllUpResets) {
+  Net n = MakeNet();
+  NetworkState net(n.topo);
+  net.SetSiteUp(n.a, false);
+  net.SetRepeaterUp(n.y, false);
+  net.AllUp();
+  EXPECT_EQ(net.Components().size(), 1u);
+  EXPECT_TRUE(net.IsSiteUp(n.a));
+  EXPECT_TRUE(net.IsRepeaterUp(n.y));
+}
+
+TEST(NetworkStateTest, FullyConnected) {
+  Net n = MakeNet();
+  NetworkState net(n.topo);
+  EXPECT_TRUE(net.FullyConnected(SiteSet{n.a, n.c, n.d}));
+  EXPECT_TRUE(net.FullyConnected(SiteSet()));
+  net.SetRepeaterUp(n.x, false);
+  EXPECT_FALSE(net.FullyConnected(SiteSet{n.a, n.c}));
+  EXPECT_TRUE(net.FullyConnected(SiteSet{n.a, n.b, n.d}));
+  net.SetSiteUp(n.d, false);
+  EXPECT_FALSE(net.FullyConnected(SiteSet{n.a, n.d}));
+}
+
+TEST(NetworkStateTest, ComponentsPartitionLiveSites) {
+  Net n = MakeNet();
+  NetworkState net(n.topo);
+  net.SetRepeaterUp(n.x, false);
+  net.SetSiteUp(n.b, false);
+  SiteSet all_in_groups;
+  for (const SiteSet& g : net.Components()) {
+    EXPECT_FALSE(g.Intersects(all_in_groups)) << "groups overlap";
+    all_in_groups = all_in_groups.Union(g);
+  }
+  EXPECT_EQ(all_in_groups, net.LiveSites());
+}
+
+// Paper network (Figure 8): gateway hosts wizard (id 3) and amos (id 4).
+TEST(NetworkStateTest, PaperNetworkGatewayFailures) {
+  auto paper = MakePaperNetwork();
+  ASSERT_TRUE(paper.ok());
+  NetworkState net(paper->topology);
+
+  // All up: single component of 8.
+  ASSERT_EQ(net.Components().size(), 1u);
+
+  // Wizard (id 3) down: gremlin (id 5) is cut off.
+  net.SetSiteUp(3, false);
+  EXPECT_FALSE(net.CanCommunicate(0, 5));
+  EXPECT_TRUE(net.CanCommunicate(0, 6));  // third segment still bridged
+  EXPECT_EQ(net.ComponentOf(5), SiteSet{5});
+
+  // Amos (id 4) down as well: rip and mangle (6, 7) also cut off, but
+  // still talking to each other (same segment).
+  net.SetSiteUp(4, false);
+  EXPECT_FALSE(net.CanCommunicate(0, 6));
+  EXPECT_TRUE(net.CanCommunicate(6, 7));
+  auto groups = net.Components();
+  EXPECT_EQ(groups.size(), 3u);
+
+  // Gateways back: fully connected again.
+  net.SetSiteUp(3, true);
+  net.SetSiteUp(4, true);
+  EXPECT_EQ(net.Components().size(), 1u);
+}
+
+TEST(NetworkStateTest, PaperNetworkConfigurationsMatchDescriptions) {
+  auto paper = MakePaperNetwork();
+  ASSERT_TRUE(paper.ok());
+  NetworkState net(paper->topology);
+
+  // Config A (ids 0,1,3) "allows for no partitions": all three live on the
+  // main segment regardless of gateway state.
+  net.SetSiteUp(4, false);
+  EXPECT_TRUE(net.FullyConnected(SiteSet{0, 1, 3}));
+  net.AllUp();
+
+  // Config B (ids 0,1,5) has its single partition point at wizard (id 3).
+  net.SetSiteUp(3, false);
+  EXPECT_FALSE(net.FullyConnected(SiteSet{0, 1, 5}));
+  net.AllUp();
+  net.SetSiteUp(4, false);
+  EXPECT_TRUE(net.FullyConnected(SiteSet{0, 1, 5}));
+}
+
+}  // namespace
+}  // namespace dynvote

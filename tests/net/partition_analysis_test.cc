@@ -1,0 +1,107 @@
+#include "net/partition_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "model/site_profile.h"
+
+namespace dynvote {
+namespace {
+
+// Section 3 example topology (same as net tests).
+std::shared_ptr<const Topology> Section3() {
+  auto builder = Topology::Builder();
+  SegmentId alpha = builder.AddSegment("alpha");
+  SegmentId gamma = builder.AddSegment("gamma");
+  SegmentId delta = builder.AddSegment("delta");
+  builder.AddSite("A", alpha);
+  builder.AddSite("B", alpha);
+  builder.AddSite("C", gamma);
+  builder.AddSite("D", delta);
+  builder.AddRepeater("X", alpha, gamma);
+  builder.AddRepeater("Y", alpha, delta);
+  auto topo = builder.Build();
+  EXPECT_TRUE(topo.ok());
+  return topo.MoveValue();
+}
+
+TEST(PartitionAnalysisTest, Validates) {
+  auto topo = Section3();
+  EXPECT_FALSE(AnalyzePartitionPoints(nullptr, SiteSet{0}).ok());
+  EXPECT_FALSE(AnalyzePartitionPoints(topo, SiteSet()).ok());
+  EXPECT_FALSE(AnalyzePartitionPoints(topo, SiteSet{9}).ok());
+  EXPECT_FALSE(EnumeratePlacementPartitions(nullptr, SiteSet{0}).ok());
+}
+
+TEST(PartitionAnalysisTest, Section3CutPoints) {
+  auto topo = Section3();
+  auto v = AnalyzePartitionPoints(topo, SiteSet{0, 1, 2, 3});
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->partitionable());
+  EXPECT_TRUE(v->gateway_cut_points.empty());
+  EXPECT_EQ(v->repeater_cut_points, (std::vector<RepeaterId>{0, 1}));
+}
+
+TEST(PartitionAnalysisTest, SameSegmentPlacementUnpartitionable) {
+  auto topo = Section3();
+  auto v = AnalyzePartitionPoints(topo, SiteSet{0, 1});  // A, B on alpha
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->partitionable());
+}
+
+TEST(PartitionAnalysisTest, Section3EnumerationMatchesPaper) {
+  // "the only possible partitions are {{A,B,C},{D}}, {{A,B,D},{C}} and
+  // {{A,B},{C},{D}}" — plus the unpartitioned pattern.
+  auto topo = Section3();
+  auto patterns = EnumeratePlacementPartitions(topo, SiteSet{0, 1, 2, 3});
+  ASSERT_TRUE(patterns.ok());
+  ASSERT_EQ(patterns->size(), 4u);
+
+  auto contains = [&](const std::vector<SiteSet>& pattern) {
+    return std::find(patterns->begin(), patterns->end(), pattern) !=
+           patterns->end();
+  };
+  // Groups within a pattern are sorted by mask (canonical form).
+  EXPECT_TRUE(contains({SiteSet{0, 1, 2, 3}}));
+  EXPECT_TRUE(contains({SiteSet{0, 1, 2}, SiteSet{3}}));
+  EXPECT_TRUE(contains({SiteSet{2}, SiteSet{0, 1, 3}}));
+  EXPECT_TRUE(contains({SiteSet{0, 1}, SiteSet{2}, SiteSet{3}}));
+}
+
+TEST(PartitionAnalysisTest, PaperNetworkConfigurations) {
+  // Section 4's descriptions, verified mechanically: A and E allow no
+  // partitions; B and F have the single point wizard; C and G have wizard
+  // and amos; D has wizard or amos; H has only amos.
+  auto paper = MakePaperNetwork();
+  ASSERT_TRUE(paper.ok());
+  auto points = [&](SiteSet placement) {
+    auto v = AnalyzePartitionPoints(paper->topology, placement);
+    EXPECT_TRUE(v.ok());
+    return v->gateway_cut_points;
+  };
+  EXPECT_TRUE(points(SiteSet{0, 1, 3}).empty());              // A
+  EXPECT_EQ(points(SiteSet{0, 1, 5}), (std::vector<SiteId>{3}));   // B
+  EXPECT_EQ(points(SiteSet{0, 5, 7}), (std::vector<SiteId>{3, 4}));  // C
+  EXPECT_EQ(points(SiteSet{5, 6, 7}), (std::vector<SiteId>{3, 4}));  // D
+  EXPECT_TRUE(points(SiteSet{0, 1, 2, 3}).empty());           // E
+  EXPECT_EQ(points(SiteSet{0, 1, 3, 5}), (std::vector<SiteId>{3}));  // F
+  EXPECT_EQ(points(SiteSet{0, 1, 5, 7}),
+            (std::vector<SiteId>{3, 4}));                     // G
+  EXPECT_EQ(points(SiteSet{0, 1, 6, 7}), (std::vector<SiteId>{4}));  // H
+}
+
+TEST(PartitionAnalysisTest, PaperNetworkEnumeration) {
+  // Configuration H: the only nontrivial pattern is {1,2} | {7,8}
+  // (amos down); wizard's failure does not split H's members.
+  auto paper = MakePaperNetwork();
+  ASSERT_TRUE(paper.ok());
+  auto patterns =
+      EnumeratePlacementPartitions(paper->topology, SiteSet{0, 1, 6, 7});
+  ASSERT_TRUE(patterns.ok());
+  ASSERT_EQ(patterns->size(), 2u);
+  EXPECT_EQ((*patterns)[0], (std::vector<SiteSet>{SiteSet{0, 1, 6, 7}}));
+  EXPECT_EQ((*patterns)[1],
+            (std::vector<SiteSet>{SiteSet{0, 1}, SiteSet{6, 7}}));
+}
+
+}  // namespace
+}  // namespace dynvote

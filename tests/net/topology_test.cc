@@ -1,0 +1,144 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace dynvote {
+namespace {
+
+// The Section 3 example: sites A, B on segment alpha; C on gamma; D on
+// delta; repeaters X (alpha-gamma) and Y (alpha-delta).
+struct Section3Example {
+  std::shared_ptr<const Topology> topo;
+  SegmentId alpha, gamma, delta;
+  SiteId a, b, c, d;
+  RepeaterId x, y;
+};
+
+Section3Example MakeSection3() {
+  Section3Example e;
+  auto builder = Topology::Builder();
+  e.alpha = builder.AddSegment("alpha");
+  e.gamma = builder.AddSegment("gamma");
+  e.delta = builder.AddSegment("delta");
+  e.a = builder.AddSite("A", e.alpha);
+  e.b = builder.AddSite("B", e.alpha);
+  e.c = builder.AddSite("C", e.gamma);
+  e.d = builder.AddSite("D", e.delta);
+  e.x = builder.AddRepeater("X", e.alpha, e.gamma);
+  e.y = builder.AddRepeater("Y", e.alpha, e.delta);
+  auto topo = builder.Build();
+  EXPECT_TRUE(topo.ok()) << topo.status();
+  e.topo = topo.MoveValue();
+  return e;
+}
+
+TEST(TopologyTest, BasicCounts) {
+  Section3Example e = MakeSection3();
+  EXPECT_EQ(e.topo->num_sites(), 4);
+  EXPECT_EQ(e.topo->num_segments(), 3);
+  EXPECT_EQ(e.topo->num_repeaters(), 2);
+  EXPECT_EQ(e.topo->num_bridges(), 2);
+}
+
+TEST(TopologyTest, SegmentMembership) {
+  Section3Example e = MakeSection3();
+  EXPECT_EQ(e.topo->SegmentOf(e.a), e.alpha);
+  EXPECT_EQ(e.topo->SegmentOf(e.b), e.alpha);
+  EXPECT_EQ(e.topo->SegmentOf(e.c), e.gamma);
+  EXPECT_TRUE(e.topo->SameSegment(e.a, e.b));
+  EXPECT_FALSE(e.topo->SameSegment(e.a, e.c));
+  EXPECT_EQ(e.topo->SitesOnSegment(e.alpha), (SiteSet{e.a, e.b}));
+  EXPECT_EQ(e.topo->SitesOnSegment(e.delta), SiteSet{e.d});
+}
+
+TEST(TopologyTest, AllSites) {
+  Section3Example e = MakeSection3();
+  EXPECT_EQ(e.topo->AllSites(), SiteSet::FirstN(4));
+}
+
+TEST(TopologyTest, FindSiteByName) {
+  Section3Example e = MakeSection3();
+  auto c = e.topo->FindSite("C");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, e.c);
+  EXPECT_TRUE(e.topo->FindSite("Z").status().IsNotFound());
+}
+
+TEST(TopologyTest, GatewayHostBridge) {
+  auto builder = Topology::Builder();
+  SegmentId main = builder.AddSegment("main");
+  SegmentId second = builder.AddSegment("second");
+  SiteId gw = builder.AddSite("gw", main);
+  builder.AddSite("leaf", second);
+  builder.AddGateway(gw, second);
+  auto topo = builder.Build();
+  ASSERT_TRUE(topo.ok());
+  ASSERT_EQ((*topo)->num_bridges(), 1);
+  EXPECT_EQ((*topo)->bridges()[0].gateway_site, gw);
+  EXPECT_EQ((*topo)->num_repeaters(), 0);
+}
+
+TEST(TopologyTest, ToStringMentionsEverything) {
+  Section3Example e = MakeSection3();
+  std::string s = e.topo->ToString();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("A"), std::string::npos);
+  EXPECT_NE(s.find("repeater"), std::string::npos);
+}
+
+TEST(TopologyBuilderTest, RejectsEmptyTopology) {
+  auto topo = Topology::Builder().Build();
+  EXPECT_TRUE(topo.status().IsInvalidArgument());
+}
+
+TEST(TopologyBuilderTest, RejectsDuplicateSiteNames) {
+  auto builder = Topology::Builder();
+  SegmentId seg = builder.AddSegment("s");
+  builder.AddSite("dup", seg);
+  builder.AddSite("dup", seg);
+  EXPECT_TRUE(builder.Build().status().IsInvalidArgument());
+}
+
+TEST(TopologyBuilderTest, RejectsUnknownSegment) {
+  auto builder = Topology::Builder();
+  builder.AddSegment("s");
+  builder.AddSite("a", 7);
+  EXPECT_TRUE(builder.Build().status().IsInvalidArgument());
+}
+
+TEST(TopologyBuilderTest, RejectsSelfBridgingGateway) {
+  auto builder = Topology::Builder();
+  SegmentId seg = builder.AddSegment("s");
+  SiteId a = builder.AddSite("a", seg);
+  builder.AddGateway(a, seg);
+  EXPECT_TRUE(builder.Build().status().IsInvalidArgument());
+}
+
+TEST(TopologyBuilderTest, RejectsSelfBridgingRepeater) {
+  auto builder = Topology::Builder();
+  SegmentId seg = builder.AddSegment("s");
+  builder.AddSite("a", seg);
+  builder.AddRepeater("r", seg, seg);
+  EXPECT_TRUE(builder.Build().status().IsInvalidArgument());
+}
+
+TEST(TopologyBuilderTest, RejectsGatewayWithUnknownSite) {
+  auto builder = Topology::Builder();
+  SegmentId s1 = builder.AddSegment("s1");
+  builder.AddSegment("s2");
+  builder.AddSite("a", s1);
+  builder.AddGateway(5, 1);
+  EXPECT_TRUE(builder.Build().status().IsInvalidArgument());
+}
+
+TEST(TopologyBuilderTest, FirstErrorWins) {
+  auto builder = Topology::Builder();
+  builder.AddSite("a", 3);     // unknown segment (first error)
+  builder.AddRepeater("r", 9, 9);  // later error
+  Status st = builder.Build().status();
+  ASSERT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("unknown segment"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,59 @@
+#include "repl/message_bus.h"
+
+#include <gtest/gtest.h>
+
+namespace dynvote {
+namespace {
+
+TEST(MessageCounterTest, StartsAtZero) {
+  MessageCounter c;
+  EXPECT_EQ(c.Total(), 0u);
+  for (int k = 0; k < kNumMessageKinds; ++k) {
+    EXPECT_EQ(c.count(static_cast<MessageKind>(k)), 0u);
+  }
+}
+
+TEST(MessageCounterTest, AddAccumulates) {
+  MessageCounter c;
+  c.Add(MessageKind::kProbe, 3);
+  c.Add(MessageKind::kProbe);
+  c.Add(MessageKind::kCommit, 2);
+  EXPECT_EQ(c.count(MessageKind::kProbe), 4u);
+  EXPECT_EQ(c.count(MessageKind::kCommit), 2u);
+  EXPECT_EQ(c.Total(), 6u);
+}
+
+TEST(MessageCounterTest, ControlTotalExcludesFileCopies) {
+  MessageCounter c;
+  c.Add(MessageKind::kCommit, 5);
+  c.Add(MessageKind::kFileCopy, 2);
+  EXPECT_EQ(c.Total(), 7u);
+  EXPECT_EQ(c.ControlTotal(), 5u);
+}
+
+TEST(MessageCounterTest, ResetClears) {
+  MessageCounter c;
+  c.Add(MessageKind::kAbort, 9);
+  c.Reset();
+  EXPECT_EQ(c.Total(), 0u);
+}
+
+TEST(MessageCounterTest, KindNamesDistinct) {
+  for (int i = 0; i < kNumMessageKinds; ++i) {
+    for (int j = i + 1; j < kNumMessageKinds; ++j) {
+      EXPECT_NE(MessageKindName(static_cast<MessageKind>(i)),
+                MessageKindName(static_cast<MessageKind>(j)));
+    }
+  }
+}
+
+TEST(MessageCounterTest, ToStringContainsCounts) {
+  MessageCounter c;
+  c.Add(MessageKind::kProbe, 12);
+  std::string s = c.ToString();
+  EXPECT_NE(s.find("probe=12"), std::string::npos);
+  EXPECT_NE(s.find("total=12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,137 @@
+#include "sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dynvote {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Size(), 0u);
+}
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(3.0, [&](SimTime) { order.push_back(3); });
+  q.Schedule(1.0, [&](SimTime) { order.push_back(1); });
+  q.Schedule(2.0, [&](SimTime) { order.push_back(2); });
+  while (!q.Empty()) q.RunNext();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoWithinTimestamp) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(1.0, [&, i](SimTime) { order.push_back(i); });
+  }
+  while (!q.Empty()) q.RunNext();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CallbackReceivesScheduledTime) {
+  EventQueue q;
+  SimTime seen = -1.0;
+  q.Schedule(4.5, [&](SimTime t) { seen = t; });
+  EXPECT_EQ(q.RunNext(), 4.5);
+  EXPECT_EQ(seen, 4.5);
+}
+
+TEST(EventQueueTest, PeekDoesNotPop) {
+  EventQueue q;
+  q.Schedule(2.0, [](SimTime) {});
+  EXPECT_EQ(q.PeekTime(), 2.0);
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  EventId id = q.Schedule(1.0, [&](SimTime) { ++fired; });
+  q.Schedule(2.0, [&](SimTime) { ++fired; });
+  EXPECT_TRUE(q.Cancel(id));
+  while (!q.Empty()) q.RunNext();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, CancelUpdatesSizeImmediately) {
+  EventQueue q;
+  EventId id = q.Schedule(1.0, [](SimTime) {});
+  EXPECT_EQ(q.Size(), 1u);
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, CancelTwiceFails) {
+  EventQueue q;
+  EventId id = q.Schedule(1.0, [](SimTime) {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelAfterFireFails) {
+  EventQueue q;
+  EventId id = q.Schedule(1.0, [](SimTime) {});
+  q.RunNext();
+  EXPECT_FALSE(q.Cancel(id));
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, CancelInvalidAndUnknownIdsFail) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(kInvalidEventId));
+  EXPECT_FALSE(q.Cancel(12345));
+}
+
+TEST(EventQueueTest, CancelledHeadSkipped) {
+  EventQueue q;
+  int fired = -1;
+  EventId first = q.Schedule(1.0, [&](SimTime) { fired = 1; });
+  q.Schedule(2.0, [&](SimTime) { fired = 2; });
+  q.Cancel(first);
+  EXPECT_EQ(q.PeekTime(), 2.0);
+  q.RunNext();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<SimTime> fired;
+  q.Schedule(1.0, [&](SimTime t) {
+    fired.push_back(t);
+    q.Schedule(t + 1.0, [&](SimTime t2) { fired.push_back(t2); });
+  });
+  while (!q.Empty() && fired.size() < 3) q.RunNext();
+  EXPECT_EQ(fired, (std::vector<SimTime>{1.0, 2.0}));
+}
+
+TEST(EventQueueTest, ClearDropsEverything) {
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(1.0, [&](SimTime) { ++fired; });
+  q.Schedule(2.0, [&](SimTime) { ++fired; });
+  q.Clear();
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueTest, ManyEventsStressOrdering) {
+  EventQueue q;
+  // Insert in a scrambled order; expect monotone execution times.
+  for (int i = 0; i < 1000; ++i) {
+    q.Schedule(static_cast<SimTime>((i * 7919) % 997), [](SimTime) {});
+  }
+  SimTime last = -1.0;
+  while (!q.Empty()) {
+    SimTime t = q.RunNext();
+    EXPECT_GE(t, last);
+    last = t;
+  }
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,131 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dynvote {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0.0);
+  EXPECT_EQ(sim.EventsRun(), 0u);
+  EXPECT_TRUE(sim.Idle());
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockToHorizon) {
+  Simulator sim;
+  ASSERT_TRUE(sim.RunUntil(10.0).ok());
+  EXPECT_EQ(sim.Now(), 10.0);
+}
+
+TEST(SimulatorTest, RunUntilRejectsPastHorizon) {
+  Simulator sim;
+  ASSERT_TRUE(sim.RunUntil(5.0).ok());
+  EXPECT_TRUE(sim.RunUntil(4.0).IsInvalidArgument());
+}
+
+TEST(SimulatorTest, CallbacksSeeConsistentNow) {
+  Simulator sim;
+  std::vector<SimTime> seen;
+  sim.ScheduleIn(2.0, [&](SimTime t) {
+    seen.push_back(t);
+    EXPECT_EQ(sim.Now(), t);
+  });
+  sim.ScheduleIn(7.0, [&](SimTime t) {
+    seen.push_back(t);
+    EXPECT_EQ(sim.Now(), t);
+  });
+  ASSERT_TRUE(sim.RunUntil(10.0).ok());
+  EXPECT_EQ(seen, (std::vector<SimTime>{2.0, 7.0}));
+  EXPECT_EQ(sim.EventsRun(), 2u);
+}
+
+TEST(SimulatorTest, EventsBeyondHorizonStayPending) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleIn(5.0, [&](SimTime) { ++fired; });
+  sim.ScheduleIn(15.0, [&](SimTime) { ++fired; });
+  ASSERT_TRUE(sim.RunUntil(10.0).ok());
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.Idle());
+  ASSERT_TRUE(sim.RunUntil(20.0).ok());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventAtExactHorizonRuns) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleIn(10.0, [&](SimTime) { ++fired; });
+  ASSERT_TRUE(sim.RunUntil(10.0).ok());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  ASSERT_TRUE(sim.RunUntil(3.0).ok());
+  SimTime seen = -1.0;
+  sim.ScheduleAt(5.0, [&](SimTime t) { seen = t; });
+  ASSERT_TRUE(sim.RunUntil(6.0).ok());
+  EXPECT_EQ(seen, 5.0);
+}
+
+TEST(SimulatorTest, SelfReschedulingProcess) {
+  Simulator sim;
+  int count = 0;
+  std::function<void(SimTime)> tick = [&](SimTime) {
+    ++count;
+    sim.ScheduleIn(1.0, tick);
+  };
+  sim.ScheduleIn(1.0, tick);
+  ASSERT_TRUE(sim.RunUntil(10.5).ok());
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(sim.Now(), 10.5);
+}
+
+TEST(SimulatorTest, CancelScheduledEvent) {
+  Simulator sim;
+  int fired = 0;
+  EventId id = sim.ScheduleIn(1.0, [&](SimTime) { ++fired; });
+  EXPECT_TRUE(sim.Cancel(id));
+  ASSERT_TRUE(sim.RunUntil(2.0).ok());
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, StepRunsOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleIn(1.0, [&](SimTime) { ++fired; });
+  sim.ScheduleIn(2.0, [&](SimTime) { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 1.0);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, ClearPendingDropsEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleIn(1.0, [&](SimTime) { ++fired; });
+  sim.ClearPending();
+  ASSERT_TRUE(sim.RunUntil(2.0).ok());
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimTimeTest, UnitConversions) {
+  EXPECT_DOUBLE_EQ(Days(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(Hours(24.0), 1.0);
+  EXPECT_DOUBLE_EQ(Hours(3.0), 0.125);
+  EXPECT_DOUBLE_EQ(Minutes(1440.0), 1.0);
+  EXPECT_DOUBLE_EQ(Minutes(15.0), 15.0 / 1440.0);
+  EXPECT_DOUBLE_EQ(Years(1.0), 365.0);
+  EXPECT_DOUBLE_EQ(ToHours(0.5), 12.0);
+  EXPECT_DOUBLE_EQ(ToMinutes(1.0), 1440.0);
+  EXPECT_DOUBLE_EQ(ToYears(730.0), 2.0);
+}
+
+}  // namespace
+}  // namespace dynvote

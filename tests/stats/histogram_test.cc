@@ -1,0 +1,68 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace dynvote {
+namespace {
+
+TEST(HistogramTest, Empty) {
+  Histogram h;
+  EXPECT_TRUE(h.Empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Summary(), "n=0");
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(5.0);
+  EXPECT_EQ(h.Mean(), 5.0);
+  EXPECT_EQ(h.Min(), 5.0);
+  EXPECT_EQ(h.Max(), 5.0);
+  EXPECT_EQ(h.Quantile(0.0), 5.0);
+  EXPECT_EQ(h.Quantile(1.0), 5.0);
+  EXPECT_EQ(h.Median(), 5.0);
+}
+
+TEST(HistogramTest, KnownQuantiles) {
+  Histogram h;
+  for (int i = 1; i <= 5; ++i) h.Add(i);  // 1..5
+  EXPECT_DOUBLE_EQ(h.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.Median(), 3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.9), 4.6);  // interpolated
+}
+
+TEST(HistogramTest, UnsortedInsertOrder) {
+  Histogram h;
+  for (double v : {9.0, 1.0, 5.0, 3.0, 7.0}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.Median(), 5.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  h.Add(0.5);  // resorting after more inserts
+  EXPECT_DOUBLE_EQ(h.Min(), 0.5);
+}
+
+TEST(HistogramTest, CensoredSamplesCounted) {
+  Histogram h;
+  h.Add(1.0);
+  h.AddCensored(10.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.censored_count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 5.5);
+  std::string s = h.Summary();
+  EXPECT_NE(s.find("(1 censored)"), std::string::npos);
+}
+
+TEST(HistogramTest, SummaryFormat) {
+  Histogram h;
+  h.Add(1.25);
+  h.Add(2.75);
+  std::string s = h.Summary(2);
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+  EXPECT_NE(s.find("mean=2.00"), std::string::npos);
+  EXPECT_NE(s.find("p50=2.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,59 @@
+#include "stats/table.h"
+
+#include <gtest/gtest.h>
+
+namespace dynvote {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"Name", "Value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "22"});
+  std::string s = t.ToString();
+  // Header present, rule present, rows present.
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  // Every line has the same length (left-padded grid).
+  std::size_t pos = 0;
+  std::size_t first_len = s.find('\n');
+  while (pos < s.size()) {
+    std::size_t next = s.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TextTableTest, ShortRowsAllowed) {
+  TextTable t({"A", "B", "C"});
+  t.AddRow({"x"});
+  EXPECT_NE(t.ToString().find("x"), std::string::npos);
+}
+
+TEST(TextTableTest, RuleRows) {
+  TextTable t({"Header"});
+  t.AddRow({"1"});
+  t.AddRule();
+  t.AddRow({"2"});
+  std::string s = t.ToString();
+  // Two rules: one under the header, one explicit.
+  std::size_t first = s.find("---");
+  std::size_t second = s.find("---", first + 3);
+  EXPECT_NE(second, std::string::npos);
+}
+
+TEST(TextTableTest, Fixed6MatchesPaperFormat) {
+  EXPECT_EQ(TextTable::Fixed6(0.002130), "0.002130");
+  EXPECT_EQ(TextTable::Fixed6(0.0), "0.000000");
+  EXPECT_EQ(TextTable::Fixed6(-1.0), "-");
+  EXPECT_EQ(TextTable::Fixed6(-1.0, "n/a"), "n/a");
+}
+
+TEST(TextTableTest, FixedPrecision) {
+  EXPECT_EQ(TextTable::Fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::Fixed(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,126 @@
+#include "stats/tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace dynvote {
+namespace {
+
+TEST(AvailabilityTrackerTest, AlwaysAvailable) {
+  AvailabilityTracker t(/*start=*/0.0, /*batch_length=*/10.0, 5);
+  t.Update(0.0, true);
+  t.Finish(50.0);
+  EXPECT_EQ(t.Unavailability(), 0.0);
+  EXPECT_EQ(t.NumUnavailablePeriods(), 0);
+  EXPECT_EQ(t.MeanUnavailableDuration(), 0.0);
+  EXPECT_EQ(t.TotalTime(), 50.0);
+}
+
+TEST(AvailabilityTrackerTest, SimpleOutage) {
+  AvailabilityTracker t(0.0, 10.0, 5);
+  t.Update(5.0, false);
+  t.Update(7.5, true);
+  t.Finish(50.0);
+  EXPECT_DOUBLE_EQ(t.UnavailableTime(), 2.5);
+  EXPECT_DOUBLE_EQ(t.Unavailability(), 0.05);
+  EXPECT_EQ(t.NumUnavailablePeriods(), 1);
+  EXPECT_DOUBLE_EQ(t.MeanUnavailableDuration(), 2.5);
+}
+
+TEST(AvailabilityTrackerTest, MultiplePeriods) {
+  AvailabilityTracker t(0.0, 10.0, 4);
+  t.Update(1.0, false);
+  t.Update(2.0, true);
+  t.Update(11.0, false);
+  t.Update(14.0, true);
+  t.Finish(40.0);
+  EXPECT_DOUBLE_EQ(t.UnavailableTime(), 4.0);
+  EXPECT_EQ(t.NumUnavailablePeriods(), 2);
+  EXPECT_DOUBLE_EQ(t.MeanUnavailableDuration(), 2.0);
+}
+
+TEST(AvailabilityTrackerTest, RedundantUpdatesDoNotSplitPeriods) {
+  AvailabilityTracker t(0.0, 10.0, 2);
+  t.Update(1.0, false);
+  t.Update(2.0, false);  // still down: same period
+  t.Update(3.0, false);
+  t.Update(4.0, true);
+  t.Finish(20.0);
+  EXPECT_EQ(t.NumUnavailablePeriods(), 1);
+  EXPECT_DOUBLE_EQ(t.UnavailableTime(), 3.0);
+}
+
+TEST(AvailabilityTrackerTest, WarmupIgnored) {
+  // Window starts at t = 100: an outage entirely inside warm-up counts
+  // for nothing.
+  AvailabilityTracker t(100.0, 10.0, 5);
+  t.Update(10.0, false);
+  t.Update(20.0, true);
+  t.Finish(150.0);
+  EXPECT_EQ(t.UnavailableTime(), 0.0);
+  EXPECT_EQ(t.NumUnavailablePeriods(), 0);
+}
+
+TEST(AvailabilityTrackerTest, OutageStraddlingWarmupBoundary) {
+  AvailabilityTracker t(100.0, 10.0, 5);
+  t.Update(95.0, false);
+  t.Update(105.0, true);
+  t.Finish(150.0);
+  EXPECT_DOUBLE_EQ(t.UnavailableTime(), 5.0);  // clipped at 100
+  EXPECT_EQ(t.NumUnavailablePeriods(), 1);
+}
+
+TEST(AvailabilityTrackerTest, OutageStraddlingEndClosedByFinish) {
+  AvailabilityTracker t(0.0, 10.0, 2);
+  t.Update(18.0, false);
+  t.Finish(30.0);  // window ends at 20
+  EXPECT_DOUBLE_EQ(t.UnavailableTime(), 2.0);
+  EXPECT_EQ(t.NumUnavailablePeriods(), 1);
+}
+
+TEST(AvailabilityTrackerTest, BatchAttribution) {
+  AvailabilityTracker t(0.0, 10.0, 3);
+  t.Update(5.0, false);
+  t.Update(15.0, true);  // 5 in batch 0, 5 in batch 1
+  t.Update(25.0, false);
+  t.Finish(30.0);  // 5 in batch 2
+  const std::vector<double>& b = t.BatchUnavailabilities();
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_DOUBLE_EQ(b[0], 0.5);
+  EXPECT_DOUBLE_EQ(b[1], 0.5);
+  EXPECT_DOUBLE_EQ(b[2], 0.5);
+  EXPECT_NEAR(t.Stats().mean, 0.5, 1e-12);
+}
+
+TEST(AvailabilityTrackerTest, OutageSpanningSeveralBatches) {
+  AvailabilityTracker t(0.0, 10.0, 4);
+  t.Update(5.0, false);
+  t.Update(35.0, true);
+  t.Finish(40.0);
+  const std::vector<double>& b = t.BatchUnavailabilities();
+  EXPECT_DOUBLE_EQ(b[0], 0.5);
+  EXPECT_DOUBLE_EQ(b[1], 1.0);
+  EXPECT_DOUBLE_EQ(b[2], 1.0);
+  EXPECT_DOUBLE_EQ(b[3], 0.5);
+  EXPECT_EQ(t.NumUnavailablePeriods(), 1);
+  EXPECT_DOUBLE_EQ(t.MeanUnavailableDuration(), 30.0);
+}
+
+TEST(AvailabilityTrackerTest, ZeroLengthFlapsDoNotCount) {
+  AvailabilityTracker t(0.0, 10.0, 1);
+  t.Update(5.0, false);
+  t.Update(5.0, true);  // zero-length outage
+  t.Finish(10.0);
+  EXPECT_EQ(t.UnavailableTime(), 0.0);
+  EXPECT_EQ(t.NumUnavailablePeriods(), 0);
+}
+
+TEST(AvailabilityTrackerTest, UnavailableAcrossWholeWindow) {
+  AvailabilityTracker t(0.0, 5.0, 2);
+  t.Update(0.0, false);
+  t.Finish(10.0);
+  EXPECT_DOUBLE_EQ(t.Unavailability(), 1.0);
+  EXPECT_EQ(t.NumUnavailablePeriods(), 1);
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,64 @@
+// Contract documentation via death tests: the library's CHECK-guarded
+// preconditions are part of its API — violating one is a bug at the call
+// site, and these tests pin down that the process aborts (rather than
+// silently corrupting protocol state, which for consistency-control code
+// would be strictly worse than crashing).
+
+#include <gtest/gtest.h>
+
+#include "repl/replica_store.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "stats/tracker.h"
+
+namespace dynvote {
+namespace {
+
+using ContractDeathTest = ::testing::Test;
+
+TEST(ContractDeathTest, EventQueueRunNextOnEmptyAborts) {
+  EventQueue q;
+  EXPECT_DEATH(q.RunNext(), "RunNext on empty queue");
+}
+
+TEST(ContractDeathTest, EventQueuePeekOnEmptyAborts) {
+  EventQueue q;
+  EXPECT_DEATH(q.PeekTime(), "PeekTime on empty queue");
+}
+
+TEST(ContractDeathTest, EventQueueNullCallbackAborts) {
+  EventQueue q;
+  EXPECT_DEATH(q.Schedule(1.0, nullptr), "null callback");
+}
+
+TEST(ContractDeathTest, SimulatorNegativeDelayAborts) {
+  Simulator sim;
+  EXPECT_DEATH(sim.ScheduleIn(-1.0, [](SimTime) {}),
+               "finite and non-negative");
+}
+
+TEST(ContractDeathTest, SimulatorPastAbsoluteTimeAborts) {
+  Simulator sim;
+  ASSERT_TRUE(sim.RunUntil(10.0).ok());
+  EXPECT_DEATH(sim.ScheduleAt(5.0, [](SimTime) {}), "not in the past");
+}
+
+TEST(ContractDeathTest, TrackerTimeMovingBackwardsAborts) {
+  AvailabilityTracker t(0.0, 10.0, 2);
+  t.Update(5.0, false);
+  EXPECT_DEATH(t.Update(4.0, true), "time moved backwards");
+}
+
+TEST(ContractDeathTest, TrackerDoubleFinishAborts) {
+  AvailabilityTracker t(0.0, 10.0, 2);
+  t.Finish(20.0);
+  EXPECT_DEATH(t.Finish(20.0), "Finish called twice");
+}
+
+TEST(ContractDeathTest, ReplicaStoreNonMemberQueryAborts) {
+  auto store = ReplicaStore::Make(SiteSet{0, 1}).MoveValue();
+  EXPECT_DEATH(store.state(5), "holds no copy");
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,139 @@
+#include "util/distributions.h"
+
+#include <gtest/gtest.h>
+
+namespace dynvote {
+namespace {
+
+TEST(ConstantDistributionTest, AlwaysSameValue) {
+  auto d = ConstantDistribution::Make(2.5);
+  ASSERT_TRUE(d.ok());
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ((*d)->Sample(&rng), 2.5);
+  }
+  EXPECT_EQ((*d)->Mean(), 2.5);
+}
+
+TEST(ConstantDistributionTest, RejectsNegative) {
+  EXPECT_TRUE(ConstantDistribution::Make(-0.1).status().IsInvalidArgument());
+  EXPECT_TRUE(ConstantDistribution::Make(0.0).ok());
+}
+
+TEST(ExponentialDistributionTest, SampleMean) {
+  auto d = ExponentialDistribution::Make(10.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)->Mean(), 10.0);
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += (*d)->Sample(&rng);
+  EXPECT_NEAR(sum / n, 10.0, 0.3);
+}
+
+TEST(ExponentialDistributionTest, RejectsNonPositiveMean) {
+  EXPECT_TRUE(ExponentialDistribution::Make(0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ExponentialDistribution::Make(-3.0).status().IsInvalidArgument());
+}
+
+TEST(ShiftedExponentialTest, SamplesAtLeastOffset) {
+  auto d = ShiftedExponentialDistribution::Make(168.0, 168.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)->Mean(), 336.0);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_GE((*d)->Sample(&rng), 168.0);
+  }
+}
+
+TEST(ShiftedExponentialTest, ZeroExpPartDegeneratesToConstant) {
+  auto d = ShiftedExponentialDistribution::Make(4.0, 0.0);
+  ASSERT_TRUE(d.ok());
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ((*d)->Sample(&rng), 4.0);
+  }
+}
+
+TEST(ShiftedExponentialTest, SampleMean) {
+  auto d = ShiftedExponentialDistribution::Make(10.0, 5.0);
+  ASSERT_TRUE(d.ok());
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += (*d)->Sample(&rng);
+  EXPECT_NEAR(sum / n, 15.0, 0.2);
+}
+
+TEST(ShiftedExponentialTest, RejectsNegativeParts) {
+  EXPECT_FALSE(ShiftedExponentialDistribution::Make(-1.0, 1.0).ok());
+  EXPECT_FALSE(ShiftedExponentialDistribution::Make(1.0, -1.0).ok());
+}
+
+std::unique_ptr<Distribution> MustMake(
+    Result<std::unique_ptr<Distribution>> r) {
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.MoveValue();
+}
+
+TEST(MixtureDistributionTest, MeanIsWeightedAverage) {
+  // Table 1's repair model: 10% hardware (exp mean 2), 90% software
+  // (constant 20 min).
+  auto mix = MixtureDistribution::Make(
+      0.1, MustMake(ExponentialDistribution::Make(2.0)),
+      MustMake(ConstantDistribution::Make(0.5)));
+  ASSERT_TRUE(mix.ok());
+  EXPECT_NEAR((*mix)->Mean(), 0.1 * 2.0 + 0.9 * 0.5, 1e-12);
+}
+
+TEST(MixtureDistributionTest, SampleMeanMatches) {
+  auto mix = MixtureDistribution::Make(
+      0.5, MustMake(ConstantDistribution::Make(0.0)),
+      MustMake(ConstantDistribution::Make(1.0)));
+  ASSERT_TRUE(mix.ok());
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += (*mix)->Sample(&rng);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(MixtureDistributionTest, DegenerateProbabilities) {
+  auto always_first = MixtureDistribution::Make(
+      1.0, MustMake(ConstantDistribution::Make(1.0)),
+      MustMake(ConstantDistribution::Make(2.0)));
+  ASSERT_TRUE(always_first.ok());
+  Rng rng(7);
+  EXPECT_EQ((*always_first)->Sample(&rng), 1.0);
+
+  auto always_second = MixtureDistribution::Make(
+      0.0, MustMake(ConstantDistribution::Make(1.0)),
+      MustMake(ConstantDistribution::Make(2.0)));
+  ASSERT_TRUE(always_second.ok());
+  EXPECT_EQ((*always_second)->Sample(&rng), 2.0);
+}
+
+TEST(MixtureDistributionTest, RejectsBadArguments) {
+  EXPECT_FALSE(MixtureDistribution::Make(
+                   1.5, MustMake(ConstantDistribution::Make(1.0)),
+                   MustMake(ConstantDistribution::Make(2.0)))
+                   .ok());
+  EXPECT_FALSE(
+      MixtureDistribution::Make(0.5, nullptr,
+                                MustMake(ConstantDistribution::Make(2.0)))
+          .ok());
+}
+
+TEST(DistributionsTest, ToStringsAreInformative) {
+  Rng rng(8);
+  EXPECT_EQ(MustMake(ConstantDistribution::Make(4))->ToString(), "Const(4)");
+  EXPECT_EQ(MustMake(ExponentialDistribution::Make(36.5))->ToString(),
+            "Exp(mean=36.5)");
+  EXPECT_EQ(
+      MustMake(ShiftedExponentialDistribution::Make(168, 168))->ToString(),
+      "Const(168)+Exp(mean=168)");
+}
+
+}  // namespace
+}  // namespace dynvote

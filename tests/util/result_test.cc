@@ -1,0 +1,76 @@
+#include "util/result.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dynvote {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, ValueOrReturnsFallbackOnError) {
+  Result<int> err = Status::Internal("x");
+  EXPECT_EQ(err.ValueOr(7), 7);
+  Result<int> ok = 3;
+  EXPECT_EQ(ok.ValueOr(7), 3);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, MoveValueTransfersOwnership) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = r.MoveValue();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 9);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<int> r = 1;
+  *r = 5;
+  EXPECT_EQ(*r, 5);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseParsed(int x, int* out) {
+  DYNVOTE_ASSIGN_OR_RETURN(*out, ParsePositive(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseParsed(4, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_TRUE(UseParsed(-4, &out).IsInvalidArgument());
+  EXPECT_EQ(out, 4);  // untouched on error
+}
+
+TEST(ResultTest, RvalueDereference) {
+  std::string s = *Result<std::string>(std::string("move me"));
+  EXPECT_EQ(s, "move me");
+}
+
+}  // namespace
+}  // namespace dynvote

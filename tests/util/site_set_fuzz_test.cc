@@ -1,0 +1,88 @@
+// Differential test: SiteSet against std::set<int> over long random
+// operation sequences.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/site_set.h"
+
+namespace dynvote {
+namespace {
+
+SiteSet FromReference(const std::set<int>& reference) {
+  SiteSet out;
+  for (int s : reference) out.Add(s);
+  return out;
+}
+
+TEST(SiteSetFuzzTest, MatchesStdSet) {
+  Rng rng(0x5E75);
+  SiteSet set;
+  std::set<int> reference;
+
+  for (int step = 0; step < 100000; ++step) {
+    SiteId s = static_cast<SiteId>(rng.NextBounded(64));
+    switch (rng.NextBounded(3)) {
+      case 0:
+        set.Add(s);
+        reference.insert(s);
+        break;
+      case 1:
+        set.Remove(s);
+        reference.erase(s);
+        break;
+      case 2:
+        ASSERT_EQ(set.Contains(s), reference.count(s) == 1) << step;
+        break;
+    }
+    ASSERT_EQ(set.Size(), static_cast<int>(reference.size())) << step;
+    ASSERT_EQ(set.Empty(), reference.empty()) << step;
+    if (!reference.empty()) {
+      ASSERT_EQ(set.RankMax(), *reference.begin()) << step;
+      ASSERT_EQ(set.RankMin(), *reference.rbegin()) << step;
+    }
+    if (step % 1000 == 0) {
+      // Full iteration equality check (amortised).
+      std::set<int> iterated(set.begin(), set.end());
+      ASSERT_EQ(iterated, reference) << step;
+    }
+  }
+}
+
+TEST(SiteSetFuzzTest, AlgebraMatchesStdSetOperations) {
+  Rng rng(0xA15E);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::set<int> ra;
+    std::set<int> rb;
+    for (int i = 0; i < 10; ++i) {
+      ra.insert(static_cast<int>(rng.NextBounded(64)));
+      rb.insert(static_cast<int>(rng.NextBounded(64)));
+    }
+    SiteSet a = FromReference(ra);
+    SiteSet b = FromReference(rb);
+
+    std::set<int> union_ref = ra;
+    union_ref.insert(rb.begin(), rb.end());
+    ASSERT_EQ(a.Union(b), FromReference(union_ref));
+
+    std::set<int> inter_ref;
+    for (int s : ra) {
+      if (rb.count(s)) inter_ref.insert(s);
+    }
+    ASSERT_EQ(a.Intersect(b), FromReference(inter_ref));
+
+    std::set<int> minus_ref;
+    for (int s : ra) {
+      if (!rb.count(s)) minus_ref.insert(s);
+    }
+    ASSERT_EQ(a.Minus(b), FromReference(minus_ref));
+
+    ASSERT_EQ(a.Intersects(b), !inter_ref.empty());
+    ASSERT_EQ(a.IsSubsetOf(b), minus_ref.empty());
+  }
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,82 @@
+#include "util/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace dynvote {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  Status s = Status::NoQuorum("not enough votes");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNoQuorum());
+  EXPECT_EQ(s.message(), "not enough votes");
+  EXPECT_EQ(s.ToString(), "NoQuorum: not enough votes");
+
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+}
+
+TEST(StatusTest, IsChecksExactCode) {
+  Status s = Status::NotFound("missing");
+  EXPECT_TRUE(s.Is(StatusCode::kNotFound));
+  EXPECT_FALSE(s.Is(StatusCode::kNoQuorum));
+  EXPECT_FALSE(s.Is(StatusCode::kOk));
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NoQuorum("a"), Status::NoQuorum("a"));
+  EXPECT_FALSE(Status::NoQuorum("a") == Status::NoQuorum("b"));
+  EXPECT_FALSE(Status::NoQuorum("a") == Status::NotFound("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, StreamInsertionMatchesToString) {
+  std::ostringstream os;
+  os << Status::Internal("boom");
+  EXPECT_EQ(os.str(), "Internal: boom");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNoQuorum), "NoQuorum");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
+            "InvalidArgument");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotSupported), "NotSupported");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Caller(int x) {
+  DYNVOTE_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(Caller(3).ok());
+  EXPECT_TRUE(Caller(-1).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace dynvote

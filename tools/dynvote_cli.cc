@@ -1,0 +1,359 @@
+// dynvote — command-line front end to the library.
+//
+//   dynvote print    [--network=FILE]
+//   dynvote analyze  [--network=FILE] --sites=a,b,c
+//   dynvote simulate [--network=FILE] --sites=a,b,c [--policies=...]
+//                    [--years=N] [--rate=R] [--seed=N] [--csv=PATH]
+//   dynvote scenario [--network=FILE] --sites=a,b,c [--protocol=LDV]
+//                    <script.dvs>
+//
+// Without --network the paper's eight-site network is used and sites may
+// be given either by name (csvax, ..., mangle) or by the paper's 1-based
+// numbers. `analyze` reports partition points, the reachable partition
+// patterns and the closed-form static-voting availability; `simulate`
+// runs the discrete-event model; `scenario` executes a fault script
+// against a replicated KV store.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "kv/scenario.h"
+#include "model/analytic.h"
+#include "model/config_parser.h"
+#include "model/experiment.h"
+#include "model/export.h"
+#include "model/site_profile.h"
+#include "net/partition_analysis.h"
+#include "stats/table.h"
+
+namespace dynvote {
+namespace cli {
+namespace {
+
+struct Options {
+  std::string command;
+  std::string network_path;  // empty = paper network
+  std::string sites;         // comma-separated
+  std::string policies = "MCV,DV,LDV,ODV,TDV,OTDV";
+  std::string protocol = "LDV";
+  std::string csv_path;
+  std::string positional;  // scenario script path
+  double years = 100.0;
+  double rate = 1.0;
+  std::uint64_t seed = 20260704;
+};
+
+int Usage() {
+  std::cerr <<
+      "usage: dynvote <print|analyze|simulate|scenario> [options]\n"
+      "  --network=FILE   network description (default: the paper's)\n"
+      "  --sites=a,b,c    copy placement (names, or 1-8 on the paper "
+      "network)\n"
+      "  --policies=...   simulate: protocols to compare\n"
+      "  --protocol=P     scenario: protocol to run\n"
+      "  --years=N --rate=R --seed=N --csv=PATH\n";
+  return 2;
+}
+
+Result<Options> Parse(int argc, char** argv) {
+  if (argc < 2) return Status::InvalidArgument("missing command");
+  Options opt;
+  opt.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    auto value = [&a](const char* prefix) {
+      return a.substr(std::string(prefix).size());
+    };
+    if (a.rfind("--network=", 0) == 0) {
+      opt.network_path = value("--network=");
+    } else if (a.rfind("--sites=", 0) == 0) {
+      opt.sites = value("--sites=");
+    } else if (a.rfind("--policies=", 0) == 0) {
+      opt.policies = value("--policies=");
+    } else if (a.rfind("--protocol=", 0) == 0) {
+      opt.protocol = value("--protocol=");
+    } else if (a.rfind("--csv=", 0) == 0) {
+      opt.csv_path = value("--csv=");
+    } else if (a.rfind("--years=", 0) == 0) {
+      opt.years = std::stod(value("--years="));
+    } else if (a.rfind("--rate=", 0) == 0) {
+      opt.rate = std::stod(value("--rate="));
+    } else if (a.rfind("--seed=", 0) == 0) {
+      opt.seed = std::stoull(value("--seed="));
+    } else if (a.rfind("--", 0) == 0) {
+      return Status::InvalidArgument("unknown flag " + a);
+    } else {
+      opt.positional = a;
+    }
+  }
+  return opt;
+}
+
+Result<NetworkConfig> LoadNetwork(const Options& opt) {
+  if (!opt.network_path.empty()) return LoadNetworkConfig(opt.network_path);
+  auto paper = MakePaperNetwork();
+  if (!paper.ok()) return paper.status();
+  NetworkConfig config;
+  config.topology = paper->topology;
+  config.profiles = paper->profiles;
+  return config;
+}
+
+Result<SiteSet> ResolveSites(const NetworkConfig& network,
+                             const std::string& csv) {
+  if (csv.empty()) {
+    return Status::InvalidArgument("--sites=... is required");
+  }
+  SiteSet placement;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    auto by_name = network.topology->FindSite(item);
+    if (by_name.ok()) {
+      placement.Add(*by_name);
+      continue;
+    }
+    // Paper-style 1-based site numbers as a convenience.
+    try {
+      std::size_t used = 0;
+      int number = std::stoi(item, &used);
+      if (used == item.size() && number >= 1 &&
+          number <= network.topology->num_sites()) {
+        placement.Add(number - 1);
+        continue;
+      }
+    } catch (const std::exception&) {
+    }
+    return Status::InvalidArgument("unknown site '" + item + "'");
+  }
+  if (placement.Empty()) {
+    return Status::InvalidArgument("placement is empty");
+  }
+  return placement;
+}
+
+int Print(const Options& opt) {
+  auto network = LoadNetwork(opt);
+  if (!network.ok()) {
+    std::cerr << network.status() << "\n";
+    return 1;
+  }
+  std::cout << network->topology->ToString() << "\n"
+            << "site characteristics:\n";
+  TextTable table({"Site", "MTTF (d)", "HW %", "Restart (min)",
+                   "HW repair (h)", "Maint", "Steady-state avail"});
+  for (SiteId s = 0; s < network->topology->num_sites(); ++s) {
+    const SiteProfile& p = network->profiles[s];
+    std::string repair = TextTable::Fixed(p.hw_repair_const_hours, 0) +
+                         "+exp(" +
+                         TextTable::Fixed(p.hw_repair_exp_hours, 0) + ")";
+    std::string maint =
+        p.maintenance_interval_days > 0.0
+            ? TextTable::Fixed(p.maintenance_hours, 0) + "h/" +
+                  TextTable::Fixed(p.maintenance_interval_days, 0) + "d"
+            : "-";
+    table.AddRow({p.name, TextTable::Fixed(p.mttf_days, 1),
+                  TextTable::Fixed(100 * p.hardware_fraction, 0),
+                  TextTable::Fixed(p.restart_minutes, 0), repair, maint,
+                  TextTable::Fixed6(SteadyStateAvailability(p))});
+  }
+  std::cout << table.ToString();
+  return 0;
+}
+
+int Analyze(const Options& opt) {
+  auto network = LoadNetwork(opt);
+  if (!network.ok()) {
+    std::cerr << network.status() << "\n";
+    return 1;
+  }
+  auto placement = ResolveSites(*network, opt.sites);
+  if (!placement.ok()) {
+    std::cerr << placement.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "placement: " << placement->ToString() << "\n\n";
+
+  auto vulnerability =
+      AnalyzePartitionPoints(network->topology, *placement);
+  if (!vulnerability.ok()) {
+    std::cerr << vulnerability.status() << "\n";
+    return 1;
+  }
+  std::cout << "partition points:";
+  if (!vulnerability->partitionable()) std::cout << " none";
+  for (SiteId s : vulnerability->gateway_cut_points) {
+    std::cout << " gateway:" << network->topology->site(s).name;
+  }
+  for (RepeaterId r : vulnerability->repeater_cut_points) {
+    for (const BridgeInfo& bridge : network->topology->bridges()) {
+      if (!bridge.gateway_site.has_value() && bridge.repeater == r) {
+        std::cout << " repeater:" << bridge.name;
+      }
+    }
+  }
+  std::cout << "\n";
+
+  auto patterns =
+      EnumeratePlacementPartitions(network->topology, *placement);
+  if (patterns.ok()) {
+    std::cout << "reachable partition patterns:\n";
+    for (const auto& pattern : *patterns) {
+      std::cout << " ";
+      for (const SiteSet& group : pattern) std::cout << " " << group;
+      std::cout << "\n";
+    }
+  }
+
+  auto strict = AnalyticMcvAvailability(network->topology,
+                                        network->profiles, *placement,
+                                        TieBreak::kNone);
+  auto lex = AnalyticMcvAvailability(network->topology, network->profiles,
+                                     *placement, TieBreak::kLexicographic);
+  if (strict.ok() && lex.ok()) {
+    std::cout << "\nclosed-form static voting unavailability:\n"
+              << "  strict majority:      "
+              << TextTable::Fixed6(1.0 - *strict) << "\n"
+              << "  with static tie rule: "
+              << TextTable::Fixed6(1.0 - *lex) << "\n"
+              << "(dynamic protocols are path-dependent: use 'simulate')\n";
+  }
+  return 0;
+}
+
+int Simulate(const Options& opt) {
+  auto network = LoadNetwork(opt);
+  if (!network.ok()) {
+    std::cerr << network.status() << "\n";
+    return 1;
+  }
+  auto placement = ResolveSites(*network, opt.sites);
+  if (!placement.ok()) {
+    std::cerr << placement.status() << "\n";
+    return 1;
+  }
+
+  ExperimentSpec spec;
+  spec.topology = network->topology;
+  spec.profiles = network->profiles;
+  spec.repeater_profiles = network->repeater_profiles;
+  spec.options.warmup = Days(360);
+  spec.options.num_batches = 20;
+  spec.options.batch_length = Years(opt.years / 20.0);
+  spec.options.access.rate_per_day = opt.rate;
+  spec.options.seed = opt.seed;
+
+  std::vector<std::unique_ptr<ConsistencyProtocol>> protocols;
+  std::stringstream ss(opt.policies);
+  std::string name;
+  while (std::getline(ss, name, ',')) {
+    if (name.empty()) continue;
+    auto p = MakeProtocolByName(name, network->topology, *placement);
+    if (!p.ok()) {
+      std::cerr << p.status() << "\n";
+      return 1;
+    }
+    protocols.push_back(p.MoveValue());
+  }
+
+  auto results = RunAvailabilityExperiment(spec, std::move(protocols));
+  if (!results.ok()) {
+    std::cerr << results.status() << "\n";
+    return 1;
+  }
+
+  TextTable table({"Policy", "Unavailability", "95% CI ±",
+                   "Mean outage (d)", "Outages", "Dual majorities"});
+  std::vector<LabeledResult> rows;
+  for (const PolicyResult& r : *results) {
+    table.AddRow({r.name, TextTable::Fixed6(r.unavailability),
+                  TextTable::Fixed6(r.stats.ci95_halfwidth),
+                  TextTable::Fixed6(r.num_unavailable_periods == 0
+                                        ? -1.0
+                                        : r.mean_unavailable_duration),
+                  std::to_string(r.num_unavailable_periods),
+                  std::to_string(r.dual_majority_instants)});
+    rows.push_back(LabeledResult{opt.sites, r});
+  }
+  std::cout << table.ToString();
+  if (!opt.csv_path.empty()) {
+    Status st = WriteFile(opt.csv_path, ResultsToCsv(rows));
+    if (!st.ok()) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << opt.csv_path << "\n";
+  }
+  return 0;
+}
+
+int RunScenario(const Options& opt) {
+  if (opt.positional.empty()) {
+    std::cerr << "scenario needs a script path\n";
+    return 1;
+  }
+  auto network = LoadNetwork(opt);
+  if (!network.ok()) {
+    std::cerr << network.status() << "\n";
+    return 1;
+  }
+  auto placement = ResolveSites(*network, opt.sites);
+  if (!placement.ok()) {
+    std::cerr << placement.status() << "\n";
+    return 1;
+  }
+  std::ifstream in(opt.positional);
+  if (!in) {
+    std::cerr << "cannot read " << opt.positional << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  auto scenario = Scenario::Parse(network->topology, buffer.str());
+  if (!scenario.ok()) {
+    std::cerr << scenario.status() << "\n";
+    return 1;
+  }
+  auto cluster =
+      KvCluster::Make(network->topology, *placement, opt.protocol);
+  if (!cluster.ok()) {
+    std::cerr << cluster.status() << "\n";
+    return 1;
+  }
+  std::string transcript;
+  Status st = scenario->Run(cluster->get(), &transcript);
+  std::cout << transcript;
+  if (!st.ok()) {
+    std::cout << "SCENARIO FAILED: " << st << "\n";
+    return 1;
+  }
+  std::cout << "scenario passed.\n";
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  auto opt = Parse(argc, argv);
+  if (!opt.ok()) {
+    std::cerr << opt.status() << "\n";
+    return Usage();
+  }
+  if (opt->command == "print") return Print(*opt);
+  if (opt->command == "analyze") return Analyze(*opt);
+  if (opt->command == "simulate") return Simulate(*opt);
+  if (opt->command == "scenario") return RunScenario(*opt);
+  std::cerr << "unknown command '" << opt->command << "'\n";
+  return Usage();
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace dynvote
+
+int main(int argc, char** argv) { return dynvote::cli::Main(argc, argv); }
