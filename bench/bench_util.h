@@ -13,6 +13,7 @@
 #include "core/registry.h"
 #include "model/export.h"
 #include "model/experiment.h"
+#include "model/replicated_experiment.h"
 #include "model/site_profile.h"
 #include "stats/table.h"
 
@@ -30,10 +31,18 @@ struct BenchArgs {
   bool verbose = false;
   /// If non-empty, also write results as CSV to this path.
   std::string csv_path;
+  /// Independent replications per configuration (>= 1). With more than
+  /// one, tables show cross-replication means and the CI column becomes
+  /// the cross-replication Student-t interval.
+  int reps = 1;
+  /// Worker threads for the replications (0 = all cores). Never changes
+  /// results, only wall-clock time.
+  int jobs = 1;
 };
 
-/// Parses --years=, --batches=, --seed=, --configs=, --verbose from argv.
-/// Unknown flags (including google-benchmark's) are ignored.
+/// Parses --years=, --batches=, --seed=, --configs=, --reps=, --jobs=,
+/// --verbose from argv. Unknown flags (including google-benchmark's) are
+/// ignored.
 inline BenchArgs ParseArgs(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
@@ -51,9 +60,21 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       args.configs = value_of("--configs=");
     } else if (a.rfind("--csv=", 0) == 0) {
       args.csv_path = value_of("--csv=");
+    } else if (a.rfind("--reps=", 0) == 0) {
+      args.reps = std::stoi(value_of("--reps="));
+    } else if (a.rfind("--jobs=", 0) == 0) {
+      args.jobs = std::stoi(value_of("--jobs="));
     } else if (a == "--verbose") {
       args.verbose = true;
     }
+  }
+  if (args.reps < 1) {
+    std::cerr << "--reps must be >= 1" << std::endl;
+    std::exit(1);
+  }
+  if (args.jobs < 0) {
+    std::cerr << "--jobs must be >= 0 (0 = all cores)" << std::endl;
+    std::exit(1);
   }
   return args;
 }
@@ -77,19 +98,26 @@ struct GridResults {
 };
 
 /// Runs the paper's six policies over the requested configurations with
-/// common random numbers per configuration. Exits the process on error
-/// (bench binaries have no meaningful recovery).
+/// common random numbers per configuration. With --reps=N > 1 each
+/// configuration runs N independent replications (fanned out over --jobs
+/// threads) and the table rows carry cross-replication means with
+/// Student-t CIs instead of single-run batch means. Exits the process on
+/// error (bench binaries have no meaningful recovery).
 inline GridResults RunPaperGrid(const BenchArgs& args) {
   GridResults grid;
   ExperimentOptions options = MakeOptions(args);
+  ReplicationOptions replication;
+  replication.replications = args.reps;
+  replication.jobs = args.jobs;
   for (char label : args.configs) {
-    auto results = RunPaperExperiment(label, PaperProtocolNames(), options);
+    auto results = RunReplicatedPaperExperiment(label, PaperProtocolNames(),
+                                                options, replication);
     if (!results.ok()) {
       std::cerr << "config " << label << ": " << results.status()
                 << std::endl;
       std::exit(1);
     }
-    grid.by_config[label] = results.MoveValue();
+    grid.by_config[label] = MeanPolicyResults(*results);
   }
   return grid;
 }

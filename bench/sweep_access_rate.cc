@@ -7,7 +7,8 @@
 // ODV/OTDV unavailability next to the LDV/TDV (instantaneous) and MCV
 // (never-updates) anchors.
 //
-// Flags: --years=N (default 400), --seed=N, --configs= (default BFH)
+// Flags: --years=N (default 400), --seed=N, --configs= (default BFH),
+// --reps=N, --jobs=M
 
 #include <iostream>
 
@@ -35,14 +36,18 @@ int Run(BenchArgs args) {
     for (double rate : rates) {
       ExperimentOptions options = MakeOptions(args);
       options.access.rate_per_day = rate;
-      auto results =
-          RunPaperExperiment(config, PaperProtocolNames(), options);
-      if (!results.ok()) {
-        std::cerr << results.status() << std::endl;
+      ReplicationOptions replication;
+      replication.replications = args.reps;
+      replication.jobs = args.jobs;
+      auto replicated = RunReplicatedPaperExperiment(
+          config, PaperProtocolNames(), options, replication);
+      if (!replicated.ok()) {
+        std::cerr << replicated.status() << std::endl;
         return 1;
       }
+      std::vector<PolicyResult> results = MeanPolicyResults(*replicated);
       auto u = [&](const std::string& name) {
-        return ResultOf(*results, name).unavailability;
+        return ResultOf(results, name).unavailability;
       };
       table.AddRow({TextTable::Fixed(rate, 4), TextTable::Fixed6(u("MCV")),
                     TextTable::Fixed6(u("LDV")),

@@ -6,7 +6,7 @@
 // across gateways) and prints the unavailability of every policy at each
 // degree.
 //
-// Flags: --years=N (default 400), --seed=N
+// Flags: --years=N (default 400), --seed=N, --reps=N, --jobs=M
 
 #include <iostream>
 
@@ -39,27 +39,33 @@ int Run(const BenchArgs& args) {
   SiteSet placement;
   for (int n = 1; n <= 8; ++n) {
     placement.Add(order[n - 1]);
-    ExperimentOptions options = MakeOptions(args);
     ExperimentSpec spec;
     spec.topology = network->topology;
     spec.profiles = network->profiles;
-    spec.options = options;
-    std::vector<std::unique_ptr<ConsistencyProtocol>> protocols;
-    for (const std::string& name : PaperProtocolNames()) {
-      auto p = MakeProtocolByName(name, network->topology, placement);
-      if (!p.ok()) {
-        std::cerr << p.status() << std::endl;
-        return 1;
+    spec.options = MakeOptions(args);
+    SiteSet p_now = placement;
+    ProtocolSetFactory factory =
+        [&network, p_now]()
+        -> Result<std::vector<std::unique_ptr<ConsistencyProtocol>>> {
+      std::vector<std::unique_ptr<ConsistencyProtocol>> protocols;
+      for (const std::string& name : PaperProtocolNames()) {
+        auto p = MakeProtocolByName(name, network->topology, p_now);
+        if (!p.ok()) return p.status();
+        protocols.push_back(p.MoveValue());
       }
-      protocols.push_back(p.MoveValue());
-    }
-    auto results = RunAvailabilityExperiment(spec, std::move(protocols));
-    if (!results.ok()) {
-      std::cerr << results.status() << std::endl;
+      return protocols;
+    };
+    ReplicationOptions replication;
+    replication.replications = args.reps;
+    replication.jobs = args.jobs;
+    auto replicated = RunReplicatedExperiment(spec, factory, replication);
+    if (!replicated.ok()) {
+      std::cerr << replicated.status() << std::endl;
       return 1;
     }
+    std::vector<PolicyResult> results = MeanPolicyResults(*replicated);
     auto u = [&](const std::string& name) {
-      return ResultOf(*results, name).unavailability;
+      return ResultOf(results, name).unavailability;
     };
     mcv_u[n] = u("MCV");
     dv_u[n] = u("DV");

@@ -43,6 +43,11 @@ Result<std::unique_ptr<DynamicVoting>> DynamicVoting::Make(
     return Status::InvalidArgument(
         "at least one placement member must hold data (non-witness)");
   }
+  if (!options.weights.Covers(placement)) {
+    return Status::InvalidArgument(
+        "vote weight table does not cover the placement; pass one entry "
+        "per site or use VoteWeights::MakePadded");
+  }
   if (options.name.empty()) options.name = DeriveName(options);
   return std::unique_ptr<DynamicVoting>(new DynamicVoting(
       std::move(topology), store.MoveValue(), std::move(options)));
@@ -67,6 +72,7 @@ QuorumDecision DynamicVoting::Evaluate(SiteSet group) const {
       d.current_set.Intersect(data_copies()).Empty()) {
     d.granted = false;
     d.by_tie_break = false;
+    d.witness_refused = true;
   }
   return d;
 }
@@ -139,6 +145,15 @@ Status DynamicVoting::Recover(const NetworkState& net, SiteId site) {
   LogDecision(DecisionRecord::Operation::kRecover, site, d.granted, d);
   if (!d.granted) {
     counter_.Add(MessageKind::kAbort, d.reachable_copies.Size());
+    if (d.witness_refused) {
+      // The group holds the votes but every current copy is a witness: a
+      // stale data copy here has no reachable data source to restore
+      // from, so the recovery is refused rather than committed with an
+      // unreadable file.
+      return Status::NoQuorum(
+          name_ + ": no reachable data source (current version held only "
+                  "by witnesses)");
+    }
     return Status::NoQuorum(name_ + ": recovery outside majority partition");
   }
 
@@ -147,16 +162,18 @@ Status DynamicVoting::Recover(const NetworkState& net, SiteId site) {
   bool needs_copy = store_.state(site).version < version &&
                     !options_.witnesses.Contains(site);
   SiteSet data_sources = d.current_set.Minus(options_.witnesses);
-  if (needs_copy) {
-    // "copy the file from site m" — witnesses have no data to copy.
-    counter_.Add(MessageKind::kFileCopy, 1);
-  }
+  // "copy the file from site m" — witnesses have no data to copy, so the
+  // transfer is counted exactly when one is delivered below. (A granted
+  // decision implies a data copy in S — Evaluate refuses witness-only
+  // quorums — but the counter must never drift from the delivery.)
+  bool copies_file = needs_copy && !data_sources.Empty();
+  if (copies_file) counter_.Add(MessageKind::kFileCopy, 1);
   SiteSet participants = d.current_set.Union(SiteSet{site});
   // COMMIT(S ∪ {l}, o_m + 1, v_m, S ∪ {l}).
   store_.Commit(participants, op, version, participants);
   counter_.Add(MessageKind::kCommit, participants.Size());
 
-  if (needs_copy && !data_sources.Empty()) {
+  if (copies_file) {
     CommitInfo info;
     info.kind = CommitInfo::Kind::kRecovery;
     info.participants = SiteSet{site};

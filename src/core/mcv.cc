@@ -7,6 +7,11 @@ Result<std::unique_ptr<MajorityConsensusVoting>> MajorityConsensusVoting::Make(
   auto store = ReplicaStore::Make(placement);
   if (!store.ok()) return store.status();
 
+  if (!options.weights.Covers(placement)) {
+    return Status::InvalidArgument(
+        "vote weight table does not cover the placement; pass one entry "
+        "per site or use VoteWeights::MakePadded");
+  }
   long long total = options.weights.WeightOf(placement);
   if (total <= 0) {
     return Status::InvalidArgument("placement has zero total vote weight");

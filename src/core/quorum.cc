@@ -13,10 +13,33 @@ Result<VoteWeights> VoteWeights::Make(std::vector<int> weights) {
   return VoteWeights(std::move(weights));
 }
 
-int VoteWeights::WeightOf(SiteId site) const {
-  if (weights_.empty() || site >= static_cast<SiteId>(weights_.size())) {
-    return 1;
+Result<VoteWeights> VoteWeights::MakePadded(std::vector<int> weights,
+                                            int num_sites) {
+  if (num_sites < static_cast<int>(weights.size())) {
+    return Status::InvalidArgument(
+        "weight table longer than the site count it should pad to");
   }
+  for (int w : weights) {
+    if (w < 0) return Status::InvalidArgument("vote weights must be >= 0");
+  }
+  weights.resize(static_cast<std::size_t>(num_sites), 1);
+  return VoteWeights(std::move(weights));
+}
+
+bool VoteWeights::Covers(SiteSet sites) const {
+  if (weights_.empty()) return true;
+  for (SiteId s : sites) {
+    if (s >= static_cast<SiteId>(weights_.size())) return false;
+  }
+  return true;
+}
+
+int VoteWeights::WeightOf(SiteId site) const {
+  if (weights_.empty()) return 1;
+  DYNVOTE_CHECK_MSG(
+      site >= 0 && site < static_cast<SiteId>(weights_.size()),
+      "site " + std::to_string(site) + " has no entry in a " +
+          std::to_string(weights_.size()) + "-entry vote weight table");
   return weights_[site];
 }
 
@@ -30,7 +53,9 @@ long long VoteWeights::WeightOf(SiteSet sites) const {
 std::string QuorumDecision::ToString() const {
   std::ostringstream os;
   os << (granted ? "GRANTED" : "DENIED")
-     << (by_tie_break ? " (tie-break)" : "") << " R=" << reachable_copies
+     << (by_tie_break ? " (tie-break)" : "")
+     << (witness_refused ? " (witness-refused)" : "")
+     << " R=" << reachable_copies
      << " Q=" << quorum_set << " S=" << current_set
      << " counted=" << counted_set << " Pm=" << prev_partition;
   return os.str();

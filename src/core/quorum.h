@@ -35,15 +35,31 @@ class VoteWeights {
   /// Every site weighs 1.
   VoteWeights() = default;
 
-  /// Explicit weights; sites beyond the vector weigh 1. All weights must
-  /// be >= 0 and at least one site in any placement should weigh > 0 for
-  /// the protocols to be usable.
+  /// Explicit weights, one entry per site id starting at 0. All weights
+  /// must be >= 0, and at least one site in any placement should weigh
+  /// > 0 for the protocols to be usable. The table covers exactly the
+  /// sites it names: asking for the weight of a site beyond it is a
+  /// contract violation (historically it silently returned 1, which let a
+  /// one-entry-short table flip grant/deny decisions — see
+  /// tests/core/quorum_test.cc). Protocol factories reject weight tables
+  /// that do not cover their placement; use MakePadded to opt in to
+  /// filling the gap with ones explicitly.
   static Result<VoteWeights> Make(std::vector<int> weights);
 
-  /// Weight of one site.
+  /// Like Make, but explicitly pads the table with weight-1 entries up to
+  /// `num_sites` entries. Rejects a table longer than `num_sites`.
+  static Result<VoteWeights> MakePadded(std::vector<int> weights,
+                                        int num_sites);
+
+  /// True iff every site in `sites` has an explicit entry (uniform
+  /// weights cover everything).
+  bool Covers(SiteSet sites) const;
+
+  /// Weight of one site. CHECK-fails for a site a non-uniform table does
+  /// not cover.
   int WeightOf(SiteId site) const;
 
-  /// Total weight of a set.
+  /// Total weight of a set. CHECK-fails unless Covers(sites).
   long long WeightOf(SiteSet sites) const;
 
   bool IsUniform() const { return weights_.empty(); }
@@ -61,6 +77,11 @@ struct QuorumDecision {
   bool granted = false;
   /// True iff the grant needed the lexicographic tie-break.
   bool by_tie_break = false;
+  /// True iff the raw vote count granted but the decision was refused
+  /// because the current version is held only by reachable witnesses —
+  /// there is no data source to read or copy from (set by
+  /// DynamicVoting::Evaluate, never by EvaluateDynamicQuorum itself).
+  bool witness_refused = false;
   /// R ∩ placement: reachable physical copies.
   SiteSet reachable_copies;
   /// Q: reachable copies carrying the maximal operation number.

@@ -73,6 +73,11 @@ Result<double> AnalyticMcvAvailability(
   if (topology == nullptr) {
     return Status::InvalidArgument("topology must not be null");
   }
+  if (!weights.Covers(placement)) {
+    return Status::InvalidArgument(
+        "vote weight table does not cover the placement; pass one entry "
+        "per site or use VoteWeights::MakePadded");
+  }
   // The access decision depends on the copies and on every gateway host
   // that can partition them; repeater-bridged topologies would need
   // repeater enumeration too, which the paper's network does not have.

@@ -64,6 +64,18 @@ Status CheckEmpty(int line, const std::map<std::string, double>& kv) {
   return LineError(line, "unknown key '" + kv.begin()->first + "'");
 }
 
+/// Converts a parsed value to a non-negative integer; counts must be
+/// whole numbers (stod accepts "1.5" and "1e3", so check the value, not
+/// the spelling).
+Result<int> TakeCount(int line, std::map<std::string, double>* kv,
+                      const std::string& key, int fallback) {
+  double v = Take(kv, key, static_cast<double>(fallback));
+  if (v < 0.0 || v > 1e9 || v != static_cast<double>(static_cast<int>(v))) {
+    return LineError(line, key + " must be a small non-negative integer");
+  }
+  return static_cast<int>(v);
+}
+
 }  // namespace
 
 Result<NetworkConfig> ParseNetworkConfig(const std::string& text) {
@@ -79,6 +91,9 @@ Result<NetworkConfig> ParseNetworkConfig(const std::string& text) {
   std::istringstream stream(text);
   std::string line;
   int line_number = 0;
+  int replications = 1;
+  int jobs = 1;
+  bool saw_experiment = false;
   while (std::getline(stream, line)) {
     ++line_number;
     std::vector<std::string> tokens = Tokenize(line);
@@ -155,6 +170,21 @@ Result<NetworkConfig> ParseNetworkConfig(const std::string& text) {
       }
       builder.AddRepeater(tokens[1], a->second, b->second);
       repeater_profiles.push_back(std::move(profile));
+    } else if (kind == "experiment") {
+      if (saw_experiment) {
+        return LineError(line_number, "duplicate experiment declaration");
+      }
+      saw_experiment = true;
+      auto kv = ParseKeyValues(line_number, tokens, 1);
+      if (!kv.ok()) return kv.status();
+      DYNVOTE_ASSIGN_OR_RETURN(
+          replications, TakeCount(line_number, &*kv, "replications", 1));
+      DYNVOTE_ASSIGN_OR_RETURN(jobs,
+                               TakeCount(line_number, &*kv, "jobs", 1));
+      DYNVOTE_RETURN_NOT_OK(CheckEmpty(line_number, *kv));
+      if (replications < 1) {
+        return LineError(line_number, "replications must be >= 1");
+      }
     } else {
       return LineError(line_number, "unknown declaration '" + kind + "'");
     }
@@ -178,6 +208,8 @@ Result<NetworkConfig> ParseNetworkConfig(const std::string& text) {
   config.topology = topo.MoveValue();
   config.profiles = std::move(profiles);
   config.repeater_profiles = std::move(repeater_profiles);
+  config.replications = replications;
+  config.jobs = jobs;
   return config;
 }
 
@@ -222,6 +254,12 @@ std::string NetworkConfigToString(const NetworkConfig& config) {
          << " repair-const=" << p.repair_const_hours
          << " repair-exp=" << p.repair_exp_hours << "\n";
     }
+  }
+  // Emitted only away from the defaults so pre-existing configs
+  // round-trip byte for byte.
+  if (config.replications != 1 || config.jobs != 1) {
+    os << "experiment replications=" << config.replications
+       << " jobs=" << config.jobs << "\n";
   }
   return os.str();
 }

@@ -6,6 +6,7 @@
 //   site <name> <segment> [key=value ...]
 //   gateway <site-name> <segment>          # site also bridges to segment
 //   repeater <name> <segment> <segment> [key=value ...]
+//   experiment [replications=R] [jobs=M]   # replication defaults
 //
 // Site keys (defaults in parentheses, units as in Table 1):
 //   mttf=DAYS (365)       mean time to fail, exponential
@@ -16,6 +17,11 @@
 //
 // Repeater keys: mttf=DAYS (365), repair-const=HOURS (0),
 // repair-exp=HOURS (2).
+//
+// Experiment keys (integers): replications=R (1, >= 1) independent
+// replications to run; jobs=M (1, >= 0, 0 = all cores) worker threads.
+// Tools may override both from the command line; jobs never affects
+// results, only wall-clock time.
 //
 // Example — the paper's own network is shipped as
 // examples/networks/paper.net and parses to exactly MakePaperNetwork().
@@ -36,6 +42,10 @@ struct NetworkConfig {
   std::shared_ptr<const Topology> topology;
   std::vector<SiteProfile> profiles;            // one per site
   std::vector<RepeaterProfile> repeater_profiles;  // one per repeater
+  /// Replication defaults from the `experiment` declaration (see
+  /// model/replicated_experiment.h for the semantics).
+  int replications = 1;
+  int jobs = 1;
 };
 
 /// Parses the network description `text`. Errors carry the line number.

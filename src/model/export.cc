@@ -66,6 +66,80 @@ std::string ResultsToJson(const std::vector<LabeledResult>& results) {
   return os.str();
 }
 
+namespace {
+
+void AppendSummary(std::ostringstream& os, const char* key,
+                   const ReplicationSummary& s) {
+  os << "\"" << key << "\": {\"mean\": " << s.mean
+     << ", \"stddev\": " << s.stddev
+     << ", \"ci95\": " << s.ci95_halfwidth << ", \"min\": " << s.min
+     << ", \"max\": " << s.max << ", \"samples\": " << s.num_samples
+     << ", \"censored\": " << s.num_censored << "}";
+}
+
+}  // namespace
+
+std::string ReplicatedResultsToJson(const std::string& label,
+                                    const ReplicatedResults& results) {
+  std::ostringstream os;
+  os << std::setprecision(17);  // round-trip exact: this is the byte-
+                                // identical determinism surface
+  os << "{\n  \"label\": \"" << label << "\",\n  \"seeds\": [";
+  for (std::size_t r = 0; r < results.seeds.size(); ++r) {
+    os << (r > 0 ? ", " : "") << results.seeds[r];
+  }
+  os << "],\n  \"replications\": [\n";
+  for (std::size_t r = 0; r < results.per_replication.size(); ++r) {
+    const std::vector<PolicyResult>& rows = results.per_replication[r];
+    for (std::size_t p = 0; p < rows.size(); ++p) {
+      const PolicyResult& row = rows[p];
+      os << "    {\"replication\": " << r << ", \"seed\": "
+         << results.seeds[r] << ", \"policy\": \"" << row.name
+         << "\", \"unavailability\": " << row.unavailability
+         << ", \"ci95\": " << row.stats.ci95_halfwidth
+         << ", \"mean_outage_days\": " << row.mean_unavailable_duration
+         << ", \"num_outages\": " << row.num_unavailable_periods
+         << ", \"time_to_first_outage\": " << row.time_to_first_outage
+         << ", \"accesses_attempted\": " << row.accesses_attempted
+         << ", \"accesses_granted\": " << row.accesses_granted
+         << ", \"messages_total\": " << row.messages.Total()
+         << ", \"messages_control\": " << row.messages.ControlTotal()
+         << ", \"file_copies\": "
+         << row.messages.count(MessageKind::kFileCopy)
+         << ", \"dual_majorities\": " << row.dual_majority_instants
+         << ", \"measured_days\": " << row.measured_time << "}";
+      bool last = r + 1 == results.per_replication.size() &&
+                  p + 1 == rows.size();
+      os << (last ? "" : ",") << "\n";
+    }
+  }
+  os << "  ],\n  \"aggregate\": [\n";
+  for (std::size_t p = 0; p < results.aggregate.size(); ++p) {
+    const AggregatePolicyResult& agg = results.aggregate[p];
+    os << "    {\"policy\": \"" << agg.name
+       << "\", \"replications\": " << agg.replications << ", ";
+    AppendSummary(os, "unavailability", agg.unavailability);
+    os << ", ";
+    AppendSummary(os, "mean_outage_days", agg.mean_outage_duration);
+    os << ", ";
+    AppendSummary(os, "time_to_first_outage", agg.time_to_first_outage);
+    os << ", \"replications_with_outages\": "
+       << agg.replications_with_outages
+       << ", \"num_outages\": " << agg.num_unavailable_periods
+       << ", \"accesses_attempted\": " << agg.accesses_attempted
+       << ", \"accesses_granted\": " << agg.accesses_granted
+       << ", \"messages_total\": " << agg.messages.Total()
+       << ", \"messages_control\": " << agg.messages.ControlTotal()
+       << ", \"file_copies\": "
+       << agg.messages.count(MessageKind::kFileCopy)
+       << ", \"dual_majorities\": " << agg.dual_majority_instants
+       << ", \"measured_days\": " << agg.measured_days << "}"
+       << (p + 1 < results.aggregate.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
 Status WriteFile(const std::string& path, const std::string& contents) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "model/experiment.h"
+#include "model/replicated_experiment.h"
 #include "util/result.h"
 
 namespace dynvote {
@@ -26,6 +27,15 @@ std::string ResultsToCsv(const std::vector<LabeledResult>& results);
 
 /// JSON array of objects with the same fields.
 std::string ResultsToJson(const std::vector<LabeledResult>& results);
+
+/// JSON object for a replicated run: the per-replication seeds, a
+/// "replications" array of per-replication result rows (each tagged with
+/// its replication index and seed) and an "aggregate" array with the
+/// cross-replication mean / stddev / 95 % CI per policy. The rendering is
+/// a pure function of the results, so two runs that differ only in
+/// `--jobs` serialize byte-identically.
+std::string ReplicatedResultsToJson(const std::string& label,
+                                    const ReplicatedResults& results);
 
 /// Writes `contents` to `path`, failing with a Status on I/O errors.
 Status WriteFile(const std::string& path, const std::string& contents);

@@ -1,0 +1,114 @@
+// The multi-replication experiment engine. One RunAvailabilityExperiment
+// call observes every protocol over a single sample path (common random
+// numbers); this layer runs R *independent* replications of that
+// experiment — each with its own deterministically derived seed — across
+// a fixed-size thread pool, and aggregates the per-protocol results into
+// cross-replication means with 95 % confidence intervals.
+//
+// Determinism contract: the output is a pure function of (spec, factory,
+// replications). The job count only changes wall-clock time — results are
+// bit-identical for any `jobs` value because every replication writes
+// into its own pre-assigned slot and aggregation walks the slots in
+// replication order. Replication 0 runs with the master seed itself, so
+// `replications = 1` reproduces the sequential RunAvailabilityExperiment
+// byte for byte.
+//
+// Threading model: each replication owns a private Simulator, NetworkState
+// and protocol set, all confined to the worker thread that runs it (the
+// single-thread confinement documented in core/protocol.h is preserved
+// per-replication). Only the immutable ExperimentSpec is shared.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/experiment.h"
+#include "repl/message_bus.h"
+#include "stats/replication_stats.h"
+#include "util/result.h"
+
+namespace dynvote {
+
+/// How many replications to run and how wide to fan out.
+struct ReplicationOptions {
+  /// Number of independent replications (>= 1).
+  int replications = 1;
+  /// Worker threads; 1 = run inline on the calling thread, 0 = one per
+  /// hardware thread. Never affects results, only wall-clock time.
+  int jobs = 1;
+};
+
+/// Cross-replication aggregate for one protocol.
+struct AggregatePolicyResult {
+  std::string name;
+  int replications = 0;
+  /// Mean + CI of the per-replication unavailability fractions.
+  ReplicationSummary unavailability;
+  /// Mean + CI of the per-replication mean outage durations, over the
+  /// replications that had at least one outage.
+  ReplicationSummary mean_outage_duration;
+  int replications_with_outages = 0;
+  /// Mean + CI of time-to-first-outage (days from measurement start),
+  /// over the replications where an outage occurred. Replications whose
+  /// file never became unavailable are right-censored at the horizon and
+  /// tracked in the summary's num_censored — never averaged in as if the
+  /// outage had happened at the horizon.
+  ReplicationSummary time_to_first_outage;
+  /// Totals summed over all replications.
+  std::uint64_t accesses_attempted = 0;
+  std::uint64_t accesses_granted = 0;
+  std::uint64_t num_unavailable_periods = 0;
+  std::uint64_t dual_majority_instants = 0;
+  MessageCounter messages;
+  double measured_days = 0.0;
+};
+
+/// Everything a replicated run produces.
+struct ReplicatedResults {
+  /// per_replication[r][p]: protocol p's result in replication r.
+  std::vector<std::vector<PolicyResult>> per_replication;
+  /// aggregate[p]: protocol p across all replications.
+  std::vector<AggregatePolicyResult> aggregate;
+  /// The seed each replication ran with (seeds[0] == the master seed).
+  std::vector<std::uint64_t> seeds;
+};
+
+/// The seed replication `replication` runs with. Replication 0 uses the
+/// master seed unchanged (sequential compatibility); replication r > 0
+/// uses the r-th output of a SplitMix64 stream seeded with the master
+/// seed, the standard seed-expansion scheme of util/rng.h.
+std::uint64_t ReplicationSeed(std::uint64_t master_seed, int replication);
+
+/// Builds one replication's protocol set. Invoked once per replication,
+/// possibly concurrently from worker threads: it must be thread-safe,
+/// which in practice means it only reads shared immutable data (topology,
+/// placement) and allocates fresh protocol instances.
+using ProtocolSetFactory = std::function<
+    Result<std::vector<std::unique_ptr<ConsistencyProtocol>>>()>;
+
+/// Runs `options.replications` independent replications of
+/// RunAvailabilityExperiment(spec, factory()) over `options.jobs` worker
+/// threads and aggregates. `spec.options.seed` is the master seed; each
+/// replication runs with ReplicationSeed(master, r).
+Result<ReplicatedResults> RunReplicatedExperiment(
+    const ExperimentSpec& spec, const ProtocolSetFactory& factory,
+    const ReplicationOptions& options);
+
+/// Replicated analogue of RunPaperExperiment: paper network, placement
+/// per configuration `config_label`, the named policies.
+Result<ReplicatedResults> RunReplicatedPaperExperiment(
+    char config_label, const std::vector<std::string>& policies,
+    const ExperimentOptions& options,
+    const ReplicationOptions& replication);
+
+/// Flattens aggregates into one PolicyResult per protocol whose scalar
+/// fields are the cross-replication means (counters are summed), for
+/// table/CSV paths built around single-run rows. With one replication
+/// this is exactly per_replication[0].
+std::vector<PolicyResult> MeanPolicyResults(const ReplicatedResults& results);
+
+}  // namespace dynvote

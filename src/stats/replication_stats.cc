@@ -1,0 +1,52 @@
+#include "stats/replication_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "stats/batch_means.h"
+
+namespace dynvote {
+
+std::string ReplicationSummary::ToString() const {
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed << mean << " ± " << ci95_halfwidth
+     << " (R=" << num_samples << ")";
+  if (num_censored > 0) os << ", censored=" << num_censored;
+  return os.str();
+}
+
+void ReplicationStats::Add(double value) { values_.push_back(value); }
+
+void ReplicationStats::AddCensored() { ++num_censored_; }
+
+ReplicationSummary ReplicationStats::Summary() const {
+  ReplicationSummary s;
+  s.num_samples = static_cast<int>(values_.size());
+  s.num_censored = num_censored_;
+  if (values_.empty()) return s;
+
+  double sum = 0.0;
+  s.min = values_.front();
+  s.max = values_.front();
+  for (double v : values_) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / s.num_samples;
+
+  if (s.num_samples < 2) return s;
+  double sq = 0.0;
+  for (double v : values_) {
+    double d = v - s.mean;
+    sq += d * d;
+  }
+  s.stddev = std::sqrt(sq / (s.num_samples - 1));
+  s.ci95_halfwidth = StudentT975(s.num_samples - 1) * s.stddev /
+                     std::sqrt(static_cast<double>(s.num_samples));
+  return s;
+}
+
+}  // namespace dynvote

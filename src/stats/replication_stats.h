@@ -1,0 +1,58 @@
+// Cross-replication statistics. Where batch means (batch_means.h) cuts
+// ONE long run into pseudo-independent batches, independent replications
+// are *exactly* independent sample paths (each driven by its own RNG
+// stream), so the classical Student-t interval over the per-replication
+// values applies without the batch-correlation caveat. The accumulator
+// also carries right-censored observations — a replication whose
+// time-to-first-outage never occurred is knowledge ("longer than the
+// horizon"), not a missing value, and must not silently bias the mean.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dynvote {
+
+/// Summary of one scalar metric across R replications.
+struct ReplicationSummary {
+  /// Uncensored observations contributing to the moments.
+  int num_samples = 0;
+  /// Right-censored observations (recorded but excluded from moments).
+  int num_censored = 0;
+  double mean = 0.0;
+  /// Sample standard deviation (0 with fewer than two samples).
+  double stddev = 0.0;
+  /// Student-t 95 % half-width over the samples (0 with fewer than two).
+  double ci95_halfwidth = 0.0;
+  /// Smallest and largest uncensored observation (0 when none).
+  double min = 0.0;
+  double max = 0.0;
+
+  /// "0.001234 ± 0.000056 (R=8)"; appends ", censored=k" when k > 0.
+  std::string ToString() const;
+};
+
+/// Accumulates one value per replication for one metric.
+class ReplicationStats {
+ public:
+  /// Records replication r's observed value.
+  void Add(double value);
+
+  /// Records a right-censored observation: the event did not occur within
+  /// the replication's horizon, so its value is known only to exceed it.
+  void AddCensored();
+
+  int num_samples() const { return static_cast<int>(values_.size()); }
+  int num_censored() const { return num_censored_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Mean, spread and 95 % CI over the uncensored values.
+  ReplicationSummary Summary() const;
+
+ private:
+  std::vector<double> values_;
+  int num_censored_ = 0;
+};
+
+}  // namespace dynvote

@@ -39,9 +39,12 @@ class SiteSet {
     for (SiteId s : sites) Add(s);
   }
 
-  /// Returns the set {0, 1, ..., n-1}.
+  /// Returns the set {0, 1, ..., n-1}. Clamped: n <= 0 gives the empty
+  /// set (a negative shift would be undefined behaviour), n >= kMaxSites
+  /// gives every site.
   static constexpr SiteSet FirstN(int n) {
     SiteSet set;
+    if (n <= 0) return set;
     set.mask_ = (n >= kMaxSites) ? ~std::uint64_t{0}
                                  : ((std::uint64_t{1} << n) - 1);
     return set;

@@ -1,0 +1,60 @@
+// A fixed-size worker pool for embarrassingly parallel simulation work
+// (independent replications, parameter sweeps). Deliberately minimal: no
+// futures, no work stealing, no task priorities — callers submit plain
+// closures and Wait() for the queue to drain. Determinism is the callers'
+// responsibility and is achieved by writing results into pre-assigned
+// slots, never by relying on completion order.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dynvote {
+
+/// A fixed set of worker threads consuming a FIFO task queue.
+///
+/// Threading: Submit() and Wait() may be called from any thread, though
+/// the intended pattern is one coordinator thread submitting and waiting.
+/// Tasks must not throw; a task may Submit() further tasks.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks (the queue is unbounded).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// The hardware concurrency, with a floor of 1 (the standard permits
+  /// hardware_concurrency() == 0 when unknown).
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + currently executing
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dynvote

@@ -33,6 +33,21 @@ TEST(DynamicVotingMakeTest, ValidatesArguments) {
                   .IsInvalidArgument());
 }
 
+TEST(DynamicVotingMakeTest, RejectsWeightTableShorterThanPlacement) {
+  // A two-entry table over a three-site placement used to give site 2 a
+  // silent default weight of 1, miscounting weighted quorums; it is now
+  // rejected at construction. Explicit padding remains available.
+  auto topo = SingleSegment(3);
+  DynamicVotingOptions short_table;
+  short_table.weights = *VoteWeights::Make({3, 1});
+  EXPECT_TRUE(DynamicVoting::Make(topo, SiteSet{0, 1, 2}, short_table)
+                  .status()
+                  .IsInvalidArgument());
+  DynamicVotingOptions padded;
+  padded.weights = *VoteWeights::MakePadded({3, 1}, 3);
+  EXPECT_TRUE(DynamicVoting::Make(topo, SiteSet{0, 1, 2}, padded).ok());
+}
+
 TEST(DynamicVotingMakeTest, DerivedNames) {
   auto topo = SingleSegment(4);
   SiteSet p{0, 1, 2};

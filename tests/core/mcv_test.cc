@@ -113,6 +113,20 @@ TEST(McvTest, GiffordAsymmetricQuorums) {
   EXPECT_FALSE(mcv->WouldGrant(net, 0, AccessType::kWrite));
 }
 
+TEST(McvTest, RejectsWeightTableShorterThanPlacement) {
+  // Pre-fix the missing entries silently weighed 1, shifting quorum
+  // thresholds; construction now requires full coverage (or explicit
+  // padding via VoteWeights::MakePadded).
+  McvOptions short_table;
+  short_table.weights = *VoteWeights::Make({2, 1});
+  EXPECT_TRUE(MajorityConsensusVoting::Make(SiteSet{0, 1, 2}, short_table)
+                  .status()
+                  .IsInvalidArgument());
+  McvOptions padded;
+  padded.weights = *VoteWeights::MakePadded({2, 1}, 3);
+  EXPECT_TRUE(MajorityConsensusVoting::Make(SiteSet{0, 1, 2}, padded).ok());
+}
+
 TEST(McvTest, WeightedVoting) {
   // Gifford's weighted voting: site 0 holds 2 of 4 votes; {0, any} is a
   // majority but {1, 2} (2 votes) is exactly half and — with the strict

@@ -28,12 +28,66 @@ TEST(VoteWeightsTest, ExplicitWeights) {
   EXPECT_FALSE(w->IsUniform());
   EXPECT_EQ(w->WeightOf(0), 2);
   EXPECT_EQ(w->WeightOf(2), 1);
-  EXPECT_EQ(w->WeightOf(9), 1);  // beyond vector: default 1
   EXPECT_EQ(w->WeightOf(SiteSet{0, 1}), 3);
 }
 
 TEST(VoteWeightsTest, RejectsNegative) {
   EXPECT_TRUE(VoteWeights::Make({1, -1}).status().IsInvalidArgument());
+}
+
+TEST(VoteWeightsTest, CoversTracksTableLength) {
+  auto w = VoteWeights::Make({2, 1, 1});
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(w->Covers(SiteSet{0, 1, 2}));
+  EXPECT_FALSE(w->Covers(SiteSet{0, 3}));
+  EXPECT_TRUE(w->Covers(SiteSet{}));
+  EXPECT_TRUE(VoteWeights().Covers(SiteSet{0, 63}));  // uniform covers all
+}
+
+TEST(VoteWeightsTest, WeightBeyondTableIsAContractViolation) {
+  // Historically WeightOf silently returned 1 past the end of the table,
+  // which let an accidentally short table flip grant/deny decisions (see
+  // ShortWeightTableFlipRegression). It is now a CHECK.
+  auto w = VoteWeights::Make({2, 1, 1});
+  ASSERT_TRUE(w.ok());
+  EXPECT_DEATH(w->WeightOf(9), "no entry");
+  EXPECT_DEATH(w->WeightOf(SiteSet{0, 9}), "no entry");
+}
+
+TEST(VoteWeightsTest, MakePaddedFillsWithOnes) {
+  auto w = VoteWeights::MakePadded({3, 2}, 4);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->WeightOf(0), 3);
+  EXPECT_EQ(w->WeightOf(1), 2);
+  EXPECT_EQ(w->WeightOf(2), 1);
+  EXPECT_EQ(w->WeightOf(3), 1);
+  EXPECT_TRUE(w->Covers(SiteSet{0, 1, 2, 3}));
+  EXPECT_TRUE(
+      VoteWeights::MakePadded({1, 2, 3}, 2).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      VoteWeights::MakePadded({1, -2}, 4).status().IsInvalidArgument());
+}
+
+TEST(VoteWeightsTest, ShortWeightTableFlipRegression) {
+  // The silent weight-1 default was not just cosmetic: with intended
+  // weights {1, 1, 3, 3} over placement {0, 1, 2, 3}, a table
+  // accidentally one entry short ({1, 1, 3}, old behaviour: site 3
+  // defaults to 1) gives group {1, 2} 4 votes of a 6-vote block —
+  // GRANTED — where the intended table gives 4 of 8 — an exact tie,
+  // DENIED without a tie-break rule.
+  ReplicaStore store = MustMake(SiteSet{0, 1, 2, 3});
+
+  auto intended = VoteWeights::Make({1, 1, 3, 3});
+  ASSERT_TRUE(intended.ok());
+  QuorumDecision correct = EvaluateDynamicQuorum(
+      store, SiteSet{1, 2}, TieBreak::kNone, nullptr, *intended);
+  EXPECT_FALSE(correct.granted);
+
+  auto padded_as_before = VoteWeights::MakePadded({1, 1, 3}, 4);
+  ASSERT_TRUE(padded_as_before.ok());
+  QuorumDecision flipped = EvaluateDynamicQuorum(
+      store, SiteSet{1, 2}, TieBreak::kNone, nullptr, *padded_as_before);
+  EXPECT_TRUE(flipped.granted);  // what the old silent default produced
 }
 
 TEST(QuorumTest, StrictMajorityGrants) {
@@ -151,6 +205,49 @@ TEST(QuorumTest, WeightedTieUsesMaxElement) {
   QuorumDecision d2 = EvaluateDynamicQuorum(
       store, SiteSet{2}, TieBreak::kLexicographic, nullptr, *w);
   EXPECT_FALSE(d2.granted);
+}
+
+TEST(QuorumTest, WeightedTieUnderPlainAndTopologicalRules) {
+  // Non-uniform weights {1, 2, 2, 1} over Section 3's network (A, B on
+  // segment alpha; C on gamma; D on delta): total weight 6, and both
+  // {A, B} and {C, D} weigh exactly half. The lexicographic rule must
+  // resolve the 2*w(counted) == w(Pm) branch identically under the plain
+  // and topological vote counts — only the composition of the counted
+  // set differs.
+  auto topo = Section3Network();
+  auto w = VoteWeights::Make({1, 2, 2, 1});
+  ASSERT_TRUE(w.ok());
+  ReplicaStore store = MustMake(SiteSet{0, 1, 2, 3});
+
+  // Plain rule, group {A, B}: counted = Q = {0, 1}, weight 3 of 6, and
+  // max(Pm) = A is reachable: granted by tie-break.
+  QuorumDecision ab = EvaluateDynamicQuorum(
+      store, SiteSet{0, 1}, TieBreak::kLexicographic, nullptr, *w);
+  EXPECT_TRUE(ab.granted);
+  EXPECT_TRUE(ab.by_tie_break);
+  // Plain rule, group {C, D}: also weight 3 of 6 but without max(Pm):
+  // denied — and DV (no tie-break) denies both halves.
+  QuorumDecision cd = EvaluateDynamicQuorum(
+      store, SiteSet{2, 3}, TieBreak::kLexicographic, nullptr, *w);
+  EXPECT_FALSE(cd.granted);
+  QuorumDecision dv = EvaluateDynamicQuorum(store, SiteSet{0, 1},
+                                            TieBreak::kNone, nullptr, *w);
+  EXPECT_FALSE(dv.granted);
+
+  // Topological rule, group {A} alone: A carries segment-mate B, so the
+  // counted set is {0, 1} with the same half-weight tie, resolved the
+  // same way.
+  QuorumDecision a = EvaluateDynamicQuorum(
+      store, SiteSet{0}, TieBreak::kLexicographic, topo.get(), *w);
+  EXPECT_EQ(a.counted_set, (SiteSet{0, 1}));
+  EXPECT_TRUE(a.granted);
+  EXPECT_TRUE(a.by_tie_break);
+  // Topological rule, group {C, D}: no cross-segment carry, tie without
+  // max(Pm): denied.
+  QuorumDecision tcd = EvaluateDynamicQuorum(
+      store, SiteSet{2, 3}, TieBreak::kLexicographic, topo.get(), *w);
+  EXPECT_EQ(tcd.counted_set, (SiteSet{2, 3}));
+  EXPECT_FALSE(tcd.granted);
 }
 
 TEST(QuorumTest, TopologicalClosureCarriesSegmentMates) {

@@ -96,6 +96,42 @@ TEST(WitnessTest, RecoveringWitnessDoesNotCopyTheFile) {
   EXPECT_EQ(dv->counter()->count(MessageKind::kFileCopy), 0u);
 }
 
+TEST(WitnessTest, StaleDataCopyWithoutDataSourceGetsDistinctRefusal) {
+  // Data copies 1, 2 and witness 0. Copy 2 misses a write (block shrinks
+  // to {0, 1}, version advances), then 1 fails and 2 returns: the group
+  // {0, 2} wins the raw vote by tie-break (Q = {0}, half of Pm = {0, 1}
+  // with its max element), but the only current member is the witness —
+  // there is no data source for 2's stale copy. The recovery must be
+  // refused with the witness-specific status, and no file copy may be
+  // counted: historically Recover incremented kFileCopy on the counting
+  // path whether or not a transfer could be delivered.
+  auto topo = SingleSegment(3);
+  auto dv = MakeWithWitness(topo, SiteSet{0, 1, 2}, SiteSet{0});
+  NetworkState net(topo);
+  net.SetSiteUp(2, false);
+  dv->OnNetworkEvent(net);
+  ASSERT_TRUE(dv->Write(net, 1).ok());
+  net.SetSiteUp(1, false);
+  net.SetSiteUp(2, true);
+  dv->OnNetworkEvent(net);
+
+  Status st = dv->Recover(net, 2);
+  EXPECT_TRUE(st.IsNoQuorum()) << st;
+  EXPECT_NE(st.ToString().find("no reachable data source"),
+            std::string::npos)
+      << st;
+  EXPECT_EQ(dv->counter()->count(MessageKind::kFileCopy), 0u);
+  // Site 2 stays stale — nothing was committed.
+  EXPECT_LT(dv->store().state(2).version, dv->store().state(0).version);
+
+  // Once data copy 1 returns the same recovery succeeds, with exactly
+  // one file transfer, counted and delivered together.
+  net.SetSiteUp(1, true);
+  dv->OnNetworkEvent(net);
+  EXPECT_EQ(dv->store().state(2).version, dv->store().state(1).version);
+  EXPECT_EQ(dv->counter()->count(MessageKind::kFileCopy), 1u);
+}
+
 TEST(WitnessTest, OptimisticWitnessVariant) {
   auto topo = SingleSegment(3);
   DynamicVotingOptions options;

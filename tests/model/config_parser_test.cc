@@ -139,5 +139,41 @@ TEST(ConfigParserTest, LoadMissingFileFails) {
   EXPECT_FALSE(LoadNetworkConfig("/no/such/file.net").ok());
 }
 
+TEST(ConfigParserTest, ExperimentDeclarationDefaults) {
+  auto config = ParseNetworkConfig(kSmallConfig);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->replications, 1);
+  EXPECT_EQ(config->jobs, 1);
+}
+
+TEST(ConfigParserTest, ExperimentDeclarationParsesAndRoundTrips) {
+  auto config = ParseNetworkConfig(std::string(kSmallConfig) +
+                                   "experiment replications=8 jobs=4\n");
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_EQ(config->replications, 8);
+  EXPECT_EQ(config->jobs, 4);
+
+  std::string rendered = NetworkConfigToString(*config);
+  auto reparsed = ParseNetworkConfig(rendered);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << rendered;
+  EXPECT_EQ(reparsed->replications, 8);
+  EXPECT_EQ(reparsed->jobs, 4);
+  EXPECT_EQ(NetworkConfigToString(*reparsed), rendered);
+}
+
+TEST(ConfigParserTest, ExperimentDeclarationValidates) {
+  auto bad_reps = ParseNetworkConfig("experiment replications=0\n");
+  EXPECT_TRUE(bad_reps.status().IsInvalidArgument());
+  auto fractional = ParseNetworkConfig("experiment replications=1.5\n");
+  EXPECT_TRUE(fractional.status().IsInvalidArgument());
+  auto negative = ParseNetworkConfig("experiment jobs=-2\n");
+  EXPECT_TRUE(negative.status().IsInvalidArgument());
+  auto unknown = ParseNetworkConfig("experiment threads=4\n");
+  EXPECT_TRUE(unknown.status().IsInvalidArgument());
+  auto duplicate = ParseNetworkConfig(
+      "experiment jobs=2\nexperiment jobs=3\n");
+  EXPECT_TRUE(duplicate.status().IsInvalidArgument());
+}
+
 }  // namespace
 }  // namespace dynvote

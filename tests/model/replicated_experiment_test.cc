@@ -1,0 +1,165 @@
+#include "model/replicated_experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "model/export.h"
+#include "util/rng.h"
+
+namespace dynvote {
+namespace {
+
+ExperimentOptions ShortOptions() {
+  ExperimentOptions options;
+  options.warmup = Days(30);
+  options.num_batches = 5;
+  options.batch_length = Years(2);
+  options.seed = 12345;
+  return options;
+}
+
+ReplicationOptions Reps(int replications, int jobs) {
+  ReplicationOptions r;
+  r.replications = replications;
+  r.jobs = jobs;
+  return r;
+}
+
+TEST(ReplicationSeedTest, ReplicationZeroIsTheMasterSeed) {
+  EXPECT_EQ(ReplicationSeed(12345, 0), 12345u);
+  EXPECT_EQ(ReplicationSeed(0, 0), 0u);
+}
+
+TEST(ReplicationSeedTest, FollowsTheSplitMixStream) {
+  SplitMix64 mix(99);
+  EXPECT_EQ(ReplicationSeed(99, 1), mix.Next());
+  EXPECT_EQ(ReplicationSeed(99, 2), mix.Next());
+  EXPECT_EQ(ReplicationSeed(99, 3), mix.Next());
+}
+
+TEST(ReplicationSeedTest, SeedsAreDistinct) {
+  for (int r = 1; r < 16; ++r) {
+    EXPECT_NE(ReplicationSeed(12345, r), ReplicationSeed(12345, r - 1));
+  }
+}
+
+TEST(ReplicatedExperimentTest, ValidatesOptions) {
+  EXPECT_TRUE(RunReplicatedPaperExperiment('A', {"MCV"}, ShortOptions(),
+                                           Reps(0, 1))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(RunReplicatedPaperExperiment('A', {"MCV"}, ShortOptions(),
+                                           Reps(1, -1))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ReplicatedExperimentTest, SingleReplicationMatchesSequentialRun) {
+  // --reps=1 must reproduce today's sequential output exactly: same seed,
+  // same sample path, same counters.
+  auto sequential =
+      RunPaperExperiment('B', PaperProtocolNames(), ShortOptions());
+  ASSERT_TRUE(sequential.ok()) << sequential.status();
+
+  auto replicated = RunReplicatedPaperExperiment(
+      'B', PaperProtocolNames(), ShortOptions(), Reps(1, 1));
+  ASSERT_TRUE(replicated.ok()) << replicated.status();
+  ASSERT_EQ(replicated->per_replication.size(), 1u);
+  ASSERT_EQ(replicated->seeds.size(), 1u);
+  EXPECT_EQ(replicated->seeds[0], ShortOptions().seed);
+
+  const std::vector<PolicyResult>& rep0 = replicated->per_replication[0];
+  ASSERT_EQ(rep0.size(), sequential->size());
+  for (std::size_t p = 0; p < rep0.size(); ++p) {
+    EXPECT_EQ(rep0[p].name, (*sequential)[p].name);
+    EXPECT_EQ(rep0[p].unavailability, (*sequential)[p].unavailability);
+    EXPECT_EQ(rep0[p].accesses_attempted,
+              (*sequential)[p].accesses_attempted);
+    EXPECT_EQ(rep0[p].accesses_granted, (*sequential)[p].accesses_granted);
+    EXPECT_EQ(rep0[p].messages.Total(), (*sequential)[p].messages.Total());
+    EXPECT_EQ(rep0[p].time_to_first_outage,
+              (*sequential)[p].time_to_first_outage);
+  }
+
+  // MeanPolicyResults with R=1 is exactly replication 0.
+  std::vector<PolicyResult> mean = MeanPolicyResults(*replicated);
+  ASSERT_EQ(mean.size(), rep0.size());
+  for (std::size_t p = 0; p < mean.size(); ++p) {
+    EXPECT_EQ(mean[p].unavailability, rep0[p].unavailability);
+    EXPECT_EQ(mean[p].stats.ci95_halfwidth, rep0[p].stats.ci95_halfwidth);
+  }
+}
+
+TEST(ReplicatedExperimentTest, JobCountNeverChangesResults) {
+  // The determinism contract: serialized output is byte-identical for
+  // any --jobs value.
+  auto serial = RunReplicatedPaperExperiment('B', {"MCV", "LDV", "ODV"},
+                                             ShortOptions(), Reps(4, 1));
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  auto parallel = RunReplicatedPaperExperiment('B', {"MCV", "LDV", "ODV"},
+                                               ShortOptions(), Reps(4, 8));
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  EXPECT_EQ(ReplicatedResultsToJson("B", *serial),
+            ReplicatedResultsToJson("B", *parallel));
+}
+
+TEST(ReplicatedExperimentTest, AggregateMatchesPerReplicationRows) {
+  auto results = RunReplicatedPaperExperiment('A', {"MCV", "LDV"},
+                                              ShortOptions(), Reps(3, 2));
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_EQ(results->per_replication.size(), 3u);
+  ASSERT_EQ(results->aggregate.size(), 2u);
+
+  for (std::size_t p = 0; p < results->aggregate.size(); ++p) {
+    const AggregatePolicyResult& agg = results->aggregate[p];
+    EXPECT_EQ(agg.replications, 3);
+    double sum = 0.0;
+    std::uint64_t attempted = 0;
+    for (const auto& rows : results->per_replication) {
+      EXPECT_EQ(rows[p].name, agg.name);
+      sum += rows[p].unavailability;
+      attempted += rows[p].accesses_attempted;
+    }
+    EXPECT_NEAR(agg.unavailability.mean, sum / 3.0, 1e-15);
+    EXPECT_EQ(agg.accesses_attempted, attempted);
+    EXPECT_EQ(agg.unavailability.num_samples +
+                  agg.unavailability.num_censored,
+              3);
+    // Every replication either saw an outage or was censored.
+    EXPECT_EQ(agg.time_to_first_outage.num_samples +
+                  agg.time_to_first_outage.num_censored,
+              3);
+  }
+}
+
+TEST(ReplicatedExperimentTest, ReplicationsAreIndependentSamplePaths) {
+  // Different seeds must give different sample paths; with three 10-year
+  // replications of a partition-prone configuration the access counts
+  // essentially cannot collide all at once.
+  auto results = RunReplicatedPaperExperiment('B', {"LDV"}, ShortOptions(),
+                                              Reps(3, 1));
+  ASSERT_TRUE(results.ok()) << results.status();
+  const auto& reps = results->per_replication;
+  EXPECT_FALSE(reps[0][0].accesses_attempted ==
+                   reps[1][0].accesses_attempted &&
+               reps[1][0].accesses_attempted ==
+                   reps[2][0].accesses_attempted)
+      << "three replications produced identical access streams";
+}
+
+TEST(ReplicatedExperimentTest, FactoryErrorsPropagate) {
+  auto results = RunReplicatedPaperExperiment('A', {"NOPE"}, ShortOptions(),
+                                              Reps(2, 2));
+  EXPECT_TRUE(results.status().IsInvalidArgument());
+}
+
+TEST(ReplicatedExperimentTest, NullFactoryIsRejected) {
+  ExperimentSpec spec;
+  EXPECT_TRUE(RunReplicatedExperiment(spec, ProtocolSetFactory(),
+                                      Reps(1, 1))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,83 @@
+#include "stats/replication_stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/batch_means.h"
+
+namespace dynvote {
+namespace {
+
+TEST(ReplicationStatsTest, EmptySummaryIsAllZero) {
+  ReplicationStats stats;
+  ReplicationSummary s = stats.Summary();
+  EXPECT_EQ(s.num_samples, 0);
+  EXPECT_EQ(s.num_censored, 0);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.ci95_halfwidth, 0.0);
+}
+
+TEST(ReplicationStatsTest, SingleSampleHasNoInterval) {
+  ReplicationStats stats;
+  stats.Add(3.5);
+  ReplicationSummary s = stats.Summary();
+  EXPECT_EQ(s.num_samples, 1);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.ci95_halfwidth, 0.0);
+}
+
+TEST(ReplicationStatsTest, MatchesHandComputedMoments) {
+  // Values 2, 4, 6: mean 4, sample variance ((4+0+4)/2) = 4, stddev 2.
+  ReplicationStats stats;
+  stats.Add(2.0);
+  stats.Add(4.0);
+  stats.Add(6.0);
+  ReplicationSummary s = stats.Summary();
+  EXPECT_EQ(s.num_samples, 3);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  // t(0.975, df=2) * 2 / sqrt(3).
+  EXPECT_NEAR(s.ci95_halfwidth, StudentT975(2) * 2.0 / std::sqrt(3.0),
+              1e-12);
+}
+
+TEST(ReplicationStatsTest, CensoredObservationsAreExcludedFromMoments) {
+  ReplicationStats stats;
+  stats.Add(10.0);
+  stats.Add(20.0);
+  stats.AddCensored();
+  stats.AddCensored();
+  ReplicationSummary s = stats.Summary();
+  EXPECT_EQ(s.num_samples, 2);
+  EXPECT_EQ(s.num_censored, 2);
+  // The mean is over the two uncensored values only — a censored
+  // time-to-first-outage must not drag the estimate toward the horizon.
+  EXPECT_DOUBLE_EQ(s.mean, 15.0);
+}
+
+TEST(ReplicationStatsTest, ToStringMentionsCensoring) {
+  ReplicationStats stats;
+  stats.Add(1.0);
+  stats.AddCensored();
+  std::string text = stats.Summary().ToString();
+  EXPECT_NE(text.find("censored=1"), std::string::npos) << text;
+  EXPECT_NE(text.find("R=1"), std::string::npos) << text;
+}
+
+TEST(ReplicationStatsTest, IdenticalValuesGiveZeroWidthInterval) {
+  ReplicationStats stats;
+  for (int i = 0; i < 8; ++i) stats.Add(0.25);
+  ReplicationSummary s = stats.Summary();
+  EXPECT_DOUBLE_EQ(s.mean, 0.25);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.ci95_halfwidth, 0.0);
+}
+
+}  // namespace
+}  // namespace dynvote

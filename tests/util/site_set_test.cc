@@ -1,5 +1,6 @@
 #include "util/site_set.h"
 
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -57,6 +58,15 @@ TEST(SiteSetTest, FirstN) {
   EXPECT_EQ(SiteSet::FirstN(0), SiteSet());
   EXPECT_EQ(SiteSet::FirstN(3), (SiteSet{0, 1, 2}));
   EXPECT_EQ(SiteSet::FirstN(64).Size(), 64);
+  EXPECT_EQ(SiteSet::FirstN(100).Size(), 64);  // clamped high
+}
+
+TEST(SiteSetTest, FirstNClampsNegativeToEmpty) {
+  // A negative n used to reach `1 << n`, which is undefined behaviour;
+  // it now clamps to the empty set like n == 0.
+  EXPECT_EQ(SiteSet::FirstN(-1), SiteSet());
+  EXPECT_EQ(SiteSet::FirstN(-64), SiteSet());
+  EXPECT_EQ(SiteSet::FirstN(std::numeric_limits<int>::min()), SiteSet());
 }
 
 TEST(SiteSetTest, SetAlgebra) {

@@ -1,0 +1,94 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dynvote {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+}
+
+TEST(ThreadPoolTest, WaitCanBeReusedAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&count] { ++count; });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), 10 * (batch + 1));
+  }
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitFurtherTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&pool, &count] {
+    ++count;
+    for (int i = 0; i < 5; ++i) {
+      pool.Submit([&count] { ++count; });
+    }
+  });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 6);
+}
+
+TEST(ThreadPoolTest, SlotWritesAreVisibleAfterWait) {
+  // The intended usage pattern: each task writes its own pre-assigned
+  // slot, the coordinator reads all slots after Wait().
+  ThreadPool pool(4);
+  std::vector<int> slots(64, -1);
+  for (int i = 0; i < 64; ++i) {
+    int* slot = &slots[i];
+    pool.Submit([slot, i] { *slot = i * i; });
+  }
+  pool.Wait();
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(slots[i], i * i) << "slot " << i;
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&count] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++count;
+      });
+    }
+  }  // destructor must run all 20 before joining
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+}  // namespace
+}  // namespace dynvote

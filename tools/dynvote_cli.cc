@@ -4,6 +4,9 @@
 //   dynvote analyze  [--network=FILE] --sites=a,b,c
 //   dynvote simulate [--network=FILE] --sites=a,b,c [--policies=...]
 //                    [--years=N] [--rate=R] [--seed=N] [--csv=PATH]
+//   dynvote repeat   [--network=FILE] --sites=a,b,c [--policies=...]
+//                    [--years=N] [--rate=R] [--seed=N] [--reps=N]
+//                    [--jobs=M] [--json=PATH]
 //   dynvote scenario [--network=FILE] --sites=a,b,c [--protocol=LDV]
 //                    <script.dvs>
 //
@@ -11,7 +14,9 @@
 // be given either by name (csvax, ..., mangle) or by the paper's 1-based
 // numbers. `analyze` reports partition points, the reachable partition
 // patterns and the closed-form static-voting availability; `simulate`
-// runs the discrete-event model; `scenario` executes a fault script
+// runs the discrete-event model; `repeat` runs R independent
+// replications of it in parallel and reports cross-replication means
+// with 95 % confidence intervals; `scenario` executes a fault script
 // against a replicated KV store.
 
 #include <fstream>
@@ -26,6 +31,7 @@
 #include "model/config_parser.h"
 #include "model/experiment.h"
 #include "model/export.h"
+#include "model/replicated_experiment.h"
 #include "model/site_profile.h"
 #include "net/partition_analysis.h"
 #include "stats/table.h"
@@ -41,20 +47,29 @@ struct Options {
   std::string policies = "MCV,DV,LDV,ODV,TDV,OTDV";
   std::string protocol = "LDV";
   std::string csv_path;
+  std::string json_path;
   std::string positional;  // scenario script path
   double years = 100.0;
   double rate = 1.0;
   std::uint64_t seed = 20260704;
+  // repeat: -1 = take the value from the network file's `experiment`
+  // declaration (default 1).
+  int reps = -1;
+  int jobs = -1;
 };
 
 int Usage() {
   std::cerr <<
-      "usage: dynvote <print|analyze|simulate|scenario> [options]\n"
+      "usage: dynvote <print|analyze|simulate|repeat|scenario> [options]\n"
       "  --network=FILE   network description (default: the paper's)\n"
       "  --sites=a,b,c    copy placement (names, or 1-8 on the paper "
       "network)\n"
-      "  --policies=...   simulate: protocols to compare\n"
+      "  --policies=...   simulate/repeat: protocols to compare\n"
       "  --protocol=P     scenario: protocol to run\n"
+      "  --reps=N         repeat: independent replications\n"
+      "  --jobs=M         repeat: worker threads (0 = all cores; never "
+      "changes results)\n"
+      "  --json=PATH      repeat: write per-replication + aggregate JSON\n"
       "  --years=N --rate=R --seed=N --csv=PATH\n";
   return 2;
 }
@@ -78,6 +93,18 @@ Result<Options> Parse(int argc, char** argv) {
       opt.protocol = value("--protocol=");
     } else if (a.rfind("--csv=", 0) == 0) {
       opt.csv_path = value("--csv=");
+    } else if (a.rfind("--json=", 0) == 0) {
+      opt.json_path = value("--json=");
+    } else if (a.rfind("--reps=", 0) == 0) {
+      opt.reps = std::stoi(value("--reps="));
+      if (opt.reps < 1) {
+        return Status::InvalidArgument("--reps must be >= 1");
+      }
+    } else if (a.rfind("--jobs=", 0) == 0) {
+      opt.jobs = std::stoi(value("--jobs="));
+      if (opt.jobs < 0) {
+        return Status::InvalidArgument("--jobs must be >= 0 (0 = all cores)");
+      }
     } else if (a.rfind("--years=", 0) == 0) {
       opt.years = std::stod(value("--years="));
     } else if (a.rfind("--rate=", 0) == 0) {
@@ -293,6 +320,88 @@ int Simulate(const Options& opt) {
   return 0;
 }
 
+int Repeat(const Options& opt) {
+  auto network = LoadNetwork(opt);
+  if (!network.ok()) {
+    std::cerr << network.status() << "\n";
+    return 1;
+  }
+  auto placement = ResolveSites(*network, opt.sites);
+  if (!placement.ok()) {
+    std::cerr << placement.status() << "\n";
+    return 1;
+  }
+
+  ExperimentSpec spec;
+  spec.topology = network->topology;
+  spec.profiles = network->profiles;
+  spec.repeater_profiles = network->repeater_profiles;
+  spec.options.warmup = Days(360);
+  spec.options.num_batches = 20;
+  spec.options.batch_length = Years(opt.years / 20.0);
+  spec.options.access.rate_per_day = opt.rate;
+  spec.options.seed = opt.seed;
+
+  // Command line wins; the network file's `experiment` declaration
+  // supplies defaults.
+  ReplicationOptions replication;
+  replication.replications = opt.reps >= 1 ? opt.reps : network->replications;
+  replication.jobs = opt.jobs >= 0 ? opt.jobs : network->jobs;
+
+  std::vector<std::string> policies;
+  std::stringstream ss(opt.policies);
+  std::string name;
+  while (std::getline(ss, name, ',')) {
+    if (!name.empty()) policies.push_back(name);
+  }
+  std::shared_ptr<const Topology> topology = network->topology;
+  SiteSet sites = *placement;
+  ProtocolSetFactory factory =
+      [topology, sites, policies]()
+      -> Result<std::vector<std::unique_ptr<ConsistencyProtocol>>> {
+    std::vector<std::unique_ptr<ConsistencyProtocol>> protocols;
+    for (const std::string& policy : policies) {
+      auto p = MakeProtocolByName(policy, topology, sites);
+      if (!p.ok()) return p.status();
+      protocols.push_back(p.MoveValue());
+    }
+    return protocols;
+  };
+
+  auto results = RunReplicatedExperiment(spec, factory, replication);
+  if (!results.ok()) {
+    std::cerr << results.status() << "\n";
+    return 1;
+  }
+
+  std::cout << replication.replications << " replication(s), master seed "
+            << opt.seed << "\n";
+  TextTable table({"Policy", "Unavailability", "95% CI ±", "Min", "Max",
+                   "Outage reps", "First outage (d)", "Censored"});
+  for (const AggregatePolicyResult& agg : results->aggregate) {
+    const ReplicationSummary& u = agg.unavailability;
+    const ReplicationSummary& f = agg.time_to_first_outage;
+    table.AddRow({agg.name, TextTable::Fixed6(u.mean),
+                  TextTable::Fixed6(u.ci95_halfwidth),
+                  TextTable::Fixed6(u.min), TextTable::Fixed6(u.max),
+                  std::to_string(agg.replications_with_outages) + "/" +
+                      std::to_string(agg.replications),
+                  f.num_samples > 0 ? TextTable::Fixed(f.mean, 1) : "-",
+                  std::to_string(f.num_censored)});
+  }
+  std::cout << table.ToString();
+  if (!opt.json_path.empty()) {
+    Status st = WriteFile(opt.json_path,
+                          ReplicatedResultsToJson(opt.sites, *results));
+    if (!st.ok()) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << opt.json_path << "\n";
+  }
+  return 0;
+}
+
 int RunScenario(const Options& opt) {
   if (opt.positional.empty()) {
     std::cerr << "scenario needs a script path\n";
@@ -347,6 +456,7 @@ int Main(int argc, char** argv) {
   if (opt->command == "print") return Print(*opt);
   if (opt->command == "analyze") return Analyze(*opt);
   if (opt->command == "simulate") return Simulate(*opt);
+  if (opt->command == "repeat") return Repeat(*opt);
   if (opt->command == "scenario") return RunScenario(*opt);
   std::cerr << "unknown command '" << opt->command << "'\n";
   return Usage();
