@@ -38,6 +38,9 @@ struct BenchArgs {
   /// Worker threads for the replications (0 = all cores). Never changes
   /// results, only wall-clock time.
   int jobs = 1;
+  /// Grant-decision memoization (--no-quorum-cache disables). Never
+  /// changes results, only wall-clock time.
+  bool quorum_cache = true;
 };
 
 /// Parses --years=, --batches=, --seed=, --configs=, --reps=, --jobs=,
@@ -64,6 +67,8 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       args.reps = std::stoi(value_of("--reps="));
     } else if (a.rfind("--jobs=", 0) == 0) {
       args.jobs = std::stoi(value_of("--jobs="));
+    } else if (a == "--no-quorum-cache") {
+      args.quorum_cache = false;
     } else if (a == "--verbose") {
       args.verbose = true;
     }
@@ -88,6 +93,7 @@ inline ExperimentOptions MakeOptions(const BenchArgs& args) {
   options.access.rate_per_day = 1.0;  // the paper's one access per day
   options.access.write_fraction = 0.5;
   options.seed = args.seed;
+  options.quorum_cache = args.quorum_cache;
   return options;
 }
 

@@ -1,0 +1,485 @@
+// Microbenchmark of the simulation hot path — connectivity refresh,
+// quorum evaluation and the per-event sample/quorum loop — measured
+// before vs. after the cached-connectivity / memoized-decision overhaul.
+//
+// "Before" is reproduced two ways: the pre-overhaul NetworkState and
+// topological-closure algorithms are embedded here verbatim as Legacy*
+// reference implementations, and the decision memoization is toggled off
+// through the same escape hatch as --no-quorum-cache. Either way the
+// outputs are identical (asserted by tests); only the time changes.
+//
+// Results are written to BENCH_hotpath.json (override with --out=PATH) in
+// a stable schema so successive PRs can track the perf trajectory:
+//
+//   {
+//     "schema": "dynvote-hotpath-bench-v1",
+//     "unit": "ns_per_op",
+//     "benchmarks": [
+//       {"name": "...", "ns_per_op": N, "ops": N,
+//        "baseline": "legacy" | "no-cache",
+//        "baseline_ns_per_op": N, "speedup": N},
+//       ...
+//     ]
+//   }
+//
+// Every entry carries ns_per_op; paired entries also carry their
+// baseline's ns_per_op and the speedup ratio. New benchmarks may be
+// appended, but existing names and fields must keep their meaning.
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/quorum.h"
+#include "core/registry.h"
+#include "model/experiment.h"
+#include "model/site_profile.h"
+#include "net/network_state.h"
+#include "util/rng.h"
+#include "util/site_set.h"
+
+namespace dynvote {
+namespace {
+
+// ---------------------------------------------------------------------
+// Legacy reference implementations (the seed's algorithms, kept verbatim
+// so the before/after comparison stays honest as the library evolves).
+// ---------------------------------------------------------------------
+
+/// The pre-overhaul NetworkState: vector<bool> site state, union-find
+/// rebuilt lazily, and a fresh vector allocated by every Components()
+/// and ComponentOf() call.
+class LegacyNetworkState {
+ public:
+  explicit LegacyNetworkState(std::shared_ptr<const Topology> topology)
+      : topology_(std::move(topology)) {
+    site_up_.assign(topology_->num_sites(), true);
+    repeater_up_.assign(topology_->num_repeaters(), true);
+    segment_root_.assign(topology_->num_segments(), 0);
+  }
+
+  void SetSiteUp(SiteId site, bool up) {
+    if (site_up_[site] != up) {
+      site_up_[site] = up;
+      dirty_ = true;
+    }
+  }
+
+  bool IsSiteUp(SiteId site) const { return site_up_[site]; }
+
+  SiteSet ComponentOf(SiteId site) const {
+    if (!site_up_[site]) return SiteSet();
+    Refresh();
+    int root = segment_root_[topology_->SegmentOf(site)];
+    SiteSet component;
+    for (SiteId s = 0; s < topology_->num_sites(); ++s) {
+      if (site_up_[s] && segment_root_[topology_->SegmentOf(s)] == root) {
+        component.Add(s);
+      }
+    }
+    return component;
+  }
+
+  std::vector<SiteSet> Components() const {
+    Refresh();
+    std::vector<SiteSet> by_root(topology_->num_segments());
+    for (SiteId s = 0; s < topology_->num_sites(); ++s) {
+      if (site_up_[s]) {
+        by_root[segment_root_[topology_->SegmentOf(s)]].Add(s);
+      }
+    }
+    std::vector<SiteSet> out;
+    for (const SiteSet& group : by_root) {
+      if (!group.Empty()) out.push_back(group);
+    }
+    return out;
+  }
+
+ private:
+  void Refresh() const {
+    if (!dirty_) return;
+    std::iota(segment_root_.begin(), segment_root_.end(), 0);
+    for (const BridgeInfo& b : topology_->bridges()) {
+      bool bridge_up = b.gateway_site.has_value()
+                           ? site_up_[*b.gateway_site]
+                           : repeater_up_[b.repeater];
+      if (!bridge_up) continue;
+      int ra = FindRoot(b.segment_a);
+      int rb = FindRoot(b.segment_b);
+      if (ra != rb) segment_root_[rb] = ra;
+    }
+    for (int seg = 0; seg < topology_->num_segments(); ++seg) {
+      segment_root_[seg] = FindRoot(seg);
+    }
+    dirty_ = false;
+  }
+
+  int FindRoot(int segment) const {
+    int root = segment;
+    while (segment_root_[root] != root) root = segment_root_[root];
+    while (segment_root_[segment] != root) {
+      int next = segment_root_[segment];
+      segment_root_[segment] = root;
+      segment = next;
+    }
+    return root;
+  }
+
+  std::shared_ptr<const Topology> topology_;
+  std::vector<bool> site_up_;
+  std::vector<bool> repeater_up_;
+  mutable std::vector<int> segment_root_;
+  mutable bool dirty_ = true;
+};
+
+/// The pre-overhaul topological closure: the O(|Pm| * |active|) site-pair
+/// loop that EvaluateDynamicQuorum used before per-segment mask unions.
+SiteSet LegacyTopologicalClosure(const Topology& topology,
+                                 SiteSet prev_partition,
+                                 SiteSet reachable_copies) {
+  SiteSet active_members = prev_partition.Intersect(reachable_copies);
+  SiteSet closure;
+  for (SiteId r : prev_partition) {
+    for (SiteId s : active_members) {
+      if (topology.SameSegment(r, s)) {
+        closure.Add(r);
+        break;
+      }
+    }
+  }
+  return closure;
+}
+
+// ---------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------
+
+struct BenchEntry {
+  std::string name;
+  double ns_per_op = 0.0;
+  std::uint64_t ops = 0;
+  // Empty baseline = standalone measurement.
+  std::string baseline;
+  double baseline_ns_per_op = 0.0;
+};
+
+/// Runs `body(iters)` with doubling iteration counts until the run takes
+/// at least `min_ms`, then reports ns per iteration of the final run.
+template <typename Body>
+BenchEntry Measure(const std::string& name, double min_ms, Body&& body) {
+  using Clock = std::chrono::steady_clock;
+  std::uint64_t iters = 64;
+  for (;;) {
+    auto t0 = Clock::now();
+    body(iters);
+    auto t1 = Clock::now();
+    double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms >= min_ms || iters >= (std::uint64_t{1} << 32)) {
+      BenchEntry entry;
+      entry.name = name;
+      entry.ops = iters;
+      entry.ns_per_op = ms * 1e6 / static_cast<double>(iters);
+      return entry;
+    }
+    iters *= (ms <= min_ms / 16.0) ? 8 : 2;
+  }
+}
+
+/// The paper network with a five-copy placement (paper sites 1, 2, 4, 6,
+/// 8): copies on every segment side of both repeaters, the configuration
+/// that stresses components, closure and quorum paths together.
+constexpr SiteSet kFiveCopyPlacement{0, 1, 3, 5, 7};
+
+std::vector<std::unique_ptr<ConsistencyProtocol>> MakePaperProtocols(
+    std::shared_ptr<const Topology> topology, SiteSet placement) {
+  std::vector<std::unique_ptr<ConsistencyProtocol>> protocols;
+  for (const std::string& name : PaperProtocolNames()) {
+    auto p = MakeProtocolByName(name, topology, placement);
+    if (!p.ok()) {
+      std::cerr << "protocol " << name << ": " << p.status() << std::endl;
+      std::exit(1);
+    }
+    protocols.push_back(p.MoveValue());
+  }
+  return protocols;
+}
+
+/// One pass of experiment.cc's availability sample over every protocol
+/// and every group of communicating sites. Returns the number of granted
+/// (protocol, group) pairs so the work cannot be optimized away.
+int SampleOnce(
+    const NetworkState& net,
+    const std::vector<std::unique_ptr<ConsistencyProtocol>>& protocols) {
+  int granted = 0;
+  for (const auto& protocol : protocols) {
+    for (const SiteSet& group : net.Components()) {
+      SiteSet copies = group.Intersect(protocol->placement());
+      if (copies.Empty()) continue;
+      if (protocol->CachedWouldGrant(net, copies.RankMax(),
+                                     AccessType::kWrite)) {
+        ++granted;
+      }
+    }
+  }
+  return granted;
+}
+
+// ---------------------------------------------------------------------
+// Benchmarks
+// ---------------------------------------------------------------------
+
+/// Mutate-then-query connectivity: one site flip, then the component
+/// list, the dominant pattern of the simulation's network events.
+void BenchComponents(double min_ms, std::vector<BenchEntry>* out) {
+  auto paper = MakePaperNetwork();
+  const int num_sites = paper->topology->num_sites();
+
+  NetworkState net(paper->topology);
+  std::uint64_t side_effect = 0;
+  BenchEntry current =
+      Measure("components_after_flip", min_ms, [&](std::uint64_t iters) {
+        Rng rng(44);
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          SiteId s = static_cast<SiteId>(rng.NextBounded(num_sites));
+          net.SetSiteUp(s, !net.IsSiteUp(s));
+          side_effect += net.Components().size();
+        }
+      });
+
+  LegacyNetworkState legacy(paper->topology);
+  BenchEntry baseline = Measure(
+      "legacy_components_after_flip", min_ms, [&](std::uint64_t iters) {
+        Rng rng(44);
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          SiteId s = static_cast<SiteId>(rng.NextBounded(num_sites));
+          legacy.SetSiteUp(s, !legacy.IsSiteUp(s));
+          side_effect += legacy.Components().size();
+        }
+      });
+  current.baseline = "legacy";
+  current.baseline_ns_per_op = baseline.ns_per_op;
+  out->push_back(current);
+
+  // Query-only ComponentOf: the WouldGrant inner loop between events.
+  net.AllUp();
+  net.SetSiteUp(2, false);
+  net.SetSiteUp(4, false);
+  BenchEntry query =
+      Measure("component_of_query", min_ms, [&](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          side_effect += net.ComponentOf(static_cast<SiteId>(i % 2)).Size();
+        }
+      });
+  for (SiteId s = 0; s < num_sites; ++s) {
+    legacy.SetSiteUp(s, s != 2 && s != 4);  // mirror: 2 and 4 down
+  }
+  BenchEntry query_baseline = Measure(
+      "legacy_component_of_query", min_ms, [&](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          side_effect +=
+              legacy.ComponentOf(static_cast<SiteId>(i % 2)).Size();
+        }
+      });
+  query.baseline = "legacy";
+  query.baseline_ns_per_op = query_baseline.ns_per_op;
+  out->push_back(query);
+  if (side_effect == 0xDEAD) std::cerr << "";  // keep side_effect live
+}
+
+/// EvaluateDynamicQuorum with the topological rule: per-segment mask
+/// unions vs. the legacy site-pair closure loop.
+void BenchQuorum(double min_ms, std::vector<BenchEntry>* out) {
+  auto paper = MakePaperNetwork();
+  auto store = ReplicaStore::Make(kFiveCopyPlacement).MoveValue();
+  store.Commit(SiteSet{0, 1, 3}, 5, 3, SiteSet{0, 1, 3});
+  const SiteSet reachable{0, 1, 2, 3, 4};
+  std::int64_t side_effect = 0;
+
+  BenchEntry current =
+      Measure("quorum_topological", min_ms, [&](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          QuorumDecision d =
+              EvaluateDynamicQuorum(store, reachable,
+                                    TieBreak::kLexicographic,
+                                    paper->topology.get());
+          side_effect += d.granted + d.counted_set.Size();
+        }
+      });
+
+  // Legacy: same evaluation with the closure recomputed by the pair loop
+  // (the rest of the decision is shared, so the delta isolates the loop).
+  BenchEntry baseline = Measure(
+      "legacy_quorum_topological", min_ms, [&](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          QuorumDecision d = EvaluateDynamicQuorum(
+              store, reachable, TieBreak::kLexicographic, nullptr);
+          d.counted_set = LegacyTopologicalClosure(
+              *paper->topology, d.prev_partition, d.reachable_copies);
+          side_effect += d.granted + d.counted_set.Size();
+        }
+      });
+  current.baseline = "legacy";
+  current.baseline_ns_per_op = baseline.ns_per_op;
+  out->push_back(current);
+  if (side_effect == -1) std::cerr << "";
+}
+
+/// The acceptance benchmark: experiment.cc's sample loop over the six
+/// paper policies on the five-copy placement, network flips interleaved
+/// at a realistic events-per-change ratio, memoization on vs. off.
+void BenchSampleLoop(double min_ms, std::vector<BenchEntry>* out) {
+  auto paper = MakePaperNetwork();
+  const int num_sites = paper->topology->num_sites();
+  auto protocols = MakePaperProtocols(paper->topology, kFiveCopyPlacement);
+  NetworkState net(paper->topology);
+  std::int64_t side_effect = 0;
+
+  auto run = [&](bool cached, std::uint64_t iters) {
+    net.AllUp();
+    Rng rng(77);
+    for (auto& p : protocols) {
+      p->Reset();
+      p->set_quorum_cache_enabled(cached);
+    }
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      if (i % 16 == 0) {
+        // One network change per 16 samples: failures and repairs are
+        // rare next to the daily access samples they interleave with.
+        SiteId s = static_cast<SiteId>(rng.NextBounded(num_sites));
+        net.SetSiteUp(s, !net.IsSiteUp(s));
+      }
+      side_effect += SampleOnce(net, protocols);
+    }
+  };
+
+  BenchEntry cached =
+      Measure("sample_quorum_loop", min_ms,
+              [&](std::uint64_t iters) { run(true, iters); });
+  BenchEntry uncached =
+      Measure("sample_quorum_loop_nocache", min_ms,
+              [&](std::uint64_t iters) { run(false, iters); });
+  cached.baseline = "no-cache";
+  cached.baseline_ns_per_op = uncached.ns_per_op;
+  out->push_back(cached);
+  if (side_effect == -1) std::cerr << "";
+}
+
+/// End to end: one simulated year of the discrete-event experiment with
+/// all six policies on the five-copy placement, cache on vs. off. This is
+/// the unit the sweeps and --reps multiply by the thousands.
+void BenchExperimentYear(double min_ms, std::vector<BenchEntry>* out) {
+  auto paper = MakePaperNetwork();
+  ExperimentSpec spec;
+  spec.topology = paper->topology;
+  spec.profiles = paper->profiles;
+  spec.options.warmup = Days(0);
+  spec.options.num_batches = 1;
+  spec.options.batch_length = Years(1);
+
+  auto run = [&](bool cached, std::uint64_t iters) {
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      spec.options.seed = 1 + i;
+      spec.options.quorum_cache = cached;
+      auto protocols =
+          MakePaperProtocols(paper->topology, kFiveCopyPlacement);
+      auto results =
+          RunAvailabilityExperiment(spec, std::move(protocols));
+      if (!results.ok()) {
+        std::cerr << results.status() << std::endl;
+        std::exit(1);
+      }
+    }
+  };
+
+  BenchEntry cached =
+      Measure("experiment_year_5copies", min_ms,
+              [&](std::uint64_t iters) { run(true, iters); });
+  BenchEntry uncached =
+      Measure("experiment_year_5copies_nocache", min_ms,
+              [&](std::uint64_t iters) { run(false, iters); });
+  cached.baseline = "no-cache";
+  cached.baseline_ns_per_op = uncached.ns_per_op;
+  out->push_back(cached);
+}
+
+// ---------------------------------------------------------------------
+// Output
+// ---------------------------------------------------------------------
+
+std::string FormatDouble(double value) {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << value;
+  return os.str();
+}
+
+std::string ToJson(const std::vector<BenchEntry>& entries) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"dynvote-hotpath-bench-v1\",\n"
+     << "  \"unit\": \"ns_per_op\",\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const BenchEntry& e = entries[i];
+    os << "    {\"name\": \"" << e.name << "\", \"ns_per_op\": "
+       << FormatDouble(e.ns_per_op) << ", \"ops\": " << e.ops;
+    if (!e.baseline.empty()) {
+      os << ", \"baseline\": \"" << e.baseline
+         << "\", \"baseline_ns_per_op\": "
+         << FormatDouble(e.baseline_ns_per_op) << ", \"speedup\": "
+         << FormatDouble(e.baseline_ns_per_op / e.ns_per_op);
+    }
+    os << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+int Main(int argc, char** argv) {
+  std::string out_path = "BENCH_hotpath.json";
+  double min_ms = 200.0;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--out=", 0) == 0) {
+      out_path = a.substr(6);
+    } else if (a.rfind("--min-time-ms=", 0) == 0) {
+      min_ms = std::stod(a.substr(14));
+    }
+  }
+
+  std::vector<BenchEntry> entries;
+  BenchComponents(min_ms, &entries);
+  BenchQuorum(min_ms, &entries);
+  BenchSampleLoop(min_ms, &entries);
+  BenchExperimentYear(min_ms, &entries);
+
+  std::cout << "hotpath microbenchmarks (ns/op, baseline, speedup):\n";
+  for (const BenchEntry& e : entries) {
+    std::cout << "  " << e.name << ": " << FormatDouble(e.ns_per_op)
+              << " ns/op";
+    if (!e.baseline.empty()) {
+      std::cout << "  [" << e.baseline << ": "
+                << FormatDouble(e.baseline_ns_per_op) << " ns/op, speedup "
+                << FormatDouble(e.baseline_ns_per_op / e.ns_per_op) << "x]";
+    }
+    std::cout << "\n";
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << std::endl;
+    return 1;
+  }
+  out << ToJson(entries);
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace dynvote
+
+int main(int argc, char** argv) { return dynvote::Main(argc, argv); }

@@ -62,6 +62,12 @@ DynamicVoting::DynamicVoting(std::shared_ptr<const Topology> topology,
       name_(options_.name) {}
 
 QuorumDecision DynamicVoting::Evaluate(SiteSet group) const {
+  const bool memoize = quorum_cache_enabled();
+  if (memoize && eval_cache_.valid &&
+      eval_cache_.group_mask == group.mask() &&
+      eval_cache_.epoch == store_.epoch()) {
+    return eval_cache_.decision;
+  }
   QuorumDecision d = EvaluateDynamicQuorum(
       store_, group, options_.tie_break,
       options_.topological ? topology_.get() : nullptr, options_.weights);
@@ -73,6 +79,12 @@ QuorumDecision DynamicVoting::Evaluate(SiteSet group) const {
     d.granted = false;
     d.by_tie_break = false;
     d.witness_refused = true;
+  }
+  if (memoize) {
+    eval_cache_.valid = true;
+    eval_cache_.group_mask = group.mask();
+    eval_cache_.epoch = store_.epoch();
+    eval_cache_.decision = d;
   }
   return d;
 }

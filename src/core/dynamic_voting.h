@@ -98,9 +98,16 @@ class DynamicVoting final : public ConsistencyProtocol {
 
   void Reset() override { store_.Reset(); }
 
+  /// Decisions depend only on the store (options and topology are frozen
+  /// at construction), so the store epoch is a complete invalidation key.
+  std::uint64_t state_epoch() const override { return store_.epoch(); }
+
   /// Runs the majority-partition test of Algorithm 1 for the given group
   /// of mutually communicating sites, against current replica state.
-  /// Exposed for tests, benches and the KV store.
+  /// Exposed for tests, benches and the KV store. Pure given (group,
+  /// store epoch); the last decision is memoized because the access path
+  /// evaluates the same group back to back (UserAccess pre-check, then
+  /// Access; OnNetworkEvent, then the driver's availability sample).
   QuorumDecision Evaluate(SiteSet group) const;
 
   const ReplicaStore& store() const { return store_; }
@@ -128,6 +135,16 @@ class DynamicVoting final : public ConsistencyProtocol {
   ReplicaStore store_;
   DynamicVotingOptions options_;
   std::string name_;
+
+  // Single-slot Evaluate memo; see Evaluate(). Honors the
+  // set_quorum_cache_enabled escape hatch.
+  struct EvalCache {
+    bool valid = false;
+    std::uint64_t group_mask = 0;
+    std::uint64_t epoch = 0;
+    QuorumDecision decision;
+  };
+  mutable EvalCache eval_cache_;
 };
 
 /// Convenience factories for the five named protocols of the paper.

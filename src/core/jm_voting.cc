@@ -27,6 +27,7 @@ void JajodiaMutchlerVoting::Reset() {
   for (SiteId s : placement_) {
     states_[s] = JmReplicaState{1, placement_.Size(), 1};
   }
+  ++epoch_;
 }
 
 const JmReplicaState& JajodiaMutchlerVoting::state(SiteId site) const {
@@ -86,6 +87,7 @@ void JajodiaMutchlerVoting::CommitGroup(const Evaluation& eval,
     states_[s].last_cardinality = eval.reachable.Size();
     states_[s].data_version = version;
   }
+  ++epoch_;
   counter_.Add(MessageKind::kCommit, eval.reachable.Size());
 }
 

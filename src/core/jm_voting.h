@@ -54,6 +54,7 @@ class JajodiaMutchlerVoting final : public ConsistencyProtocol {
   Status Recover(const NetworkState& net, SiteId site) override;
   void OnNetworkEvent(const NetworkState& net) override;
   void Reset() override;
+  std::uint64_t state_epoch() const override { return epoch_; }
 
   const JmReplicaState& state(SiteId site) const;
 
@@ -81,6 +82,7 @@ class JajodiaMutchlerVoting final : public ConsistencyProtocol {
   std::shared_ptr<const Topology> topology_;
   SiteSet placement_;
   std::vector<JmReplicaState> states_;
+  std::uint64_t epoch_ = 0;  // bumped by every states_ mutation
   std::string name_ = "JM-DV";
 };
 

@@ -64,6 +64,10 @@ class MajorityConsensusVoting final : public ConsistencyProtocol {
   Status Recover(const NetworkState& net, SiteId site) override;
   void Reset() override { store_.Reset(); }
 
+  /// MCV's grant decision is purely static (weights and quorums are
+  /// frozen at construction); the store epoch is conservative but cheap.
+  std::uint64_t state_epoch() const override { return store_.epoch(); }
+
   /// Quorums in force (after defaulting).
   long long read_quorum() const { return read_quorum_; }
   long long write_quorum() const { return write_quorum_; }

@@ -2,12 +2,41 @@
 
 namespace dynvote {
 
+bool ConsistencyProtocol::CachedWouldGrant(const NetworkState& net,
+                                           SiteId origin,
+                                           AccessType type) const {
+  const std::uint64_t epoch = state_epoch();
+  if (!quorum_cache_enabled_ || epoch == kStateEpochUncacheable ||
+      !net.IsSiteUp(origin)) {
+    return WouldGrant(net, origin, type);
+  }
+  QuorumCache& cache = quorum_cache_;
+  if (!cache.valid || cache.epoch != epoch) {
+    cache.size = 0;
+    cache.next = 0;
+    cache.epoch = epoch;
+    cache.valid = true;
+  }
+  const std::uint64_t component_mask = net.ComponentOf(origin).mask();
+  for (std::size_t i = 0; i < cache.size; ++i) {
+    const QuorumCacheEntry& entry = cache.entries[i];
+    if (entry.component_mask == component_mask && entry.type == type) {
+      return entry.granted;
+    }
+  }
+  bool granted = WouldGrant(net, origin, type);
+  cache.entries[cache.next] = QuorumCacheEntry{component_mask, type, granted};
+  cache.next = (cache.next + 1) % kQuorumCacheSlots;
+  if (cache.size < kQuorumCacheSlots) ++cache.size;
+  return granted;
+}
+
 bool ConsistencyProtocol::IsAvailable(const NetworkState& net,
                                       AccessType type) const {
   for (const SiteSet& group : net.Components()) {
     SiteSet copies = group.Intersect(placement());
     if (copies.Empty()) continue;
-    if (WouldGrant(net, copies.RankMax(), type)) return true;
+    if (CachedWouldGrant(net, copies.RankMax(), type)) return true;
   }
   return false;
 }
@@ -18,7 +47,7 @@ Status ConsistencyProtocol::UserAccess(const NetworkState& net,
     SiteSet copies = group.Intersect(placement());
     if (copies.Empty()) continue;
     SiteId origin = copies.RankMax();
-    if (!WouldGrant(net, origin, type)) continue;
+    if (!CachedWouldGrant(net, origin, type)) continue;
     return type == AccessType::kWrite ? Write(net, origin)
                                       : Read(net, origin);
   }

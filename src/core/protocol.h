@@ -4,6 +4,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -86,6 +87,37 @@ class ConsistencyProtocol {
   virtual bool WouldGrant(const NetworkState& net, SiteId origin,
                           AccessType type) const = 0;
 
+  /// Memoizing front end to WouldGrant. The WouldGrant contract is that
+  /// the network's influence on the decision is fully captured by
+  /// origin's group of communicating sites, so results are cached keyed
+  /// by (component mask, access type); the whole cache is invalidated
+  /// whenever `state_epoch()` moves. A network change invalidates
+  /// affected entries naturally — it changes the component mask of every
+  /// group it touched (NetworkState::generation() tracks the same events
+  /// for callers that key on it). Protocols that do not report a state
+  /// epoch (state_epoch() == kStateEpochUncacheable) and protocols with
+  /// caching disabled fall through to WouldGrant — the answer is always
+  /// identical to a direct WouldGrant call.
+  bool CachedWouldGrant(const NetworkState& net, SiteId origin,
+                        AccessType type) const;
+
+  /// Sentinel state_epoch() value: "this protocol cannot describe its
+  /// mutation points as an epoch; never memoize its decisions".
+  static constexpr std::uint64_t kStateEpochUncacheable =
+      ~std::uint64_t{0};
+
+  /// Monotonic counter that moves on every mutation of the protocol's
+  /// consistency-control state, or kStateEpochUncacheable if the protocol
+  /// does not track one. Used only by CachedWouldGrant.
+  virtual std::uint64_t state_epoch() const { return kStateEpochUncacheable; }
+
+  /// Escape hatch (the --no-quorum-cache flag): disables memoization on
+  /// this instance, making CachedWouldGrant a plain WouldGrant call.
+  void set_quorum_cache_enabled(bool enabled) {
+    quorum_cache_enabled_ = enabled;
+  }
+  bool quorum_cache_enabled() const { return quorum_cache_enabled_; }
+
   /// Availability of the replicated file at this instant: true iff a user
   /// able to reach any live site would be granted an access of `type`
   /// (Section 4's user model). Pure.
@@ -155,8 +187,29 @@ class ConsistencyProtocol {
   MessageCounter counter_;
 
  private:
+  struct QuorumCacheEntry {
+    std::uint64_t component_mask;
+    AccessType type;
+    bool granted;
+  };
+  /// Small ring of recent decisions: a network has few live components at
+  /// any instant, so the working set is tiny, but masks from superseded
+  /// network states would otherwise accumulate between state mutations —
+  /// the ring evicts them in insertion order and keeps the linear scan
+  /// O(16).
+  static constexpr std::size_t kQuorumCacheSlots = 16;
+  struct QuorumCache {
+    std::uint64_t epoch = 0;
+    bool valid = false;
+    std::size_t size = 0;
+    std::size_t next = 0;  // ring insertion cursor
+    QuorumCacheEntry entries[kQuorumCacheSlots];
+  };
+
   CommitHook commit_hook_;
   DecisionLog* decision_log_ = nullptr;
+  bool quorum_cache_enabled_ = true;
+  mutable QuorumCache quorum_cache_;
 };
 
 }  // namespace dynvote

@@ -26,12 +26,10 @@ Result<VoteWeights> VoteWeights::MakePadded(std::vector<int> weights,
   return VoteWeights(std::move(weights));
 }
 
-bool VoteWeights::Covers(SiteSet sites) const {
-  if (weights_.empty()) return true;
-  for (SiteId s : sites) {
-    if (s >= static_cast<SiteId>(weights_.size())) return false;
-  }
-  return true;
+VoteWeights::VoteWeights(std::vector<int> weights)
+    : weights_(std::move(weights)),
+      covered_(SiteSet::FirstN(static_cast<int>(weights_.size()))) {
+  for (int w : weights_) total_ += w;
 }
 
 int VoteWeights::WeightOf(SiteId site) const {
@@ -44,10 +42,20 @@ int VoteWeights::WeightOf(SiteId site) const {
 }
 
 long long VoteWeights::WeightOf(SiteSet sites) const {
-  if (weights_.empty()) return sites.Size();
+  if (weights_.empty()) return sites.Size();  // popcount fast path
+  DYNVOTE_CHECK_MSG(Covers(sites), "some site in " + sites.ToString() +
+                                       " has no entry in the vote weight "
+                                       "table");
+  if (sites == covered_) return total_;
   long long total = 0;
-  for (SiteId s : sites) total += WeightOf(s);
+  for (SiteId s : sites) total += weights_[s];
   return total;
+}
+
+long long VoteWeights::TotalWeight() const {
+  DYNVOTE_CHECK_MSG(!weights_.empty(),
+                    "TotalWeight of a uniform table is unbounded");
+  return total_;
 }
 
 std::string QuorumDecision::ToString() const {
@@ -79,17 +87,17 @@ QuorumDecision EvaluateDynamicQuorum(const ReplicaStore& store,
   // as a reachable member of the previous majority block".
   d.counted_set = d.quorum_set;
   if (topology != nullptr) {
+    // T = Pm ∩ (union of the home segments of Pm's active members): a
+    // reachable member of the previous block carries the votes of every
+    // block member on its own segment. One mask union per active member
+    // replaces the historical O(|Pm|·|active|) site-pair loop.
     SiteSet active_members = d.prev_partition.Intersect(d.reachable_copies);
-    SiteSet closure;
-    for (SiteId r : d.prev_partition) {
-      for (SiteId s : active_members) {
-        if (topology->SameSegment(r, s)) {
-          closure.Add(r);
-          break;
-        }
-      }
+    SiteSet active_segments;
+    for (SiteId s : active_members) {
+      active_segments = active_segments.Union(
+          topology->SitesOnSegment(topology->SegmentOf(s)));
     }
-    d.counted_set = closure;
+    d.counted_set = d.prev_partition.Intersect(active_segments);
   }
 
   // |counted| > |Pm| / 2, with weighted votes: compare 2*w(counted) to

@@ -52,22 +52,31 @@ class VoteWeights {
                                         int num_sites);
 
   /// True iff every site in `sites` has an explicit entry (uniform
-  /// weights cover everything).
-  bool Covers(SiteSet sites) const;
+  /// weights cover everything). O(1): a mask comparison.
+  bool Covers(SiteSet sites) const {
+    return weights_.empty() || sites.IsSubsetOf(covered_);
+  }
 
   /// Weight of one site. CHECK-fails for a site a non-uniform table does
   /// not cover.
   int WeightOf(SiteId site) const;
 
-  /// Total weight of a set. CHECK-fails unless Covers(sites).
+  /// Total weight of a set. CHECK-fails unless Covers(sites). Unit
+  /// weights reduce to a popcount; a set covering the whole table returns
+  /// the cached total without iterating.
   long long WeightOf(SiteSet sites) const;
+
+  /// Cached sum over the whole table. Only meaningful for non-uniform
+  /// weights (a uniform table is unbounded); CHECK-fails otherwise.
+  long long TotalWeight() const;
 
   bool IsUniform() const { return weights_.empty(); }
 
  private:
-  explicit VoteWeights(std::vector<int> weights)
-      : weights_(std::move(weights)) {}
+  explicit VoteWeights(std::vector<int> weights);
   std::vector<int> weights_;  // empty = all ones
+  SiteSet covered_;           // sites with an explicit entry
+  long long total_ = 0;       // cached sum of weights_
 };
 
 /// Outcome of the majority-partition test for one group of mutually

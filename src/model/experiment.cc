@@ -58,6 +58,7 @@ Result<std::vector<PolicyResult>> RunAvailabilityExperiment(
   std::vector<Observed> observed;
   observed.reserve(protocols.size());
   for (auto& p : protocols) {
+    p->set_quorum_cache_enabled(spec.options.quorum_cache);
     observed.push_back(Observed{
         p.get(),
         AvailabilityTracker(start, spec.options.batch_length,
@@ -68,14 +69,14 @@ Result<std::vector<PolicyResult>> RunAvailabilityExperiment(
   // grant decision is evaluated per group of communicating sites, which
   // also lets us assert the at-most-one-majority-partition invariant.
   auto sample = [&]() {
-    std::vector<SiteSet> groups = net.Components();
+    const std::vector<SiteSet>& groups = net.Components();
     for (Observed& obs : observed) {
       int granted_groups = 0;
       for (const SiteSet& group : groups) {
         SiteSet copies = group.Intersect(obs.protocol->placement());
         if (copies.Empty()) continue;
-        if (obs.protocol->WouldGrant(net, copies.RankMax(),
-                                     AccessType::kWrite)) {
+        if (obs.protocol->CachedWouldGrant(net, copies.RankMax(),
+                                           AccessType::kWrite)) {
           ++granted_groups;
         }
       }

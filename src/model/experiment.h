@@ -36,6 +36,12 @@ struct ExperimentOptions {
   /// Abort (CHECK) if two disjoint groups are ever simultaneously granted
   /// by a partition-safe protocol.
   bool check_mutual_exclusion = true;
+  /// Memoize per-protocol grant decisions keyed by (component mask,
+  /// access type) and invalidated on store-epoch movement — see
+  /// ConsistencyProtocol::CachedWouldGrant. Never changes results, only
+  /// wall-clock time; the false setting is the --no-quorum-cache escape
+  /// hatch used by the cache-identity regression tests.
+  bool quorum_cache = true;
 };
 
 /// Per-protocol outcome of one experiment.

@@ -9,56 +9,82 @@ namespace dynvote {
 NetworkState::NetworkState(std::shared_ptr<const Topology> topology)
     : topology_(std::move(topology)) {
   DYNVOTE_CHECK_MSG(topology_ != nullptr, "NetworkState needs a topology");
-  site_up_.assign(topology_->num_sites(), true);
+  live_sites_ = topology_->AllSites();
   repeater_up_.assign(topology_->num_repeaters(), true);
   segment_root_.assign(topology_->num_segments(), 0);
+  root_live_.assign(topology_->num_segments(), SiteSet());
+  component_of_root_.assign(topology_->num_segments(), -1);
+  components_.reserve(topology_->num_segments());
 }
 
 void NetworkState::SetSiteUp(SiteId site, bool up) {
   DYNVOTE_CHECK(site >= 0 && site < topology_->num_sites());
-  if (site_up_[site] != up) {
-    site_up_[site] = up;
-    dirty_ = true;
+  if (live_sites_.Contains(site) == up) return;
+  if (up) {
+    live_sites_.Add(site);
+  } else {
+    live_sites_.Remove(site);
   }
+  ++generation_;
+  dirty_ = true;
 }
 
 void NetworkState::SetRepeaterUp(RepeaterId repeater, bool up) {
   DYNVOTE_CHECK(repeater >= 0 && repeater < topology_->num_repeaters());
-  if (repeater_up_[repeater] != up) {
-    repeater_up_[repeater] = up;
-    dirty_ = true;
-  }
-}
-
-void NetworkState::AllUp() {
-  site_up_.assign(topology_->num_sites(), true);
-  repeater_up_.assign(topology_->num_repeaters(), true);
+  if (repeater_up_[repeater] == up) return;
+  repeater_up_[repeater] = up;
+  ++generation_;
   dirty_ = true;
 }
 
-SiteSet NetworkState::LiveSites() const {
-  SiteSet live;
-  for (SiteId s = 0; s < topology_->num_sites(); ++s) {
-    if (site_up_[s]) live.Add(s);
-  }
-  return live;
+void NetworkState::AllUp() {
+  bool repeaters_all_up = true;
+  for (bool up : repeater_up_) repeaters_all_up &= up;
+  if (live_sites_ == topology_->AllSites() && repeaters_all_up) return;
+  live_sites_ = topology_->AllSites();
+  repeater_up_.assign(topology_->num_repeaters(), true);
+  ++generation_;
+  dirty_ = true;
 }
 
 void NetworkState::Refresh() const {
   if (!dirty_) return;
+  const int num_segments = topology_->num_segments();
   std::iota(segment_root_.begin(), segment_root_.end(), 0);
   for (const BridgeInfo& b : topology_->bridges()) {
     bool bridge_up = b.gateway_site.has_value()
-                         ? site_up_[*b.gateway_site]
+                         ? live_sites_.Contains(*b.gateway_site)
                          : repeater_up_[b.repeater];
     if (!bridge_up) continue;
     int ra = FindRoot(b.segment_a);
     int rb = FindRoot(b.segment_b);
     if (ra != rb) segment_root_[rb] = ra;
   }
-  // Flatten so later FindRoot calls are O(1).
-  for (int seg = 0; seg < topology_->num_segments(); ++seg) {
-    segment_root_[seg] = FindRoot(seg);
+  // Flatten so later FindRoot calls are O(1), and gather each root's live
+  // sites from the per-segment masks (one union per segment, no per-site
+  // loop).
+  for (int seg = 0; seg < num_segments; ++seg) {
+    int root = FindRoot(seg);
+    segment_root_[seg] = root;
+    root_live_[seg] = SiteSet();
+  }
+  for (int seg = 0; seg < num_segments; ++seg) {
+    SiteSet live_here = topology_->SitesOnSegment(seg).Intersect(live_sites_);
+    if (!live_here.Empty()) {
+      int root = segment_root_[seg];
+      root_live_[root] = root_live_[root].Union(live_here);
+    }
+  }
+  // Component list in ascending root order (the historical Components()
+  // ordering, which golden traces depend on).
+  components_.clear();
+  for (int root = 0; root < num_segments; ++root) {
+    if (root_live_[root].Empty()) {
+      component_of_root_[root] = -1;
+    } else {
+      component_of_root_[root] = static_cast<int>(components_.size());
+      components_.push_back(root_live_[root]);
+    }
   }
   dirty_ = false;
 }
@@ -76,44 +102,28 @@ int NetworkState::FindRoot(int segment) const {
 }
 
 bool NetworkState::CanCommunicate(SiteId a, SiteId b) const {
-  if (!site_up_[a] || !site_up_[b]) return false;
+  if (!live_sites_.Contains(a) || !live_sites_.Contains(b)) return false;
   Refresh();
   return segment_root_[topology_->SegmentOf(a)] ==
          segment_root_[topology_->SegmentOf(b)];
 }
 
 SiteSet NetworkState::ComponentOf(SiteId site) const {
-  if (!site_up_[site]) return SiteSet();
+  if (!live_sites_.Contains(site)) return SiteSet();
   Refresh();
-  int root = segment_root_[topology_->SegmentOf(site)];
-  SiteSet component;
-  for (SiteId s = 0; s < topology_->num_sites(); ++s) {
-    if (site_up_[s] && segment_root_[topology_->SegmentOf(s)] == root) {
-      component.Add(s);
-    }
-  }
-  return component;
+  int idx = component_of_root_[segment_root_[topology_->SegmentOf(site)]];
+  return idx < 0 ? SiteSet() : components_[idx];
 }
 
-std::vector<SiteSet> NetworkState::Components() const {
+const std::vector<SiteSet>& NetworkState::Components() const {
   Refresh();
-  std::vector<SiteSet> by_root(topology_->num_segments());
-  for (SiteId s = 0; s < topology_->num_sites(); ++s) {
-    if (site_up_[s]) {
-      by_root[segment_root_[topology_->SegmentOf(s)]].Add(s);
-    }
-  }
-  std::vector<SiteSet> out;
-  for (const SiteSet& group : by_root) {
-    if (!group.Empty()) out.push_back(group);
-  }
-  return out;
+  return components_;
 }
 
 bool NetworkState::FullyConnected(SiteSet sites) const {
   if (sites.Empty()) return true;
   SiteId first = sites.RankMax();
-  if (!site_up_[first]) return false;
+  if (!live_sites_.Contains(first)) return false;
   return sites.IsSubsetOf(ComponentOf(first));
 }
 

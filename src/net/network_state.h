@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -15,8 +16,17 @@ namespace dynvote {
 
 /// Up/down state of all sites and repeaters, with connectivity queries.
 ///
-/// Connectivity queries are recomputed lazily: mutations invalidate a
-/// cached union-find over segments, which is rebuilt on the next query.
+/// Connectivity queries are recomputed lazily and allocation-free on the
+/// query path: mutations invalidate a cached union-find over segments
+/// *and* the component list derived from it; both are rebuilt together by
+/// the next query (`Refresh()`), after which every query is a cached
+/// lookup. `Components()` returns the cached list by const reference —
+/// the reference stays valid until the next mutation.
+///
+/// `generation()` is a monotonic counter bumped only by *effective*
+/// mutations (a SetSiteUp that flips nothing leaves it unchanged), so
+/// callers can memoize derived decisions keyed on it; see
+/// ConsistencyProtocol::CachedWouldGrant.
 class NetworkState {
  public:
   /// Creates a state with every site and repeater up.
@@ -31,13 +41,18 @@ class NetworkState {
   void AllUp();
 
   /// --- observation ---------------------------------------------------
-  bool IsSiteUp(SiteId site) const { return site_up_[site]; }
+  bool IsSiteUp(SiteId site) const { return live_sites_.Contains(site); }
   bool IsRepeaterUp(RepeaterId repeater) const {
     return repeater_up_[repeater];
   }
 
-  /// Set of all live sites.
-  SiteSet LiveSites() const;
+  /// Set of all live sites. Maintained incrementally; O(1).
+  SiteSet LiveSites() const { return live_sites_; }
+
+  /// Monotonic counter of effective state changes. Two observations with
+  /// equal generation() saw identical up/down state (and therefore
+  /// identical connectivity).
+  std::uint64_t generation() const { return generation_; }
 
   /// True iff `a` and `b` are both up and can exchange messages.
   bool CanCommunicate(SiteId a, SiteId b) const;
@@ -47,23 +62,34 @@ class NetworkState {
   SiteSet ComponentOf(SiteId site) const;
 
   /// All maximal groups of mutually communicating live sites. Every live
-  /// site appears in exactly one group; down sites appear in none.
-  std::vector<SiteSet> Components() const;
+  /// site appears in exactly one group; down sites appear in none. The
+  /// returned reference points at the internal cache and is invalidated
+  /// by the next mutation.
+  const std::vector<SiteSet>& Components() const;
 
   /// True iff all members of `sites` are live and mutually communicating.
   bool FullyConnected(SiteSet sites) const;
 
  private:
-  /// Rebuilds the segment-level union-find if state changed.
+  /// Rebuilds the segment-level union-find and the component list if
+  /// state changed since the last query.
   void Refresh() const;
   int FindRoot(int segment) const;
 
   std::shared_ptr<const Topology> topology_;
-  std::vector<bool> site_up_;
+  SiteSet live_sites_;
   std::vector<bool> repeater_up_;
+  std::uint64_t generation_ = 0;
 
-  // Lazily maintained union-find over segments (path-halving on a copy).
+  // Lazily maintained caches, rebuilt together by Refresh():
+  //  - union-find over segments (path-halving, flattened after build),
+  //  - the component list (one live-site mask per connected component,
+  //    ordered by root segment id),
+  //  - root segment id -> index into components_ (-1 if no live sites).
   mutable std::vector<int> segment_root_;
+  mutable std::vector<SiteSet> components_;
+  mutable std::vector<SiteSet> root_live_;  // scratch, indexed by root
+  mutable std::vector<int> component_of_root_;
   mutable bool dirty_ = true;
 };
 

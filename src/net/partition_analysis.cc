@@ -1,22 +1,33 @@
 #include "net/partition_analysis.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <set>
 
 namespace dynvote {
 
 namespace {
 
 /// The groups of live placement members, canonically sorted by mask.
-std::vector<SiteSet> PlacementGroups(const NetworkState& net,
-                                     SiteSet placement) {
-  std::vector<SiteSet> groups;
+/// `groups` is reused across calls to avoid reallocating per bridge
+/// pattern (NetworkState::Components() itself is allocation-free).
+void PlacementGroups(const NetworkState& net, SiteSet placement,
+                     std::vector<SiteSet>* groups) {
+  groups->clear();
   for (const SiteSet& g : net.Components()) {
     SiteSet members = g.Intersect(placement);
-    if (!members.Empty()) groups.push_back(members);
+    if (!members.Empty()) groups->push_back(members);
   }
-  std::sort(groups.begin(), groups.end(),
+  std::sort(groups->begin(), groups->end(),
             [](SiteSet a, SiteSet b) { return a.mask() < b.mask(); });
-  return groups;
+}
+
+/// Canonical key of a sorted group list, for set-based deduplication.
+std::vector<std::uint64_t> PatternKey(const std::vector<SiteSet>& groups) {
+  std::vector<std::uint64_t> key;
+  key.reserve(groups.size());
+  for (SiteSet g : groups) key.push_back(g.mask());
+  return key;
 }
 
 }  // namespace
@@ -33,6 +44,7 @@ Result<PartitionVulnerability> AnalyzePartitionPoints(
 
   PartitionVulnerability out;
   NetworkState net(topology);
+  std::vector<SiteSet> groups;
 
   for (const BridgeInfo& bridge : topology->bridges()) {
     net.AllUp();
@@ -41,12 +53,14 @@ Result<PartitionVulnerability> AnalyzePartitionPoints(
       // Surviving members: everyone except the failed gateway itself.
       SiteSet survivors = placement;
       survivors.Remove(*bridge.gateway_site);
-      if (PlacementGroups(net, survivors).size() > 1) {
+      PlacementGroups(net, survivors, &groups);
+      if (groups.size() > 1) {
         out.gateway_cut_points.push_back(*bridge.gateway_site);
       }
     } else {
       net.SetRepeaterUp(bridge.repeater, false);
-      if (PlacementGroups(net, placement).size() > 1) {
+      PlacementGroups(net, placement, &groups);
+      if (groups.size() > 1) {
         out.repeater_cut_points.push_back(bridge.repeater);
       }
     }
@@ -74,6 +88,10 @@ Result<std::vector<std::vector<SiteSet>>> EnumeratePlacementPartitions(
 
   NetworkState net(topology);
   std::vector<std::vector<SiteSet>> patterns;
+  // Dedup via an ordered set of canonical mask keys: O(log n) per probe
+  // instead of the historical std::find scan over every seen pattern.
+  std::set<std::vector<std::uint64_t>> seen;
+  std::vector<SiteSet> groups;
   for (std::uint64_t combo = 0; combo < (std::uint64_t{1} << num_bridges);
        ++combo) {
     net.AllUp();
@@ -89,10 +107,9 @@ Result<std::vector<std::vector<SiteSet>>> EnumeratePlacementPartitions(
         net.SetRepeaterUp(bridge.repeater, false);
       }
     }
-    std::vector<SiteSet> groups = PlacementGroups(net, placement);
-    if (std::find(patterns.begin(), patterns.end(), groups) ==
-        patterns.end()) {
-      patterns.push_back(std::move(groups));
+    PlacementGroups(net, placement, &groups);
+    if (seen.insert(PatternKey(groups)).second) {
+      patterns.push_back(groups);
     }
   }
   std::sort(patterns.begin(), patterns.end(),

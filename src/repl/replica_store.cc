@@ -20,6 +20,7 @@ void ReplicaStore::Reset() {
   for (SiteId s : placement_) {
     states_[s] = ReplicaState{1, 1, placement_};
   }
+  ++epoch_;
 }
 
 const ReplicaState& ReplicaStore::state(SiteId site) const {
@@ -31,6 +32,9 @@ const ReplicaState& ReplicaStore::state(SiteId site) const {
 ReplicaState* ReplicaStore::mutable_state(SiteId site) {
   DYNVOTE_CHECK_MSG(placement_.Contains(site),
                     "mutated a site that holds no copy");
+  // Conservative: the caller may write through the pointer, so every
+  // handout invalidates memoized decisions.
+  ++epoch_;
   return &states_[site];
 }
 
@@ -77,6 +81,7 @@ void ReplicaStore::Commit(SiteSet participants, OpNumber op,
   for (SiteId s : CopiesAmong(participants)) {
     states_[s] = ReplicaState{op, version, new_partition_set};
   }
+  ++epoch_;
 }
 
 }  // namespace dynvote

@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "repl/replica_state.h"
@@ -28,6 +29,12 @@ class ReplicaStore {
 
   SiteSet placement() const { return placement_; }
   int num_copies() const { return placement_.Size(); }
+
+  /// Monotonic counter bumped by every mutation path (Commit, Reset and
+  /// each mutable_state handout). Two observations with equal epoch() saw
+  /// identical replica state, so derived quorum decisions may be memoized
+  /// keyed on it.
+  std::uint64_t epoch() const { return epoch_; }
 
   /// State of the copy at `site`; `site` must be in placement().
   const ReplicaState& state(SiteId site) const;
@@ -63,6 +70,7 @@ class ReplicaStore {
 
   SiteSet placement_;
   std::vector<ReplicaState> states_;  // indexed by SiteId, dense to max id
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace dynvote

@@ -52,6 +52,7 @@ struct Options {
   double years = 100.0;
   double rate = 1.0;
   std::uint64_t seed = 20260704;
+  bool quorum_cache = true;
   // repeat: -1 = take the value from the network file's `experiment`
   // declaration (default 1).
   int reps = -1;
@@ -70,6 +71,8 @@ int Usage() {
       "  --jobs=M         repeat: worker threads (0 = all cores; never "
       "changes results)\n"
       "  --json=PATH      repeat: write per-replication + aggregate JSON\n"
+      "  --no-quorum-cache  simulate/repeat: disable grant-decision\n"
+      "                   memoization (results are identical either way)\n"
       "  --years=N --rate=R --seed=N --csv=PATH\n";
   return 2;
 }
@@ -111,6 +114,8 @@ Result<Options> Parse(int argc, char** argv) {
       opt.rate = std::stod(value("--rate="));
     } else if (a.rfind("--seed=", 0) == 0) {
       opt.seed = std::stoull(value("--seed="));
+    } else if (a == "--no-quorum-cache") {
+      opt.quorum_cache = false;
     } else if (a.rfind("--", 0) == 0) {
       return Status::InvalidArgument("unknown flag " + a);
     } else {
@@ -275,6 +280,7 @@ int Simulate(const Options& opt) {
   spec.options.batch_length = Years(opt.years / 20.0);
   spec.options.access.rate_per_day = opt.rate;
   spec.options.seed = opt.seed;
+  spec.options.quorum_cache = opt.quorum_cache;
 
   std::vector<std::unique_ptr<ConsistencyProtocol>> protocols;
   std::stringstream ss(opt.policies);
@@ -341,6 +347,7 @@ int Repeat(const Options& opt) {
   spec.options.batch_length = Years(opt.years / 20.0);
   spec.options.access.rate_per_day = opt.rate;
   spec.options.seed = opt.seed;
+  spec.options.quorum_cache = opt.quorum_cache;
 
   // Command line wins; the network file's `experiment` declaration
   // supplies defaults.
