@@ -16,7 +16,7 @@
 //     "unit": "ns_per_op",
 //     "benchmarks": [
 //       {"name": "...", "ns_per_op": N, "ops": N,
-//        "baseline": "legacy" | "no-cache",
+//        "baseline": "legacy" | "no-cache" | "trace-off",
 //        "baseline_ns_per_op": N, "speedup": N},
 //       ...
 //     ]
@@ -40,6 +40,9 @@
 #include "model/experiment.h"
 #include "model/site_profile.h"
 #include "net/network_state.h"
+#include "obs/context.h"
+#include "obs/schemas.h"
+#include "obs/trace_sink.h"
 #include "util/rng.h"
 #include "util/site_set.h"
 
@@ -408,6 +411,78 @@ void BenchExperimentYear(double min_ms, std::vector<BenchEntry>* out) {
   out->push_back(cached);
 }
 
+/// Tracing overhead on the same experiment-year unit: observability
+/// disabled (instrumentation reduces to one never-taken branch per
+/// site), a bounded in-memory ring sink, and full JSONL serialization.
+/// Both traced entries report their slowdown against the off run via the
+/// "trace-off" baseline.
+void BenchTracingOverhead(double min_ms, std::vector<BenchEntry>* out) {
+  auto paper = MakePaperNetwork();
+  ExperimentSpec spec;
+  spec.topology = paper->topology;
+  spec.profiles = paper->profiles;
+  spec.options.warmup = Days(0);
+  spec.options.num_batches = 1;
+  spec.options.batch_length = Years(1);
+
+  auto run = [&](ObsContext* obs, std::uint64_t iters) {
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      spec.options.seed = 1 + i;
+      spec.obs = obs;
+      auto protocols =
+          MakePaperProtocols(paper->topology, kFiveCopyPlacement);
+      auto results = RunAvailabilityExperiment(spec, std::move(protocols));
+      if (!results.ok()) {
+        std::cerr << results.status() << std::endl;
+        std::exit(1);
+      }
+    }
+  };
+
+  BenchEntry off =
+      Measure("experiment_year_trace_off", min_ms,
+              [&](std::uint64_t iters) { run(nullptr, iters); });
+
+  RingTraceSink ring_sink;
+  ObsContext ring_obs;
+  ring_obs.sink = &ring_sink;
+  BenchEntry ring =
+      Measure("experiment_year_trace_ring", min_ms,
+              [&](std::uint64_t iters) { run(&ring_obs, iters); });
+
+  std::ostringstream trace_buffer;
+  JsonlTraceSink jsonl_sink(&trace_buffer);
+  ObsContext jsonl_obs;
+  jsonl_obs.sink = &jsonl_sink;
+  BenchEntry jsonl =
+      Measure("experiment_year_trace_jsonl", min_ms,
+              [&](std::uint64_t iters) {
+                for (std::uint64_t i = 0; i < iters; ++i) {
+                  // Reset the buffer so the probe measures serialization,
+                  // not unbounded string growth across iterations.
+                  trace_buffer.str(std::string());
+                  spec.options.seed = 1 + i;
+                  spec.obs = &jsonl_obs;
+                  auto protocols =
+                      MakePaperProtocols(paper->topology, kFiveCopyPlacement);
+                  auto results =
+                      RunAvailabilityExperiment(spec, std::move(protocols));
+                  if (!results.ok()) {
+                    std::cerr << results.status() << std::endl;
+                    std::exit(1);
+                  }
+                }
+              });
+
+  ring.baseline = "trace-off";
+  ring.baseline_ns_per_op = off.ns_per_op;
+  jsonl.baseline = "trace-off";
+  jsonl.baseline_ns_per_op = off.ns_per_op;
+  out->push_back(off);
+  out->push_back(ring);
+  out->push_back(jsonl);
+}
+
 // ---------------------------------------------------------------------
 // Output
 // ---------------------------------------------------------------------
@@ -421,7 +496,7 @@ std::string FormatDouble(double value) {
 
 std::string ToJson(const std::vector<BenchEntry>& entries) {
   std::ostringstream os;
-  os << "{\n  \"schema\": \"dynvote-hotpath-bench-v1\",\n"
+  os << "{\n  \"schema\": \"" << kHotpathBenchSchema << "\",\n"
      << "  \"unit\": \"ns_per_op\",\n  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const BenchEntry& e = entries[i];
@@ -456,6 +531,7 @@ int Main(int argc, char** argv) {
   BenchQuorum(min_ms, &entries);
   BenchSampleLoop(min_ms, &entries);
   BenchExperimentYear(min_ms, &entries);
+  BenchTracingOverhead(min_ms, &entries);
 
   std::cout << "hotpath microbenchmarks (ns/op, baseline, speedup):\n";
   for (const BenchEntry& e : entries) {

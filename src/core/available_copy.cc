@@ -25,6 +25,19 @@ bool AvailableCopy::WouldGrant(const NetworkState& net, SiteId origin,
   return net.ComponentOf(origin).Intersects(current_);
 }
 
+QuorumReason AvailableCopy::ClassifyUserAccess(const NetworkState& net,
+                                               AccessType /*type*/,
+                                               bool granted,
+                                               SiteId /*origin*/) const {
+  if (granted) return QuorumReason::kGrantedCurrentCopy;
+  for (const SiteSet& group : net.Components()) {
+    if (group.Intersects(store_.placement())) {
+      return QuorumReason::kDeniedNoCurrentCopy;
+    }
+  }
+  return QuorumReason::kDeniedNoCopies;
+}
+
 Status AvailableCopy::Read(const NetworkState& net, SiteId origin) {
   if (!net.IsSiteUp(origin)) {
     return Status::Unavailable("origin site is down");

@@ -51,6 +51,13 @@ class AvailableCopy final : public ConsistencyProtocol {
 
   const ReplicaStore& store() const { return store_; }
 
+ protected:
+  /// AC grants are always "a current copy is reachable"; denials are
+  /// "copies up, none current" or "no copies at all".
+  QuorumReason ClassifyUserAccess(const NetworkState& net, AccessType type,
+                                  bool granted,
+                                  SiteId origin) const override;
+
  private:
   explicit AvailableCopy(ReplicaStore store);
 

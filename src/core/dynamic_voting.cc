@@ -66,6 +66,8 @@ QuorumDecision DynamicVoting::Evaluate(SiteSet group) const {
   if (memoize && eval_cache_.valid &&
       eval_cache_.group_mask == group.mask() &&
       eval_cache_.epoch == store_.epoch()) {
+    EmitCacheHit(group.mask(), AccessType::kWrite,
+                 eval_cache_.decision.granted);
     return eval_cache_.decision;
   }
   QuorumDecision d = EvaluateDynamicQuorum(
@@ -79,7 +81,9 @@ QuorumDecision DynamicVoting::Evaluate(SiteSet group) const {
     d.granted = false;
     d.by_tie_break = false;
     d.witness_refused = true;
+    d.reason = QuorumReason::kDeniedNoCurrentCopy;
   }
+  EmitQuorumDecision(group.mask(), d);
   if (memoize) {
     eval_cache_.valid = true;
     eval_cache_.group_mask = group.mask();
@@ -210,10 +214,19 @@ void DynamicVoting::ReintegrateGroup(const NetworkState& net,
 }
 
 Status DynamicVoting::UserAccess(const NetworkState& net, AccessType type) {
+  // Track the most informative denial across probed groups so a denied
+  // access reports why the *closest* group failed, not the emptiest.
+  QuorumReason denial = QuorumReason::kDeniedNoCopies;
   for (const SiteSet& group : net.Components()) {
     SiteSet copies = store_.CopiesAmong(group);
     if (copies.Empty()) continue;
-    if (!Evaluate(group).granted) continue;
+    QuorumDecision d = Evaluate(group);
+    if (!d.granted) {
+      if (DenialSeverity(d.reason) > DenialSeverity(denial)) {
+        denial = d.reason;
+      }
+      continue;
+    }
     Status st = Access(net, copies.RankMax(), type);
     if (st.ok()) {
       // Reachable stale copies rejoin now. For the optimistic protocols
@@ -222,8 +235,11 @@ Status DynamicVoting::UserAccess(const NetworkState& net, AccessType type) {
       // loop finds nothing stale.
       ReintegrateGroup(net, group);
     }
+    EmitUserAccessAs(type, st.ok(), copies.RankMax(),
+                     st.ok() ? d.reason : denial);
     return st;
   }
+  EmitUserAccessAs(type, false, -1, denial);
   return Status::NoQuorum(name_ +
                           ": no group of communicating sites holds a quorum");
 }

@@ -77,6 +77,31 @@ bool MajorityConsensusVoting::WouldGrant(const NetworkState& net,
   return false;
 }
 
+QuorumReason MajorityConsensusVoting::ClassifyUserAccess(
+    const NetworkState& net, AccessType type, bool granted,
+    SiteId origin) const {
+  long long needed =
+      type == AccessType::kWrite ? write_quorum_ : read_quorum_;
+  if (granted) {
+    long long votes = weights_.WeightOf(ReachableCopies(net, origin));
+    return votes >= needed ? QuorumReason::kGrantedMajority
+                           : QuorumReason::kGrantedTieLex;
+  }
+  QuorumReason denial = QuorumReason::kDeniedNoCopies;
+  for (const SiteSet& group : net.Components()) {
+    SiteSet copies = group.Intersect(store_.placement());
+    if (copies.Empty()) continue;
+    long long votes = weights_.WeightOf(copies);
+    QuorumReason reason =
+        !explicit_quorums_ &&
+                2 * votes == weights_.WeightOf(store_.placement())
+            ? QuorumReason::kDeniedTieLost
+            : QuorumReason::kDeniedMinority;
+    if (DenialSeverity(reason) > DenialSeverity(denial)) denial = reason;
+  }
+  return denial;
+}
+
 Status MajorityConsensusVoting::Access(const NetworkState& net,
                                        SiteId origin, AccessType type) {
   if (!net.IsSiteUp(origin)) {

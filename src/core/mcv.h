@@ -75,6 +75,13 @@ class MajorityConsensusVoting final : public ConsistencyProtocol {
   /// Replica state, exposed for tests and the KV store.
   const ReplicaStore& store() const { return store_; }
 
+ protected:
+  /// Attributes grants to the static majority vs the static lexicographic
+  /// tie rule, and denials to lost ties vs plain minorities.
+  QuorumReason ClassifyUserAccess(const NetworkState& net, AccessType type,
+                                  bool granted,
+                                  SiteId origin) const override;
+
  private:
   MajorityConsensusVoting(ReplicaStore store, McvOptions options,
                           long long r, long long w);

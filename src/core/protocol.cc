@@ -1,6 +1,30 @@
 #include "core/protocol.h"
 
+#include <string>
+
 namespace dynvote {
+namespace {
+
+std::string ReasonKey(const char* metric, const std::string& protocol,
+                      QuorumReason reason) {
+  std::string key(metric);
+  key += "{protocol=";
+  key += protocol;
+  key += ",reason=";
+  key += QuorumReasonName(reason);
+  key += "}";
+  return key;
+}
+
+std::string ProtocolKey(const char* metric, const std::string& protocol) {
+  std::string key(metric);
+  key += "{protocol=";
+  key += protocol;
+  key += "}";
+  return key;
+}
+
+}  // namespace
 
 bool ConsistencyProtocol::CachedWouldGrant(const NetworkState& net,
                                            SiteId origin,
@@ -21,6 +45,7 @@ bool ConsistencyProtocol::CachedWouldGrant(const NetworkState& net,
   for (std::size_t i = 0; i < cache.size; ++i) {
     const QuorumCacheEntry& entry = cache.entries[i];
     if (entry.component_mask == component_mask && entry.type == type) {
+      EmitCacheHit(component_mask, type, entry.granted);
       return entry.granted;
     }
   }
@@ -48,10 +73,102 @@ Status ConsistencyProtocol::UserAccess(const NetworkState& net,
     if (copies.Empty()) continue;
     SiteId origin = copies.RankMax();
     if (!CachedWouldGrant(net, origin, type)) continue;
-    return type == AccessType::kWrite ? Write(net, origin)
-                                      : Read(net, origin);
+    Status st = type == AccessType::kWrite ? Write(net, origin)
+                                           : Read(net, origin);
+    EmitUserAccess(net, type, st.ok(), origin);
+    return st;
   }
+  EmitUserAccess(net, type, false, -1);
   return Status::NoQuorum("no group of communicating sites holds a quorum");
+}
+
+QuorumReason ConsistencyProtocol::ClassifyUserAccess(const NetworkState& net,
+                                                     AccessType /*type*/,
+                                                     bool granted,
+                                                     SiteId /*origin*/) const {
+  if (granted) return QuorumReason::kGrantedMajority;
+  for (const SiteSet& group : net.Components()) {
+    if (group.Intersects(placement())) return QuorumReason::kDeniedMinority;
+  }
+  return QuorumReason::kDeniedNoCopies;
+}
+
+void ConsistencyProtocol::EmitCacheHitSlow(std::uint64_t group_mask,
+                                           AccessType type,
+                                           bool granted) const {
+  if (obs_->sink != nullptr) {
+    TraceEvent event;
+    event.type = TraceEventType::kQuorum;
+    event.t = obs_->now;
+    event.replication = obs_->replication;
+    event.seq = obs_->seq;
+    event.protocol = name();
+    event.write = type == AccessType::kWrite;
+    event.granted = granted;
+    event.reason = QuorumReason::kCacheHit;
+    event.group = group_mask;
+    obs_->sink->Write(event);
+  }
+  if (obs_->metrics != nullptr) {
+    obs_->metrics->Add(ProtocolKey("quorum_cache_hits", name()));
+  }
+}
+
+void ConsistencyProtocol::EmitQuorumDecisionSlow(
+    std::uint64_t group_mask, const QuorumDecision& decision) const {
+  if (obs_->sink != nullptr) {
+    TraceEvent event;
+    event.type = TraceEventType::kQuorum;
+    event.t = obs_->now;
+    event.replication = obs_->replication;
+    event.seq = obs_->seq;
+    event.protocol = name();
+    // The dynamic-voting quorum test is access-type independent; quorum
+    // events carry write=false uniformly.
+    event.granted = decision.granted;
+    event.reason = decision.reason;
+    event.group = group_mask;
+    event.set_r = decision.reachable_copies.mask();
+    event.set_q = decision.quorum_set.mask();
+    event.set_s = decision.current_set.mask();
+    event.set_t = decision.counted_set.mask();
+    event.set_pm = decision.prev_partition.mask();
+    obs_->sink->Write(event);
+  }
+  if (obs_->metrics != nullptr) {
+    obs_->metrics->Add(ReasonKey("quorum_evaluations", name(),
+                                 decision.reason));
+  }
+}
+
+void ConsistencyProtocol::EmitUserAccessSlow(const NetworkState& net,
+                                             AccessType type, bool granted,
+                                             SiteId origin) const {
+  EmitUserAccessAsSlow(type, granted, origin,
+                       ClassifyUserAccess(net, type, granted, origin));
+}
+
+void ConsistencyProtocol::EmitUserAccessAsSlow(AccessType type, bool granted,
+                                               SiteId origin,
+                                               QuorumReason reason) const {
+  if (obs_->sink != nullptr) {
+    TraceEvent event;
+    event.type = TraceEventType::kAccess;
+    event.t = obs_->now;
+    event.replication = obs_->replication;
+    event.seq = obs_->seq;
+    event.protocol = name();
+    event.write = type == AccessType::kWrite;
+    event.origin = origin;
+    event.granted = granted;
+    event.reason = reason;
+    obs_->sink->Write(event);
+  }
+  if (obs_->metrics != nullptr) {
+    obs_->metrics->Add(ProtocolKey("accesses_attempted", name()));
+    if (granted) obs_->metrics->Add(ProtocolKey("accesses_granted", name()));
+    obs_->metrics->Add(ReasonKey("access_reason", name(), reason));
+  }
 }
 
 }  // namespace dynvote

@@ -12,6 +12,7 @@
 
 #include "core/trace.h"
 #include "net/network_state.h"
+#include "obs/context.h"
 #include "repl/message_bus.h"
 #include "util/site_set.h"
 #include "util/status.h"
@@ -165,10 +166,53 @@ class ConsistencyProtocol {
   void set_decision_log(DecisionLog* log) { decision_log_ = log; }
   DecisionLog* decision_log() const { return decision_log_; }
 
+  /// Attaches an observability context (trace sink + metrics shard, see
+  /// obs/context.h). Not owned; null (the default) disables all emission,
+  /// leaving a single pointer test on each instrumented path.
+  void set_obs(ObsContext* obs) { obs_ = obs; }
+  ObsContext* obs() const { return obs_; }
+
  protected:
   /// Fires the commit hook, if any.
   void NotifyCommit(const CommitInfo& info) {
     if (commit_hook_) commit_hook_(info);
+  }
+
+  /// Attributes a reason code to a whole UserAccess outcome. Called only
+  /// when observability is attached, after the access completed. `origin`
+  /// is the site the granted operation ran at (-1 on denial). The default
+  /// covers quorumless protocols; MCV, AC and DynamicVoting refine it.
+  virtual QuorumReason ClassifyUserAccess(const NetworkState& net,
+                                          AccessType type, bool granted,
+                                          SiteId origin) const;
+
+  /// Emits a kQuorum trace event for a decision served from a cache
+  /// (CachedWouldGrant ring or an Evaluate memo) and bumps the cache-hit
+  /// counter. One branch when obs is detached.
+  void EmitCacheHit(std::uint64_t group_mask, AccessType type,
+                    bool granted) const {
+    if (obs_ != nullptr) EmitCacheHitSlow(group_mask, type, granted);
+  }
+
+  /// Emits a kQuorum trace event for a freshly computed decision and
+  /// bumps the per-reason evaluation counter.
+  void EmitQuorumDecision(std::uint64_t group_mask,
+                          const QuorumDecision& decision) const {
+    if (obs_ != nullptr) EmitQuorumDecisionSlow(group_mask, decision);
+  }
+
+  /// Emits a kAccess trace event (one per UserAccess call) and bumps the
+  /// access counters; classifies the outcome via ClassifyUserAccess.
+  void EmitUserAccess(const NetworkState& net, AccessType type, bool granted,
+                      SiteId origin) const {
+    if (obs_ != nullptr) EmitUserAccessSlow(net, type, granted, origin);
+  }
+
+  /// Like EmitUserAccess, for overrides that already know the reason and
+  /// need no classification pass (DynamicVoting::UserAccess).
+  void EmitUserAccessAs(AccessType type, bool granted, SiteId origin,
+                        QuorumReason reason) const {
+    if (obs_ != nullptr) EmitUserAccessAsSlow(type, granted, origin, reason);
   }
 
   /// Records a decision if a log is attached.
@@ -206,8 +250,18 @@ class ConsistencyProtocol {
     QuorumCacheEntry entries[kQuorumCacheSlots];
   };
 
+  void EmitCacheHitSlow(std::uint64_t group_mask, AccessType type,
+                        bool granted) const;
+  void EmitQuorumDecisionSlow(std::uint64_t group_mask,
+                              const QuorumDecision& decision) const;
+  void EmitUserAccessSlow(const NetworkState& net, AccessType type,
+                          bool granted, SiteId origin) const;
+  void EmitUserAccessAsSlow(AccessType type, bool granted, SiteId origin,
+                            QuorumReason reason) const;
+
   CommitHook commit_hook_;
   DecisionLog* decision_log_ = nullptr;
+  ObsContext* obs_ = nullptr;
   bool quorum_cache_enabled_ = true;
   mutable QuorumCache quorum_cache_;
 };

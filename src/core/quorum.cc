@@ -104,18 +104,37 @@ QuorumDecision EvaluateDynamicQuorum(const ReplicaStore& store,
   // w(Pm) in integers to avoid fractional arithmetic.
   long long counted_weight = weights.WeightOf(d.counted_set);
   long long block_weight = weights.WeightOf(d.prev_partition);
+  // Tie rule: exactly half the previous block grants iff the group holds
+  // the maximum element of Pm. Per Figures 1-3 and 5-7 the element must
+  // be in Q (reachable with the maximal operation number), even under the
+  // topological rule. Evaluated lazily — the strict-majority fast path
+  // never needs it.
+  auto tie_wins = [&] {
+    return tie_break == TieBreak::kLexicographic &&
+           !d.prev_partition.Empty() &&
+           d.quorum_set.Contains(d.prev_partition.RankMax());
+  };
   if (2 * counted_weight > block_weight) {
     d.granted = true;
-  } else if (2 * counted_weight == block_weight &&
-             tie_break == TieBreak::kLexicographic &&
-             !d.prev_partition.Empty() &&
-             d.quorum_set.Contains(d.prev_partition.RankMax())) {
-    // Exactly half the previous block: grant iff the group holds the
-    // maximum element of Pm. Per Figures 1-3 and 5-7 the element must be
-    // in Q (reachable with the maximal operation number), even under the
-    // topological rule.
-    d.granted = true;
-    d.by_tie_break = true;
+    d.reason = QuorumReason::kGrantedMajority;
+  } else if (2 * counted_weight == block_weight) {
+    if (tie_wins()) {
+      d.granted = true;
+      d.by_tie_break = true;
+      d.reason = QuorumReason::kGrantedTieLex;
+    } else {
+      d.reason = QuorumReason::kDeniedTieLost;
+    }
+  } else {
+    d.reason = QuorumReason::kDeniedMinority;
+  }
+  if (d.granted && d.counted_set != d.quorum_set) {
+    // The carry was decisive iff counting Q alone (the tie condition
+    // already depends only on Q) would have denied.
+    long long q_weight = weights.WeightOf(d.quorum_set);
+    bool q_only_granted = 2 * q_weight > block_weight ||
+                          (2 * q_weight == block_weight && tie_wins());
+    if (!q_only_granted) d.reason = QuorumReason::kGrantedTopologicalCarry;
   }
   return d;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "net/topology.h"
+#include "obs/reason.h"
 #include "repl/replica_store.h"
 #include "util/result.h"
 #include "util/site_set.h"
@@ -105,6 +106,10 @@ struct QuorumDecision {
   SiteSet prev_partition;
   /// m: the member of Q whose ensemble was used.
   SiteId representative = -1;
+  /// Which rule of the paper produced the outcome. In particular,
+  /// kGrantedTopologicalCarry means the vote-carrying closure T was
+  /// decisive: counting Q alone would have denied this group.
+  QuorumReason reason = QuorumReason::kDeniedNoCopies;
 
   std::string ToString() const;
 };

@@ -39,6 +39,10 @@ Result<std::vector<PolicyResult>> RunAvailabilityExperiment(
 
   Simulator sim;
   NetworkState net(spec.topology);
+  if (spec.obs != nullptr) {
+    sim.set_obs(spec.obs);
+    net.set_obs(spec.obs);
+  }
 
   auto model_result = NetworkProcessModel::Make(
       &sim, &net, spec.profiles, spec.repeater_profiles, spec.options.seed);
@@ -59,10 +63,14 @@ Result<std::vector<PolicyResult>> RunAvailabilityExperiment(
   observed.reserve(protocols.size());
   for (auto& p : protocols) {
     p->set_quorum_cache_enabled(spec.options.quorum_cache);
+    if (spec.obs != nullptr) p->set_obs(spec.obs);
     observed.push_back(Observed{
         p.get(),
         AvailabilityTracker(start, spec.options.batch_length,
                             spec.options.num_batches)});
+    if (spec.obs != nullptr) {
+      observed.back().tracker.set_obs(spec.obs, p->name());
+    }
   }
 
   // Availability sampling shared by both event kinds. Each protocol's

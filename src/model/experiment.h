@@ -12,6 +12,7 @@
 
 #include "core/protocol.h"
 #include "model/access_model.h"
+#include "obs/context.h"
 #include "model/site_profile.h"
 #include "net/topology.h"
 #include "repl/message_bus.h"
@@ -82,6 +83,11 @@ struct ExperimentSpec {
   std::vector<SiteProfile> profiles;
   std::vector<RepeaterProfile> repeater_profiles;  // empty if none
   ExperimentOptions options;
+  /// Observability context attached to the simulator, the network state,
+  /// every protocol and every tracker for the duration of the run. Not
+  /// owned; null (the default) disables tracing and metrics entirely.
+  /// Tracing never changes statistical outputs — only what is recorded.
+  ObsContext* obs = nullptr;
 };
 
 /// Runs `protocols` through one simulated sample path and reports a

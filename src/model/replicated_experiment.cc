@@ -1,10 +1,13 @@
 #include "model/replicated_experiment.h"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
 #include "core/registry.h"
 #include "model/failure_model.h"
+#include "obs/context.h"
+#include "obs/trace_sink.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -19,12 +22,19 @@ namespace {
 struct ReplicationSlot {
   Status status;  // OK iff rows is meaningful
   std::vector<PolicyResult> rows;
+  std::string trace;     // JSONL body when collect_traces
+  MetricsShard metrics;  // per-replication shard when collect_metrics
 };
 
 /// Runs one replication of the experiment with the slot's derived seed.
+/// A caller-supplied spec.obs is never shared across workers — when
+/// collection is on, each replication gets a private context (sink into
+/// the slot's buffer, metrics into the slot's shard) and spec.obs is
+/// replaced; when off, spec.obs is cleared.
 ReplicationSlot RunOneReplication(const ExperimentSpec& base,
                                   const ProtocolSetFactory& factory,
-                                  std::uint64_t seed) {
+                                  std::uint64_t seed, int replication,
+                                  const ReplicationOptions& options) {
   ReplicationSlot slot;
   auto protocols = factory();
   if (!protocols.ok()) {
@@ -33,12 +43,23 @@ ReplicationSlot RunOneReplication(const ExperimentSpec& base,
   }
   ExperimentSpec spec = base;  // private copy; only options.seed differs
   spec.options.seed = seed;
+
+  std::ostringstream trace_out;
+  JsonlTraceSink trace_sink(&trace_out);
+  ObsContext ctx;
+  ctx.replication = replication;
+  if (options.collect_traces) ctx.sink = &trace_sink;
+  if (options.collect_metrics) ctx.metrics = &slot.metrics;
+  spec.obs = options.collect_traces || options.collect_metrics ? &ctx
+                                                               : nullptr;
+
   auto rows = RunAvailabilityExperiment(spec, protocols.MoveValue());
   if (!rows.ok()) {
     slot.status = rows.status();
     return slot;
   }
   slot.rows = rows.MoveValue();
+  if (options.collect_traces) slot.trace = trace_out.str();
   return slot;
 }
 
@@ -79,15 +100,15 @@ Result<ReplicatedResults> RunReplicatedExperiment(
   std::vector<ReplicationSlot> slots(static_cast<std::size_t>(reps));
   if (jobs <= 1) {
     for (int r = 0; r < reps; ++r) {
-      slots[r] = RunOneReplication(spec, factory, out.seeds[r]);
+      slots[r] = RunOneReplication(spec, factory, out.seeds[r], r, options);
     }
   } else {
     ThreadPool pool(jobs);
     for (int r = 0; r < reps; ++r) {
       ReplicationSlot* slot = &slots[r];
       std::uint64_t seed = out.seeds[r];
-      pool.Submit([&spec, &factory, slot, seed] {
-        *slot = RunOneReplication(spec, factory, seed);
+      pool.Submit([&spec, &factory, &options, slot, seed, r] {
+        *slot = RunOneReplication(spec, factory, seed, r, options);
       });
     }
     pool.Wait();
@@ -107,8 +128,13 @@ Result<ReplicatedResults> RunReplicatedExperiment(
   }
 
   out.per_replication.reserve(slots.size());
+  if (options.collect_traces) out.traces.reserve(slots.size());
   for (ReplicationSlot& slot : slots) {
     out.per_replication.push_back(std::move(slot.rows));
+    // Traces and metrics fold in slot (replication) order, keeping both
+    // outputs bit-identical for any job count.
+    if (options.collect_traces) out.traces.push_back(std::move(slot.trace));
+    if (options.collect_metrics) out.metrics.Merge(slot.metrics);
   }
 
   out.aggregate.reserve(num_policies);

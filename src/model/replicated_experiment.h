@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "model/experiment.h"
+#include "obs/metrics.h"
 #include "repl/message_bus.h"
 #include "stats/replication_stats.h"
 #include "util/result.h"
@@ -40,6 +41,14 @@ struct ReplicationOptions {
   /// Worker threads; 1 = run inline on the calling thread, 0 = one per
   /// hardware thread. Never affects results, only wall-clock time.
   int jobs = 1;
+  /// Collect a JSONL trace per replication into ReplicatedResults::traces.
+  /// Each worker writes into its own buffer (never a shared sink), so
+  /// traces are bit-identical for any `jobs` value — as are the
+  /// statistical outputs, which tracing never perturbs.
+  bool collect_traces = false;
+  /// Collect metrics into per-replication shards, merged in replication
+  /// order into ReplicatedResults::metrics at join.
+  bool collect_metrics = false;
 };
 
 /// Cross-replication aggregate for one protocol.
@@ -75,6 +84,12 @@ struct ReplicatedResults {
   std::vector<AggregatePolicyResult> aggregate;
   /// The seed each replication ran with (seeds[0] == the master seed).
   std::vector<std::uint64_t> seeds;
+  /// traces[r]: replication r's JSONL event stream (rep-tagged lines,
+  /// no header). Empty unless ReplicationOptions::collect_traces.
+  std::vector<std::string> traces;
+  /// All replications' metrics, merged in replication order. Empty unless
+  /// ReplicationOptions::collect_metrics.
+  MetricsShard metrics;
 };
 
 /// The seed replication `replication` runs with. Replication 0 uses the

@@ -27,6 +27,7 @@ void NetworkState::SetSiteUp(SiteId site, bool up) {
   }
   ++generation_;
   dirty_ = true;
+  if (obs_ != nullptr) EmitFlip(site, /*repeater=*/false, up);
 }
 
 void NetworkState::SetRepeaterUp(RepeaterId repeater, bool up) {
@@ -35,6 +36,31 @@ void NetworkState::SetRepeaterUp(RepeaterId repeater, bool up) {
   repeater_up_[repeater] = up;
   ++generation_;
   dirty_ = true;
+  if (obs_ != nullptr) EmitFlip(repeater, /*repeater=*/true, up);
+}
+
+void NetworkState::EmitFlip(int id, bool repeater, bool up) const {
+  if (obs_->sink != nullptr) {
+    Refresh();
+    TraceEvent event;
+    event.type = TraceEventType::kNet;
+    event.t = obs_->now;
+    event.replication = obs_->replication;
+    event.seq = obs_->seq;
+    event.site = id;
+    event.repeater = repeater;
+    event.up = up;
+    event.generation = generation_;
+    event.components.reserve(components_.size());
+    for (const SiteSet& group : components_) {
+      event.components.push_back(group.mask());
+    }
+    obs_->sink->Write(event);
+  }
+  if (obs_->metrics != nullptr) {
+    obs_->metrics->Add(repeater ? (up ? "net_repeater_up" : "net_repeater_down")
+                                : (up ? "net_site_up" : "net_site_down"));
+  }
 }
 
 void NetworkState::AllUp() {
@@ -102,6 +128,10 @@ int NetworkState::FindRoot(int segment) const {
 }
 
 bool NetworkState::CanCommunicate(SiteId a, SiteId b) const {
+  // Too hot for a Release check: both queries sit on the per-event
+  // sampling path (see bench/hotpath_micro.cc).
+  DYNVOTE_DCHECK(a >= 0 && a < topology_->num_sites());
+  DYNVOTE_DCHECK(b >= 0 && b < topology_->num_sites());
   if (!live_sites_.Contains(a) || !live_sites_.Contains(b)) return false;
   Refresh();
   return segment_root_[topology_->SegmentOf(a)] ==
@@ -109,6 +139,7 @@ bool NetworkState::CanCommunicate(SiteId a, SiteId b) const {
 }
 
 SiteSet NetworkState::ComponentOf(SiteId site) const {
+  DYNVOTE_DCHECK(site >= 0 && site < topology_->num_sites());
   if (!live_sites_.Contains(site)) return SiteSet();
   Refresh();
   int idx = component_of_root_[segment_root_[topology_->SegmentOf(site)]];

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "net/topology.h"
+#include "obs/context.h"
 #include "util/site_set.h"
 
 namespace dynvote {
@@ -70,7 +71,16 @@ class NetworkState {
   /// True iff all members of `sites` are live and mutually communicating.
   bool FullyConnected(SiteSet sites) const;
 
+  /// Attaches an observability context; every *effective* site/repeater
+  /// flip emits a kNet trace event carrying the new component partition.
+  /// Not owned; null (the default) disables emission.
+  void set_obs(ObsContext* obs) { obs_ = obs; }
+
  private:
+  /// Emits the kNet event for an effective flip of `id` (site, or
+  /// repeater when `repeater`). Forces Refresh() — pure and idempotent —
+  /// so the event carries the post-flip components.
+  void EmitFlip(int id, bool repeater, bool up) const;
   /// Rebuilds the segment-level union-find and the component list if
   /// state changed since the last query.
   void Refresh() const;
@@ -80,6 +90,7 @@ class NetworkState {
   SiteSet live_sites_;
   std::vector<bool> repeater_up_;
   std::uint64_t generation_ = 0;
+  ObsContext* obs_ = nullptr;
 
   // Lazily maintained caches, rebuilt together by Refresh():
   //  - union-find over segments (path-halving, flattened after build),

@@ -1,0 +1,201 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace dynvote {
+namespace {
+
+constexpr int kMinBucketExponent = -64;
+
+int BucketExponent(double value) {
+  if (!(value > 0.0)) return kMinBucketExponent;
+  int exponent = 0;
+  // frexp gives value = m * 2^e with m in [0.5, 1), so [2^i, 2^(i+1))
+  // maps to e = i + 1.
+  std::frexp(value, &exponent);
+  exponent -= 1;
+  return exponent < kMinBucketExponent ? kMinBucketExponent : exponent;
+}
+
+void AppendDouble(double value, std::string* out) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out->append(buf);
+}
+
+void AppendU64(std::uint64_t value, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out->append(buf);
+}
+
+void AppendJsonString(std::string_view value, std::string* out) {
+  out->push_back('"');
+  for (char c : value) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void HistogramData::Observe(double value) {
+  if (count == 0) {
+    min = value;
+    max = value;
+  } else {
+    if (value < min) min = value;
+    if (value > max) max = value;
+  }
+  ++count;
+  sum += value;
+  ++buckets[BucketExponent(value)];
+}
+
+void HistogramData::Merge(const HistogramData& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  if (other.min < min) min = other.min;
+  if (other.max > max) max = other.max;
+  count += other.count;
+  sum += other.sum;
+  for (const auto& [exponent, n] : other.buckets) buckets[exponent] += n;
+}
+
+void MetricsShard::Add(std::string_view counter, std::uint64_t delta) {
+  auto it = counters_.find(counter);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(counter), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsShard::Set(std::string_view gauge, double value) {
+  auto it = gauges_.find(gauge);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(gauge), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsShard::Observe(std::string_view histogram, double value) {
+  auto it = histograms_.find(histogram);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(histogram), HistogramData{}).first;
+  }
+  it->second.Observe(value);
+}
+
+void MetricsShard::Merge(const MetricsShard& other) {
+  for (const auto& [key, value] : other.counters_) {
+    auto it = counters_.find(key);
+    if (it == counters_.end()) {
+      counters_.emplace(key, value);
+    } else {
+      it->second += value;
+    }
+  }
+  for (const auto& [key, value] : other.gauges_) gauges_[key] = value;
+  for (const auto& [key, value] : other.histograms_) {
+    histograms_[key].Merge(value);
+  }
+}
+
+void MetricsShard::Clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::string MetricsShard::ToJson() const {
+  std::string out;
+  out.reserve(256 + 64 * (counters_.size() + gauges_.size()));
+  out.append("{\n  \"schema\": \"");
+  out.append(kMetricsSchema);
+  out.append("\",\n  \"counters\": {");
+  bool first = true;
+  for (const auto& [key, value] : counters_) {
+    out.append(first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(key, &out);
+    out.append(": ");
+    AppendU64(value, &out);
+  }
+  out.append(first ? "}" : "\n  }");
+  out.append(",\n  \"gauges\": {");
+  first = true;
+  for (const auto& [key, value] : gauges_) {
+    out.append(first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(key, &out);
+    out.append(": ");
+    AppendDouble(value, &out);
+  }
+  out.append(first ? "}" : "\n  }");
+  out.append(",\n  \"histograms\": {");
+  first = true;
+  for (const auto& [key, hist] : histograms_) {
+    out.append(first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(key, &out);
+    out.append(": {\"count\": ");
+    AppendU64(hist.count, &out);
+    out.append(", \"sum\": ");
+    AppendDouble(hist.sum, &out);
+    out.append(", \"min\": ");
+    AppendDouble(hist.min, &out);
+    out.append(", \"max\": ");
+    AppendDouble(hist.max, &out);
+    out.append(", \"buckets\": {");
+    bool first_bucket = true;
+    for (const auto& [exponent, n] : hist.buckets) {
+      if (!first_bucket) out.append(", ");
+      first_bucket = false;
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "\"%d\": ", exponent);
+      out.append(buf);
+      AppendU64(n, &out);
+    }
+    out.append("}}");
+  }
+  out.append(first ? "}" : "\n  }");
+  out.append("\n}\n");
+  return out;
+}
+
+void MetricsRegistry::Merge(const MetricsShard& shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  merged_.Merge(shard);
+}
+
+MetricsShard MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return merged_;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return merged_.ToJson();
+}
+
+std::string MetricKey(std::string_view name, std::string_view label_csv) {
+  std::string key;
+  key.reserve(name.size() + label_csv.size() + 2);
+  key.append(name);
+  if (!label_csv.empty()) {
+    key.push_back('{');
+    key.append(label_csv);
+    key.push_back('}');
+  }
+  return key;
+}
+
+}  // namespace dynvote

@@ -1,0 +1,93 @@
+// Counters, gauges and histograms with per-thread sharding. Each
+// replication worker mutates its own MetricsShard with no
+// synchronization at all; shards are merged into the MetricsRegistry at
+// join time, in replication order, so the exported JSON is deterministic
+// for any --jobs. Keys are flat strings with inline labels, e.g.
+//   access_reason{protocol=LDV,reason=denied_tie_lost}
+// — ordering by key gives a stable export without a label model.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace dynvote {
+
+/// Metrics schema identifier in the exported JSON; bump on incompatible
+/// field-set changes.
+inline constexpr const char kMetricsSchema[] = "dynvote-metrics-v1";
+
+/// Fixed-boundary histogram: count/sum/min/max plus sparse powers-of-two
+/// buckets (bucket i counts values in [2^i, 2^(i+1)); negative i covers
+/// sub-unit values; values <= 0 land in the lowest bucket).
+struct HistogramData {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// bucket exponent -> count of observations in [2^e, 2^(e+1)).
+  std::map<int, std::uint64_t> buckets;
+
+  void Observe(double value);
+  void Merge(const HistogramData& other);
+};
+
+/// Single-writer bundle of metrics. Not thread-safe by design: one shard
+/// per worker, merged under the registry lock at join.
+class MetricsShard {
+ public:
+  void Add(std::string_view counter, std::uint64_t delta = 1);
+  void Set(std::string_view gauge, double value);
+  void Observe(std::string_view histogram, double value);
+
+  /// Folds `other` into this shard: counters add, gauges take the
+  /// incoming value (last merge wins — deterministic because merges run
+  /// in replication order), histograms combine.
+  void Merge(const MetricsShard& other);
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+  void Clear();
+
+  const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, HistogramData, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  /// Renders the shard as a dynvote-metrics-v1 JSON document (sorted
+  /// keys, %.17g doubles: byte-stable for identical contents).
+  std::string ToJson() const;
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, HistogramData, std::less<>> histograms_;
+};
+
+/// Thread-safe facade over a merged shard. Workers never touch it on the
+/// hot path — they batch into local shards and call Merge once.
+class MetricsRegistry {
+ public:
+  void Merge(const MetricsShard& shard);
+  /// Copies the merged state out under the lock.
+  MetricsShard Snapshot() const;
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mutex_;
+  MetricsShard merged_;
+};
+
+/// Builds "name{k1=v1,k2=v2}"-style keys without iostream machinery.
+std::string MetricKey(std::string_view name, std::string_view label_csv);
+
+}  // namespace dynvote

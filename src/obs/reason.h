@@ -1,0 +1,101 @@
+// The reason-code vocabulary of the tracing layer: every quorum decision
+// and every user access carries one code explaining *which rule of the
+// paper* produced the outcome (Algorithm 1, Figures 1-3 and 5-7), so the
+// availability differences between protocols decompose into mechanism
+// counts instead of one aggregate number. The mapping from code to paper
+// rule is tabulated in docs/observability.md.
+//
+// This header sits below core/ on purpose: the protocol layer attaches a
+// reason to each QuorumDecision, and the sinks here serialize it.
+
+#pragma once
+
+#include <cstdint>
+
+namespace dynvote {
+
+/// Why a quorum evaluation (or a whole user access) was granted or denied.
+enum class QuorumReason : std::uint8_t {
+  /// The counted votes strictly exceed half of the previous majority
+  /// block (or the static quorum, for MCV).
+  kGrantedMajority = 0,
+  /// Exactly half the votes, granted by the lexicographic tie-break
+  /// (group holds the maximum element of the previous block).
+  kGrantedTieLex,
+  /// Granted only because a reachable member of the previous block
+  /// carried the votes of unreachable members on its own segment
+  /// (Section 3's topological rule); counting Q alone would have denied.
+  kGrantedTopologicalCarry,
+  /// Available Copy: granted because a current copy is reachable (no
+  /// vote counting involved).
+  kGrantedCurrentCopy,
+  /// Fewer than half the votes of the previous majority block.
+  kDeniedMinority,
+  /// Exactly half the votes, and the tie was lost (no tie-break rule, or
+  /// the maximum element of the previous block is elsewhere).
+  kDeniedTieLost,
+  /// The votes were there but no reachable *data* copy holds the current
+  /// version (witness-only quorums; Available Copy denials).
+  kDeniedNoCurrentCopy,
+  /// No group of communicating sites holds any copy at all.
+  kDeniedNoCopies,
+  /// The decision was served from a memoized entry (CachedWouldGrant or
+  /// the Evaluate memo); the underlying reason was recorded when the
+  /// entry was first computed.
+  kCacheHit,
+};
+
+inline constexpr int kNumQuorumReasons = 9;
+
+/// Stable snake_case name used in traces, metrics and summaries.
+constexpr const char* QuorumReasonName(QuorumReason reason) {
+  switch (reason) {
+    case QuorumReason::kGrantedMajority:
+      return "granted_majority";
+    case QuorumReason::kGrantedTieLex:
+      return "granted_tie_lex";
+    case QuorumReason::kGrantedTopologicalCarry:
+      return "granted_topological_carry";
+    case QuorumReason::kGrantedCurrentCopy:
+      return "granted_current_copy";
+    case QuorumReason::kDeniedMinority:
+      return "denied_minority";
+    case QuorumReason::kDeniedTieLost:
+      return "denied_tie_lost";
+    case QuorumReason::kDeniedNoCurrentCopy:
+      return "denied_no_current_copy";
+    case QuorumReason::kDeniedNoCopies:
+      return "denied_no_copies";
+    case QuorumReason::kCacheHit:
+      return "cache_hit";
+  }
+  return "?";
+}
+
+/// True for the kGranted* codes (cache_hit is neither: the cached entry
+/// carries its own outcome).
+constexpr bool IsGrantReason(QuorumReason reason) {
+  return reason == QuorumReason::kGrantedMajority ||
+         reason == QuorumReason::kGrantedTieLex ||
+         reason == QuorumReason::kGrantedTopologicalCarry ||
+         reason == QuorumReason::kGrantedCurrentCopy;
+}
+
+/// Ranks denial codes by how close the group came to a grant, so a whole
+/// user access that probed several groups reports the most informative
+/// denial: a lost tie ("one vote short") over a witness-starved quorum
+/// over a plain minority over "no copies reachable at all".
+constexpr int DenialSeverity(QuorumReason reason) {
+  switch (reason) {
+    case QuorumReason::kDeniedTieLost:
+      return 3;
+    case QuorumReason::kDeniedNoCurrentCopy:
+      return 2;
+    case QuorumReason::kDeniedMinority:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace dynvote

@@ -1,0 +1,16 @@
+// One header naming every stable JSON schema this repo emits, so the CLI
+// (--version) and the emitters cannot drift apart. Bump a constant here
+// exactly when the corresponding field set changes incompatibly.
+
+#pragma once
+
+#include "obs/metrics.h"      // kMetricsSchema
+#include "obs/trace_event.h"  // kTraceSchema
+
+namespace dynvote {
+
+/// Schema of BENCH_hotpath.json (bench/hotpath_micro.cc, validated by the
+/// perf-smoke CI job).
+inline constexpr const char kHotpathBenchSchema[] = "dynvote-hotpath-bench-v1";
+
+}  // namespace dynvote

@@ -1,0 +1,208 @@
+#include "obs/trace_reader.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <istream>
+
+namespace dynvote {
+namespace {
+
+void SkipSpaces(std::string_view line, std::size_t* pos) {
+  while (*pos < line.size() &&
+         (line[*pos] == ' ' || line[*pos] == '\t')) {
+    ++*pos;
+  }
+}
+
+// Parses a quoted string, undoing the escapes our sinks produce.
+bool ParseString(std::string_view line, std::size_t* pos, std::string* out) {
+  if (*pos >= line.size() || line[*pos] != '"') return false;
+  ++*pos;
+  out->clear();
+  while (*pos < line.size()) {
+    char c = line[*pos];
+    if (c == '"') {
+      ++*pos;
+      return true;
+    }
+    if (c == '\\') {
+      ++*pos;
+      if (*pos >= line.size()) return false;
+      char esc = line[*pos];
+      if (esc == 'u') {
+        // Our sinks only emit \u00XX for control bytes.
+        if (*pos + 4 >= line.size()) return false;
+        unsigned code = 0;
+        if (std::sscanf(line.substr(*pos + 1, 4).data(), "%4x", &code) != 1) {
+          return false;
+        }
+        out->push_back(static_cast<char>(code));
+        *pos += 4;
+      } else {
+        out->push_back(esc);
+      }
+      ++*pos;
+    } else {
+      out->push_back(c);
+      ++*pos;
+    }
+  }
+  return false;
+}
+
+// Captures a scalar (number/bool/null) or a flat array as raw text.
+bool ParseRawValue(std::string_view line, std::size_t* pos, std::string* out) {
+  out->clear();
+  if (*pos < line.size() && line[*pos] == '[') {
+    std::size_t depth = 0;
+    while (*pos < line.size()) {
+      char c = line[*pos];
+      out->push_back(c);
+      ++*pos;
+      if (c == '[') ++depth;
+      if (c == ']' && --depth == 0) return true;
+    }
+    return false;
+  }
+  while (*pos < line.size() && line[*pos] != ',' && line[*pos] != '}') {
+    out->push_back(line[*pos]);
+    ++*pos;
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+bool ParseTraceLine(std::string_view line,
+                    std::map<std::string, std::string>* fields) {
+  fields->clear();
+  std::size_t pos = 0;
+  SkipSpaces(line, &pos);
+  if (pos >= line.size() || line[pos] != '{') return false;
+  ++pos;
+  SkipSpaces(line, &pos);
+  if (pos < line.size() && line[pos] == '}') return true;
+  std::string key;
+  std::string value;
+  while (true) {
+    SkipSpaces(line, &pos);
+    if (!ParseString(line, &pos, &key)) return false;
+    SkipSpaces(line, &pos);
+    if (pos >= line.size() || line[pos] != ':') return false;
+    ++pos;
+    SkipSpaces(line, &pos);
+    if (pos < line.size() && line[pos] == '"') {
+      if (!ParseString(line, &pos, &value)) return false;
+    } else {
+      if (!ParseRawValue(line, &pos, &value)) return false;
+      // Trim trailing spaces from raw scalars.
+      while (!value.empty() && value.back() == ' ') value.pop_back();
+    }
+    (*fields)[key] = value;
+    SkipSpaces(line, &pos);
+    if (pos >= line.size()) return false;
+    if (line[pos] == '}') return true;
+    if (line[pos] != ',') return false;
+    ++pos;
+  }
+}
+
+TraceSummary SummarizeTrace(std::istream& in) {
+  TraceSummary summary;
+  std::string line;
+  std::map<std::string, std::string> fields;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++summary.total_lines;
+    if (!ParseTraceLine(line, &fields)) {
+      ++summary.malformed_lines;
+      continue;
+    }
+    if (auto it = fields.find("schema"); it != fields.end()) {
+      summary.schema = it->second;
+      continue;
+    }
+    auto ev = fields.find("ev");
+    if (ev == fields.end()) {
+      ++summary.malformed_lines;
+      continue;
+    }
+    const std::string& type = ev->second;
+    if (type == "net") {
+      ++summary.net_events;
+      continue;
+    }
+    if (type == "sim") {
+      ++summary.sim_events;
+      continue;
+    }
+    auto proto_it = fields.find("protocol");
+    if (proto_it == fields.end()) {
+      ++summary.malformed_lines;
+      continue;
+    }
+    ProtocolTraceSummary& proto = summary.per_protocol[proto_it->second];
+    if (type == "avail") {
+      ++proto.availability_transitions;
+    } else if (type == "quorum") {
+      const std::string& reason = fields["reason"];
+      if (reason == "cache_hit") {
+        ++proto.cache_hits;
+      } else {
+        ++proto.quorum_evaluations;
+        ++proto.quorum_reasons[reason];
+      }
+    } else if (type == "access") {
+      ++proto.accesses;
+      if (fields["granted"] == "true") {
+        ++proto.granted;
+      } else {
+        ++proto.denied;
+      }
+      ++proto.access_reasons[fields["reason"]];
+    } else {
+      ++summary.malformed_lines;
+    }
+  }
+  return summary;
+}
+
+std::string TraceSummary::ToString() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "trace: schema=%s lines=%" PRIu64 " malformed=%" PRIu64
+                " net=%" PRIu64 " sim=%" PRIu64 "\n",
+                schema.empty() ? "(none)" : schema.c_str(), total_lines,
+                malformed_lines, net_events, sim_events);
+  out.append(buf);
+  for (const auto& [name, proto] : per_protocol) {
+    std::snprintf(buf, sizeof(buf),
+                  "\n%s: accesses=%" PRIu64 " granted=%" PRIu64
+                  " denied=%" PRIu64 " quorum_evals=%" PRIu64
+                  " cache_hits=%" PRIu64 " avail_transitions=%" PRIu64 "\n",
+                  name.c_str(), proto.accesses, proto.granted, proto.denied,
+                  proto.quorum_evaluations, proto.cache_hits,
+                  proto.availability_transitions);
+    out.append(buf);
+    if (!proto.access_reasons.empty()) {
+      out.append("  access reasons:\n");
+      for (const auto& [reason, count] : proto.access_reasons) {
+        std::snprintf(buf, sizeof(buf), "    %-28s %" PRIu64 "\n",
+                      reason.c_str(), count);
+        out.append(buf);
+      }
+    }
+    if (!proto.quorum_reasons.empty()) {
+      out.append("  quorum reasons:\n");
+      for (const auto& [reason, count] : proto.quorum_reasons) {
+        std::snprintf(buf, sizeof(buf), "    %-28s %" PRIu64 "\n",
+                      reason.c_str(), count);
+        out.append(buf);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dynvote

@@ -1,0 +1,51 @@
+// Reads dynvote-trace-v1 JSONL back in and aggregates it into the
+// per-protocol why-unavailable breakdown the `trace-summary` CLI prints.
+// The parser handles exactly the flat subset our sinks emit (string,
+// number, bool, and flat-array values) — it is a schema reader, not a
+// general JSON library.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace dynvote {
+
+/// One parsed trace line as a flat field map; array values are kept as
+/// raw text ("[1,2]"). Returns false on lines that are not JSON objects.
+bool ParseTraceLine(std::string_view line,
+                    std::map<std::string, std::string>* fields);
+
+struct ProtocolTraceSummary {
+  std::uint64_t accesses = 0;
+  std::uint64_t granted = 0;
+  std::uint64_t denied = 0;
+  /// reason name -> count, over access events.
+  std::map<std::string, std::uint64_t> access_reasons;
+  /// reason name -> count, over fresh quorum evaluations.
+  std::map<std::string, std::uint64_t> quorum_reasons;
+  std::uint64_t quorum_evaluations = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t availability_transitions = 0;
+};
+
+struct TraceSummary {
+  /// Schema string from the header line ("" if the trace had none).
+  std::string schema;
+  std::uint64_t total_lines = 0;
+  std::uint64_t malformed_lines = 0;
+  std::uint64_t net_events = 0;
+  std::uint64_t sim_events = 0;
+  std::map<std::string, ProtocolTraceSummary> per_protocol;
+
+  /// Human-readable rendering for the trace-summary subcommand.
+  std::string ToString() const;
+};
+
+/// Streams a JSONL trace and folds it into a TraceSummary.
+TraceSummary SummarizeTrace(std::istream& in);
+
+}  // namespace dynvote

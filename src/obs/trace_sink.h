@@ -1,0 +1,75 @@
+// Where trace events go. Two implementations: an in-memory ring (cheap,
+// bounded, for tests and the overhead probe) and a JSONL writer (one
+// event per line in the dynvote-trace-v1 schema). Emission sites hold a
+// TraceSink* behind ObsContext and test it for null — that single branch
+// is the entire disabled-tracing cost.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace_event.h"
+
+namespace dynvote {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Records one event. Called synchronously from the simulation thread
+  /// that owns the sink; sinks are single-writer and need no locking.
+  virtual void Write(const TraceEvent& event) = 0;
+
+  /// Total events offered to the sink over its lifetime (including any
+  /// a bounded sink has since evicted).
+  std::uint64_t total_events() const { return total_events_; }
+
+ protected:
+  void CountEvent() { ++total_events_; }
+
+ private:
+  std::uint64_t total_events_ = 0;
+};
+
+/// Bounded in-memory sink: keeps the most recent `capacity` events.
+class RingTraceSink : public TraceSink {
+ public:
+  explicit RingTraceSink(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void Write(const TraceEvent& event) override;
+
+  const std::deque<TraceEvent>& events() const { return events_; }
+  std::size_t capacity() const { return capacity_; }
+  void Clear() { events_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+};
+
+/// Serializes each event as one JSON object per line (dynvote-trace-v1).
+/// The stream is borrowed, not owned.
+class JsonlTraceSink : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream* out) : out_(out) {}
+
+  void Write(const TraceEvent& event) override;
+
+ private:
+  std::ostream* out_;
+  std::string line_;  // reused between events to avoid reallocation
+};
+
+/// Renders one event in the dynvote-trace-v1 JSONL form (no trailing
+/// newline). Appends to `out` so callers can reuse a buffer.
+void AppendTraceEventJson(const TraceEvent& event, std::string* out);
+
+/// The JSONL header line identifying the schema; written once at the top
+/// of a trace file, before any events.
+std::string TraceHeaderLine(std::uint64_t seed);
+
+}  // namespace dynvote

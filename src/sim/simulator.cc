@@ -24,6 +24,7 @@ Status Simulator::RunUntil(SimTime horizon) {
   }
   while (!queue_.Empty() && queue_.PeekTime() <= horizon) {
     now_ = queue_.PeekTime();
+    if (obs_ != nullptr) EmitDispatch();
     queue_.RunNext();
     ++events_run_;
   }
@@ -34,9 +35,25 @@ Status Simulator::RunUntil(SimTime horizon) {
 bool Simulator::Step() {
   if (queue_.Empty()) return false;
   now_ = queue_.PeekTime();
+  if (obs_ != nullptr) EmitDispatch();
   queue_.RunNext();
   ++events_run_;
   return true;
+}
+
+void Simulator::EmitDispatch() {
+  obs_->now = now_;
+  obs_->seq = events_run_;
+  if (obs_->sink != nullptr) {
+    TraceEvent event;
+    event.type = TraceEventType::kSim;
+    event.t = now_;
+    event.replication = obs_->replication;
+    event.seq = events_run_;
+    event.op = "dispatch";
+    obs_->sink->Write(event);
+  }
+  if (obs_->metrics != nullptr) obs_->metrics->Add("sim_events");
 }
 
 }  // namespace dynvote

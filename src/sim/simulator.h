@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "obs/context.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
 #include "util/status.h"
@@ -55,10 +56,21 @@ class Simulator {
   /// True iff no events are pending.
   bool Idle() const { return queue_.Empty(); }
 
+  /// Attaches an observability context. Before dispatching each event the
+  /// simulator stamps `obs->now`/`obs->seq` (so downstream emitters —
+  /// NetworkState, protocols, trackers — timestamp without knowing the
+  /// clock) and emits one kSim event. Not owned; null disables this.
+  void set_obs(ObsContext* obs) { obs_ = obs; }
+
  private:
+  /// Stamps the context and emits the dispatch event; called only when
+  /// obs_ is attached.
+  void EmitDispatch();
+
   EventQueue queue_;
   SimTime now_ = 0.0;
   std::uint64_t events_run_ = 0;
+  ObsContext* obs_ = nullptr;
 };
 
 }  // namespace dynvote

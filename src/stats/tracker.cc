@@ -55,8 +55,36 @@ void AvailabilityTracker::Update(SimTime now, bool available) {
     // period was only *counted* if part of it fell inside the window.
     in_period_ = false;
   }
+  if (obs_ != nullptr && available != last_status_) {
+    EmitTransition(now, available);
+  }
   last_time_ = now;
   last_status_ = available;
+}
+
+void AvailabilityTracker::EmitTransition(SimTime now, bool available) {
+  if (obs_->sink != nullptr) {
+    TraceEvent event;
+    event.type = TraceEventType::kAvail;
+    event.t = now;
+    event.replication = obs_->replication;
+    event.seq = obs_->seq;
+    event.protocol = protocol_;
+    event.available = available;
+    obs_->sink->Write(event);
+  }
+  if (obs_->metrics != nullptr) {
+    std::string key = "avail_transitions{protocol=" + protocol_ + "}";
+    obs_->metrics->Add(key);
+    if (available) {
+      // Closing an outage: record its whole duration (unclipped by the
+      // measurement window — the histogram describes outages, the
+      // batch accumulators describe the window).
+      std::string hist = "outage_duration_days{protocol=" + protocol_ + "}";
+      obs_->metrics->Observe(hist, now - status_since_);
+    }
+  }
+  status_since_ = now;
 }
 
 void AvailabilityTracker::Finish(SimTime end) {

@@ -5,8 +5,10 @@
 
 #pragma once
 
+#include <string>
 #include <vector>
 
+#include "obs/context.h"
 #include "sim/time.h"
 #include "stats/batch_means.h"
 
@@ -59,7 +61,18 @@ class AvailabilityTracker {
   /// Batch-means summary of the unavailability.
   BatchStats Stats() const;
 
+  /// Attaches an observability context: every status transition emits a
+  /// kAvail trace event labelled `protocol`, and closed unavailable
+  /// periods feed an outage-duration histogram. Not owned; null (the
+  /// default) disables emission.
+  void set_obs(ObsContext* obs, std::string protocol) {
+    obs_ = obs;
+    protocol_ = std::move(protocol);
+  }
+
  private:
+  /// Emits the kAvail transition event; called only when obs_ is set.
+  void EmitTransition(SimTime now, bool available);
   /// Adds [from, to) of unavailable time into the batch accumulators.
   void AccumulateUnavailable(SimTime from, SimTime to);
 
@@ -79,6 +92,10 @@ class AvailabilityTracker {
   double first_outage_ = -1.0;
   std::vector<double> batch_unavailable_time_;
   std::vector<double> batch_unavailability_;  // filled by Finish()
+
+  ObsContext* obs_ = nullptr;
+  std::string protocol_;
+  SimTime status_since_ = 0.0;  // when last_status_ was entered
 };
 
 }  // namespace dynvote

@@ -1,6 +1,7 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <iostream>
 
 namespace dynvote {
 
@@ -33,14 +34,20 @@ void SetLogLevel(LogLevel level) {
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(level >= GetLogLevel()), level_(level) {
+    : enabled_(level >= GetLogLevel()) {
   if (enabled_) {
-    stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+    buffer_.append("[");
+    buffer_.append(LevelName(level));
+    buffer_.append(" ");
+    buffer_.append(file);
+    buffer_.append(":");
+    buffer_.append(std::to_string(line));
+    buffer_.append("] ");
   }
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) std::cerr << stream_.str() << std::endl;
+  if (enabled_) std::cerr << buffer_ << std::endl;
 }
 
 void CheckFailed(const char* expr, const char* file, int line,

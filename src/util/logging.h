@@ -1,12 +1,17 @@
 // Minimal leveled logging and debug-check macros. The library core is
 // silent by default; examples and benches may raise the level.
+//
+// The header deliberately avoids <iostream>/<sstream>: it is included by
+// nearly every TU in the library, and stream machinery (static iostream
+// initializers, template bloat) belongs in logging.cc. Messages buffer
+// into a plain std::string via overloads below; anything arithmetic goes
+// through std::to_string.
 
 #pragma once
 
-#include <cstdlib>
-#include <iostream>
-#include <sstream>
 #include <string>
+#include <string_view>
+#include <type_traits>
 
 namespace dynvote {
 
@@ -22,18 +27,49 @@ namespace internal {
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
+  /// Writes the buffered line to stderr (in logging.cc).
   ~LogMessage();
 
-  template <typename T>
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  LogMessage& operator<<(std::string_view value) {
+    if (enabled_) buffer_.append(value);
+    return *this;
+  }
+  LogMessage& operator<<(const char* value) {
+    return *this << std::string_view(value);
+  }
+  LogMessage& operator<<(const std::string& value) {
+    return *this << std::string_view(value);
+  }
+  LogMessage& operator<<(char value) {
+    if (enabled_) buffer_.push_back(value);
+    return *this;
+  }
+  LogMessage& operator<<(bool value) {
+    return *this << std::string_view(value ? "true" : "false");
+  }
+  /// Numbers format via std::to_string; the exact-match overloads above
+  /// win over this template for char/bool/string types.
+  template <typename T,
+            typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+  LogMessage& operator<<(T value) {
+    if (enabled_) buffer_.append(std::to_string(value));
+    return *this;
+  }
+  /// Anything with a ToString() member (SiteSet, Status, ...).
+  template <typename T,
+            typename = decltype(std::declval<const T&>().ToString()),
+            typename = void>
   LogMessage& operator<<(const T& value) {
-    if (enabled_) stream_ << value;
+    if (enabled_) buffer_.append(value.ToString());
     return *this;
   }
 
  private:
   bool enabled_;
-  LogLevel level_;
-  std::ostringstream stream_;
+  std::string buffer_;
 };
 
 [[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
@@ -62,3 +98,23 @@ class LogMessage {
       ::dynvote::internal::CheckFailed(#expr, __FILE__, __LINE__, msg); \
     }                                                                   \
   } while (false)
+
+/// Debug-only checks for hot-path assertions too costly for Release:
+/// full DYNVOTE_CHECKs under !NDEBUG, compiled (for well-formedness) but
+/// never evaluated otherwise.
+#ifndef NDEBUG
+#define DYNVOTE_DCHECK(expr) DYNVOTE_CHECK(expr)
+#define DYNVOTE_DCHECK_MSG(expr, msg) DYNVOTE_CHECK_MSG(expr, msg)
+#else
+#define DYNVOTE_DCHECK(expr)                 \
+  do {                                       \
+    if (false && (expr)) { /* not reached */ \
+    }                                        \
+  } while (false)
+#define DYNVOTE_DCHECK_MSG(expr, msg)                        \
+  do {                                                       \
+    if (false && (expr)) {                                   \
+      static_cast<void>(msg); /* compiled, not evaluated */  \
+    }                                                        \
+  } while (false)
+#endif

@@ -7,6 +7,8 @@
 #include "core/dynamic_voting.h"
 #include "core/test_topologies.h"
 #include "net/network_state.h"
+#include "obs/context.h"
+#include "obs/trace_sink.h"
 
 namespace dynvote {
 namespace {
@@ -117,6 +119,66 @@ TEST(TopologicalTest, OtdvIsOptimistic) {
   EXPECT_TRUE(otdv->WouldGrant(net, 2, AccessType::kWrite));
   ASSERT_TRUE(otdv->UserAccess(net, AccessType::kWrite).ok());
   EXPECT_EQ(otdv->store().state(2).partition_set, SiteSet{2});
+}
+
+TEST(TopologicalTest, CarryDecisiveGrantIsAttributedInTraces) {
+  // Re-run the Section 3 motivating example with tracing attached: the
+  // final TDV grant exists *only* because B carries A's segment votes, so
+  // its quorum event must say granted_topological_carry — while ODV,
+  // driven through the identical failure history, never carries and must
+  // emit no carry reason at all.
+  auto topo = Section3Network();
+  const SiteId a = 0, b = 1, c = 2, d = 3;
+  auto tdv = *MakeTDV(topo, SiteSet{a, b, c, d});
+  auto odv = *MakeODV(topo, SiteSet{a, b, c, d});
+  NetworkState net(topo);
+
+  RingTraceSink sink;
+  MetricsShard metrics;
+  ObsContext obs;
+  obs.sink = &sink;
+  obs.metrics = &metrics;
+  tdv->set_obs(&obs);
+  odv->set_obs(&obs);
+
+  for (auto* p : {tdv.get(), odv.get()}) {
+    net.AllUp();
+    p->OnNetworkEvent(net);
+    net.SetSiteUp(d, false);
+    p->OnNetworkEvent(net);
+    net.SetSiteUp(c, false);
+    p->OnNetworkEvent(net);
+    ASSERT_TRUE(p->Write(net, a).ok());
+    net.AllUp();
+    net.SetSiteUp(c, false);
+    net.SetSiteUp(d, false);
+  }
+  net.SetSiteUp(a, false);
+  tdv->OnNetworkEvent(net);
+  odv->OnNetworkEvent(net);
+  EXPECT_TRUE(tdv->WouldGrant(net, b, AccessType::kWrite));
+  EXPECT_FALSE(odv->WouldGrant(net, b, AccessType::kWrite));
+
+  int tdv_carries = 0;
+  int odv_carries = 0;
+  for (const TraceEvent& event : sink.events()) {
+    if (event.type != TraceEventType::kQuorum) continue;
+    if (event.reason != QuorumReason::kGrantedTopologicalCarry) continue;
+    if (event.protocol == "TDV") ++tdv_carries;
+    if (event.protocol == "ODV") ++odv_carries;
+  }
+  EXPECT_GE(tdv_carries, 1);
+  EXPECT_EQ(odv_carries, 0);
+  // The same attribution lands in the metrics shard, under the key the
+  // trace-summary and CI smoke checks read.
+  EXPECT_GE(metrics.counters().at(
+                "quorum_evaluations{protocol=TDV,"
+                "reason=granted_topological_carry}"),
+            1u);
+  EXPECT_EQ(metrics.counters().count(
+                "quorum_evaluations{protocol=ODV,"
+                "reason=granted_topological_carry}"),
+            0u);
 }
 
 TEST(TopologicalTest, GatewayHostBelongsToOneSegmentOnly) {

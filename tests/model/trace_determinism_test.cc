@@ -1,0 +1,139 @@
+// Tracing must be a pure observer: collecting traces/metrics may never
+// perturb the statistical outputs, the event streams must be identical
+// for any worker count and across same-seed runs, and the trace's access
+// accounting must reconcile exactly with the experiment's counters.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/registry.h"
+#include "model/export.h"
+#include "model/replicated_experiment.h"
+#include "obs/trace_reader.h"
+
+namespace dynvote {
+namespace {
+
+ExperimentOptions ShortOptions() {
+  ExperimentOptions options;
+  options.warmup = Days(30);
+  options.num_batches = 5;
+  options.batch_length = Years(2);
+  options.seed = 12345;
+  return options;
+}
+
+ReplicationOptions Reps(int replications, int jobs, bool collect) {
+  ReplicationOptions r;
+  r.replications = replications;
+  r.jobs = jobs;
+  r.collect_traces = collect;
+  r.collect_metrics = collect;
+  return r;
+}
+
+Result<ReplicatedResults> RunConfigB(const ReplicationOptions& reps) {
+  return RunReplicatedPaperExperiment('B', PaperProtocolNames(),
+                                      ShortOptions(), reps);
+}
+
+std::string JoinTraces(const ReplicatedResults& results) {
+  std::string out;
+  for (const std::string& body : results.traces) out += body;
+  return out;
+}
+
+TEST(TraceDeterminismTest, TracingNeverChangesStatisticalOutputs) {
+  auto untraced = RunConfigB(Reps(3, 2, /*collect=*/false));
+  ASSERT_TRUE(untraced.ok()) << untraced.status();
+  auto traced = RunConfigB(Reps(3, 2, /*collect=*/true));
+  ASSERT_TRUE(traced.ok()) << traced.status();
+
+  // Byte-identical exported JSON: the strongest form of "no perturbation".
+  EXPECT_EQ(ReplicatedResultsToJson("config-B", *untraced),
+            ReplicatedResultsToJson("config-B", *traced));
+  EXPECT_TRUE(untraced->traces.empty());
+  EXPECT_TRUE(untraced->metrics.empty());
+  ASSERT_EQ(traced->traces.size(), 3u);
+  EXPECT_FALSE(traced->metrics.empty());
+}
+
+TEST(TraceDeterminismTest, TracesAreIdenticalForAnyJobCount) {
+  auto serial = RunConfigB(Reps(4, 1, /*collect=*/true));
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  auto parallel = RunConfigB(Reps(4, 4, /*collect=*/true));
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+
+  EXPECT_EQ(ReplicatedResultsToJson("config-B", *serial),
+            ReplicatedResultsToJson("config-B", *parallel));
+  ASSERT_EQ(serial->traces.size(), parallel->traces.size());
+  for (std::size_t r = 0; r < serial->traces.size(); ++r) {
+    EXPECT_EQ(serial->traces[r], parallel->traces[r]) << "replication " << r;
+  }
+  EXPECT_EQ(serial->metrics.ToJson(), parallel->metrics.ToJson());
+}
+
+TEST(TraceDeterminismTest, SameSeedRunsProduceIdenticalEventStreams) {
+  auto first = RunConfigB(Reps(2, 2, /*collect=*/true));
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = RunConfigB(Reps(2, 2, /*collect=*/true));
+  ASSERT_TRUE(second.ok()) << second.status();
+  ASSERT_EQ(first->traces.size(), second->traces.size());
+  for (std::size_t r = 0; r < first->traces.size(); ++r) {
+    EXPECT_EQ(first->traces[r], second->traces[r]) << "replication " << r;
+  }
+}
+
+TEST(TraceDeterminismTest, EventsCarryTheirReplicationIndex) {
+  auto traced = RunConfigB(Reps(2, 2, /*collect=*/true));
+  ASSERT_TRUE(traced.ok()) << traced.status();
+  for (std::size_t r = 0; r < traced->traces.size(); ++r) {
+    std::string tag = "\"rep\":" + std::to_string(r);
+    ASSERT_FALSE(traced->traces[r].empty());
+    std::istringstream lines(traced->traces[r]);
+    std::string line;
+    while (std::getline(lines, line)) {
+      ASSERT_NE(line.find(tag), std::string::npos)
+          << "replication " << r << " line: " << line;
+    }
+  }
+}
+
+TEST(TraceDeterminismTest, TraceAccessCountsReconcileWithResults) {
+  auto traced = RunConfigB(Reps(3, 2, /*collect=*/true));
+  ASSERT_TRUE(traced.ok()) << traced.status();
+
+  std::istringstream trace(JoinTraces(*traced));
+  TraceSummary summary = SummarizeTrace(trace);
+  EXPECT_EQ(summary.malformed_lines, 0u);
+
+  ASSERT_FALSE(traced->aggregate.empty());
+  for (const AggregatePolicyResult& agg : traced->aggregate) {
+    ASSERT_EQ(summary.per_protocol.count(agg.name), 1u) << agg.name;
+    const ProtocolTraceSummary& proto = summary.per_protocol.at(agg.name);
+    // Exactly one access event per UserAccess call: the trace totals
+    // reconcile with the experiment's own counters, not approximately
+    // but exactly.
+    EXPECT_EQ(proto.accesses,
+              static_cast<std::uint64_t>(agg.accesses_attempted))
+        << agg.name;
+    EXPECT_EQ(proto.granted,
+              static_cast<std::uint64_t>(agg.accesses_granted))
+        << agg.name;
+    EXPECT_EQ(proto.denied, proto.accesses - proto.granted) << agg.name;
+
+    // The merged metrics shard agrees with both.
+    auto counter = [&](const std::string& name) -> std::uint64_t {
+      auto it = traced->metrics.counters().find(name + "{protocol=" +
+                                                agg.name + "}");
+      return it == traced->metrics.counters().end() ? 0 : it->second;
+    };
+    EXPECT_EQ(counter("accesses_attempted"), proto.accesses) << agg.name;
+    EXPECT_EQ(counter("accesses_granted"), proto.granted) << agg.name;
+  }
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,144 @@
+// The metrics registry: counter/gauge/histogram semantics, deterministic
+// shard merging, the stable JSON export, and thread-safety of the
+// registry facade (exercised under TSan in CI).
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace dynvote {
+namespace {
+
+TEST(MetricsShardTest, CountersAccumulate) {
+  MetricsShard shard;
+  shard.Add("events");
+  shard.Add("events", 4);
+  EXPECT_EQ(shard.counters().at("events"), 5u);
+}
+
+TEST(MetricsShardTest, GaugesKeepTheLastValue) {
+  MetricsShard shard;
+  shard.Set("queue_depth", 3.0);
+  shard.Set("queue_depth", 1.5);
+  EXPECT_EQ(shard.gauges().at("queue_depth"), 1.5);
+}
+
+TEST(MetricsShardTest, HistogramTracksCountSumMinMax) {
+  MetricsShard shard;
+  shard.Observe("latency", 2.0);
+  shard.Observe("latency", 8.0);
+  shard.Observe("latency", 0.5);
+  const HistogramData& h = shard.histograms().at("latency");
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.sum, 10.5);
+  EXPECT_EQ(h.min, 0.5);
+  EXPECT_EQ(h.max, 8.0);
+}
+
+TEST(MetricsShardTest, HistogramBucketsArePowersOfTwo) {
+  HistogramData h;
+  h.Observe(1.0);   // [2^0, 2^1)
+  h.Observe(1.5);   // [2^0, 2^1)
+  h.Observe(2.0);   // [2^1, 2^2)
+  h.Observe(0.25);  // [2^-2, 2^-1)
+  EXPECT_EQ(h.buckets.at(0), 2u);
+  EXPECT_EQ(h.buckets.at(1), 1u);
+  EXPECT_EQ(h.buckets.at(-2), 1u);
+}
+
+TEST(MetricsShardTest, NonPositiveValuesLandInTheLowestBucket) {
+  HistogramData h;
+  h.Observe(0.0);
+  h.Observe(-3.0);
+  EXPECT_EQ(h.count, 2u);
+  ASSERT_EQ(h.buckets.size(), 1u);
+  // Whatever the floor exponent is, both land together below every
+  // positive value's bucket.
+  EXPECT_EQ(h.buckets.begin()->second, 2u);
+  EXPECT_LT(h.buckets.begin()->first, std::ilogb(0.25));
+}
+
+TEST(MetricsShardTest, MergeCombinesAllThreeKinds) {
+  MetricsShard a;
+  a.Add("hits", 2);
+  a.Set("level", 1.0);
+  a.Observe("size", 4.0);
+  MetricsShard b;
+  b.Add("hits", 3);
+  b.Add("misses");
+  b.Set("level", 2.0);
+  b.Observe("size", 16.0);
+  a.Merge(b);
+  EXPECT_EQ(a.counters().at("hits"), 5u);
+  EXPECT_EQ(a.counters().at("misses"), 1u);
+  EXPECT_EQ(a.gauges().at("level"), 2.0);  // incoming value wins
+  EXPECT_EQ(a.histograms().at("size").count, 2u);
+  EXPECT_EQ(a.histograms().at("size").sum, 20.0);
+}
+
+TEST(MetricsShardTest, JsonIsInsertionOrderIndependent) {
+  MetricsShard forward;
+  forward.Add("a");
+  forward.Add("b", 2);
+  forward.Observe("h", 1.0);
+  MetricsShard backward;
+  backward.Observe("h", 1.0);
+  backward.Add("b", 2);
+  backward.Add("a");
+  EXPECT_EQ(forward.ToJson(), backward.ToJson());
+}
+
+TEST(MetricsShardTest, JsonNamesTheSchema) {
+  MetricsShard shard;
+  EXPECT_NE(shard.ToJson().find(kMetricsSchema), std::string::npos);
+}
+
+TEST(MetricsShardTest, ClearEmptiesTheShard) {
+  MetricsShard shard;
+  shard.Add("x");
+  shard.Set("y", 1.0);
+  shard.Observe("z", 1.0);
+  EXPECT_FALSE(shard.empty());
+  shard.Clear();
+  EXPECT_TRUE(shard.empty());
+}
+
+TEST(MetricKeyTest, BuildsLabeledKeys) {
+  EXPECT_EQ(MetricKey("access_reason", "protocol=LDV,reason=denied_tie_lost"),
+            "access_reason{protocol=LDV,reason=denied_tie_lost}");
+  EXPECT_EQ(MetricKey("plain", ""), "plain");
+}
+
+TEST(MetricsRegistryTest, ConcurrentMergesAreSafeAndComplete) {
+  // The replicated-experiment join path: many worker shards folding into
+  // one registry. Run under TSan in CI to pin down the locking.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kMergesPerThread = 50;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry] {
+      for (int i = 0; i < kMergesPerThread; ++i) {
+        MetricsShard shard;
+        shard.Add("merges");
+        shard.Observe("payload", 1.0);
+        registry.Merge(shard);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  MetricsShard merged = registry.Snapshot();
+  EXPECT_EQ(merged.counters().at("merges"),
+            static_cast<std::uint64_t>(kThreads * kMergesPerThread));
+  EXPECT_EQ(merged.histograms().at("payload").count,
+            static_cast<std::uint64_t>(kThreads * kMergesPerThread));
+  EXPECT_EQ(registry.ToJson(), merged.ToJson());
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,162 @@
+// The trace reader: flat-JSON line parsing (round-tripping what the
+// sinks emit), malformed-line accounting, and the per-protocol summary
+// aggregation behind the trace-summary subcommand.
+
+#include "obs/trace_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/trace_sink.h"
+
+namespace dynvote {
+namespace {
+
+TEST(ParseTraceLineTest, ParsesScalarsStringsAndArrays) {
+  std::map<std::string, std::string> fields;
+  ASSERT_TRUE(ParseTraceLine(
+      R"({"ev":"net","t":1.5,"up":false,"components":[3,24]})", &fields));
+  EXPECT_EQ(fields.at("ev"), "net");
+  EXPECT_EQ(fields.at("t"), "1.5");
+  EXPECT_EQ(fields.at("up"), "false");
+  EXPECT_EQ(fields.at("components"), "[3,24]");
+}
+
+TEST(ParseTraceLineTest, UndoesStringEscapes) {
+  std::map<std::string, std::string> fields;
+  // The three escape forms the sink emits: \", \\ and \u00XX.
+  ASSERT_TRUE(
+      ParseTraceLine("{\"name\":\"a\\\"b\\\\c\\u000a\"}", &fields));
+  EXPECT_EQ(fields.at("name"), "a\"b\\c\n");
+}
+
+TEST(ParseTraceLineTest, RejectsNonObjects) {
+  std::map<std::string, std::string> fields;
+  EXPECT_FALSE(ParseTraceLine("not json", &fields));
+  EXPECT_FALSE(ParseTraceLine("[1,2]", &fields));
+  EXPECT_FALSE(ParseTraceLine(R"({"unterminated":"str)", &fields));
+  EXPECT_FALSE(ParseTraceLine(R"({"no_value":})", &fields));
+  EXPECT_TRUE(ParseTraceLine("{}", &fields));
+  EXPECT_TRUE(fields.empty());
+}
+
+TEST(ParseTraceLineTest, RoundTripsSinkOutput) {
+  TraceEvent e;
+  e.type = TraceEventType::kQuorum;
+  e.t = 0.1 + 0.2;
+  e.protocol = "OTDV";
+  e.granted = true;
+  e.reason = QuorumReason::kGrantedTieLex;
+  e.group = 31;
+  std::string line;
+  AppendTraceEventJson(e, &line);
+  std::map<std::string, std::string> fields;
+  ASSERT_TRUE(ParseTraceLine(line, &fields)) << line;
+  EXPECT_EQ(fields.at("ev"), "quorum");
+  EXPECT_EQ(fields.at("protocol"), "OTDV");
+  EXPECT_EQ(fields.at("granted"), "true");
+  EXPECT_EQ(fields.at("reason"), "granted_tie_lex");
+  EXPECT_EQ(fields.at("t"), "0.30000000000000004");
+}
+
+/// Builds a small synthetic trace through the real sink so reader tests
+/// track the writer format automatically.
+std::string SyntheticTrace() {
+  std::ostringstream out;
+  out << TraceHeaderLine(7) << "\n";
+  JsonlTraceSink sink(&out);
+
+  TraceEvent sim;
+  sim.type = TraceEventType::kSim;
+  sim.op = "dispatch";
+  sink.Write(sim);
+
+  TraceEvent net;
+  net.type = TraceEventType::kNet;
+  net.site = 1;
+  net.components = {1};
+  sink.Write(net);
+
+  TraceEvent quorum;
+  quorum.type = TraceEventType::kQuorum;
+  quorum.protocol = "LDV";
+  quorum.granted = true;
+  quorum.reason = QuorumReason::kGrantedMajority;
+  sink.Write(quorum);
+  quorum.reason = QuorumReason::kCacheHit;
+  sink.Write(quorum);
+  sink.Write(quorum);
+
+  TraceEvent access;
+  access.type = TraceEventType::kAccess;
+  access.protocol = "LDV";
+  access.granted = true;
+  access.reason = QuorumReason::kGrantedMajority;
+  sink.Write(access);
+  access.granted = false;
+  access.reason = QuorumReason::kDeniedTieLost;
+  sink.Write(access);
+
+  TraceEvent avail;
+  avail.type = TraceEventType::kAvail;
+  avail.protocol = "LDV";
+  avail.available = false;
+  sink.Write(avail);
+  return out.str();
+}
+
+TEST(SummarizeTraceTest, AggregatesPerProtocol) {
+  std::istringstream in(SyntheticTrace());
+  TraceSummary summary = SummarizeTrace(in);
+  EXPECT_EQ(summary.schema, kTraceSchema);
+  EXPECT_EQ(summary.total_lines, 9u);
+  EXPECT_EQ(summary.malformed_lines, 0u);
+  EXPECT_EQ(summary.sim_events, 1u);
+  EXPECT_EQ(summary.net_events, 1u);
+  ASSERT_EQ(summary.per_protocol.count("LDV"), 1u);
+  const ProtocolTraceSummary& ldv = summary.per_protocol.at("LDV");
+  EXPECT_EQ(ldv.quorum_evaluations, 1u);
+  EXPECT_EQ(ldv.cache_hits, 2u);
+  EXPECT_EQ(ldv.quorum_reasons.at("granted_majority"), 1u);
+  EXPECT_EQ(ldv.accesses, 2u);
+  EXPECT_EQ(ldv.granted, 1u);
+  EXPECT_EQ(ldv.denied, 1u);
+  EXPECT_EQ(ldv.access_reasons.at("denied_tie_lost"), 1u);
+  EXPECT_EQ(ldv.availability_transitions, 1u);
+}
+
+TEST(SummarizeTraceTest, CountsMalformedLinesAndKeepsGoing) {
+  std::istringstream in(
+      "garbage\n"
+      "{\"ev\":\"sim\",\"t\":0,\"seq\":0,\"op\":\"x\"}\n"
+      "{\"no_ev_key\":1}\n"
+      "{\"ev\":\"quorum\"}\n");  // quorum without protocol
+  TraceSummary summary = SummarizeTrace(in);
+  EXPECT_EQ(summary.total_lines, 4u);
+  EXPECT_EQ(summary.malformed_lines, 3u);
+  EXPECT_EQ(summary.sim_events, 1u);
+}
+
+TEST(SummarizeTraceTest, EmptyInputIsEmptySummary) {
+  std::istringstream in("");
+  TraceSummary summary = SummarizeTrace(in);
+  EXPECT_EQ(summary.total_lines, 0u);
+  EXPECT_TRUE(summary.schema.empty());
+  EXPECT_TRUE(summary.per_protocol.empty());
+}
+
+TEST(SummarizeTraceTest, ToStringNamesEveryProtocolSection) {
+  std::istringstream in(SyntheticTrace());
+  std::string text = SummarizeTrace(in).ToString();
+  EXPECT_NE(text.find("schema=dynvote-trace-v1"), std::string::npos) << text;
+  EXPECT_NE(text.find("LDV: accesses=2 granted=1 denied=1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("denied_tie_lost"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace dynvote

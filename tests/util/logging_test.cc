@@ -1,0 +1,126 @@
+// The leveled logger: threshold filtering, SetLogLevel round-trips, the
+// iostream-free formatting overloads, and the CHECK/DCHECK contracts.
+
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <sstream>
+
+#include "util/site_set.h"
+
+namespace dynvote {
+namespace {
+
+/// Captures std::cerr for one test and restores level + stream buffer on
+/// teardown, so logging tests cannot leak state into their neighbours.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = GetLogLevel();
+    saved_buf_ = std::cerr.rdbuf(captured_.rdbuf());
+  }
+  void TearDown() override {
+    std::cerr.rdbuf(saved_buf_);
+    SetLogLevel(saved_level_);
+  }
+
+  std::string captured() const { return captured_.str(); }
+
+  std::ostringstream captured_;
+  std::streambuf* saved_buf_ = nullptr;
+  LogLevel saved_level_ = LogLevel::kWarning;
+};
+
+TEST_F(LoggingTest, SetLogLevelRoundTrips) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo,
+                         LogLevel::kWarning, LogLevel::kError}) {
+    SetLogLevel(level);
+    EXPECT_EQ(GetLogLevel(), level);
+  }
+}
+
+TEST_F(LoggingTest, MessagesBelowThresholdAreDropped) {
+  SetLogLevel(LogLevel::kWarning);
+  DYNVOTE_LOG(Debug) << "quiet";
+  DYNVOTE_LOG(Info) << "also quiet";
+  EXPECT_EQ(captured(), "");
+}
+
+TEST_F(LoggingTest, MessagesAtOrAboveThresholdAreWritten) {
+  SetLogLevel(LogLevel::kWarning);
+  DYNVOTE_LOG(Warning) << "warned";
+  DYNVOTE_LOG(Error) << "errored";
+  std::string out = captured();
+  EXPECT_NE(out.find("[WARN "), std::string::npos) << out;
+  EXPECT_NE(out.find("warned"), std::string::npos) << out;
+  EXPECT_NE(out.find("[ERROR "), std::string::npos) << out;
+  EXPECT_NE(out.find("errored"), std::string::npos) << out;
+}
+
+TEST_F(LoggingTest, RaisingTheThresholdAdmitsLowerLevels) {
+  SetLogLevel(LogLevel::kDebug);
+  DYNVOTE_LOG(Debug) << "now visible";
+  EXPECT_NE(captured().find("now visible"), std::string::npos);
+}
+
+TEST_F(LoggingTest, FormattingOverloadsCoverTheCommonTypes) {
+  SetLogLevel(LogLevel::kInfo);
+  DYNVOTE_LOG(Info) << "n=" << 42 << " d=" << 1.5 << " c=" << 'x'
+                    << " b=" << true << " s=" << std::string("str")
+                    << " set=" << SiteSet{0, 2};
+  std::string out = captured();
+  EXPECT_NE(out.find("n=42"), std::string::npos) << out;
+  EXPECT_NE(out.find("d=1.5"), std::string::npos) << out;
+  EXPECT_NE(out.find("c=x"), std::string::npos) << out;
+  EXPECT_NE(out.find("b=true"), std::string::npos) << out;
+  EXPECT_NE(out.find("s=str"), std::string::npos) << out;
+  // SiteSet renders through its ToString() member.
+  EXPECT_NE(out.find("set=" + SiteSet{0, 2}.ToString()), std::string::npos)
+      << out;
+}
+
+TEST_F(LoggingTest, DisabledMessagesSkipFormatting) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto costly = [&evaluations] {
+    ++evaluations;
+    return std::string("expensive");
+  };
+  // Operands are still evaluated (stream semantics), but nothing may
+  // reach the stream.
+  DYNVOTE_LOG(Info) << costly();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(captured(), "");
+}
+
+TEST(LoggingDeathTest, CheckMsgAbortsWithExpressionAndMessage) {
+  EXPECT_DEATH(DYNVOTE_CHECK_MSG(1 == 2, "one is not two"),
+               "check failed: 1 == 2.*one is not two");
+}
+
+TEST(LoggingDeathTest, CheckPassesSilently) {
+  DYNVOTE_CHECK(1 + 1 == 2);
+  DYNVOTE_CHECK_MSG(true, "never printed");
+}
+
+TEST(LoggingDeathTest, DcheckMatchesBuildType) {
+#ifdef NDEBUG
+  // Release: the expression must not even be evaluated.
+  int evaluations = 0;
+  auto fails = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  DYNVOTE_DCHECK(fails());
+  DYNVOTE_DCHECK_MSG(fails(), "unused");
+  EXPECT_EQ(evaluations, 0);
+#else
+  EXPECT_DEATH(DYNVOTE_DCHECK(2 < 1), "check failed: 2 < 1");
+  EXPECT_DEATH(DYNVOTE_DCHECK_MSG(2 < 1, "ordering"), "ordering");
+#endif
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -4,11 +4,15 @@
 //   dynvote analyze  [--network=FILE] --sites=a,b,c
 //   dynvote simulate [--network=FILE] --sites=a,b,c [--policies=...]
 //                    [--years=N] [--rate=R] [--seed=N] [--csv=PATH]
+//                    [--trace-out=FILE.jsonl] [--metrics-out=FILE.json]
 //   dynvote repeat   [--network=FILE] --sites=a,b,c [--policies=...]
 //                    [--years=N] [--rate=R] [--seed=N] [--reps=N]
 //                    [--jobs=M] [--json=PATH]
+//                    [--trace-out=FILE.jsonl] [--metrics-out=FILE.json]
 //   dynvote scenario [--network=FILE] --sites=a,b,c [--protocol=LDV]
 //                    <script.dvs>
+//   dynvote trace-summary <trace.jsonl>
+//   dynvote --version
 //
 // Without --network the paper's eight-site network is used and sites may
 // be given either by name (csvax, ..., mangle) or by the paper's 1-based
@@ -17,7 +21,11 @@
 // runs the discrete-event model; `repeat` runs R independent
 // replications of it in parallel and reports cross-replication means
 // with 95 % confidence intervals; `scenario` executes a fault script
-// against a replicated KV store.
+// against a replicated KV store; `trace-summary` aggregates a
+// dynvote-trace-v1 JSONL file into per-protocol grant/denial attribution
+// (see docs/observability.md). Tracing never changes statistical
+// results: traced and untraced runs of the same seed produce identical
+// tables, CSV and JSON.
 
 #include <fstream>
 #include <iostream>
@@ -34,6 +42,10 @@
 #include "model/replicated_experiment.h"
 #include "model/site_profile.h"
 #include "net/partition_analysis.h"
+#include "obs/context.h"
+#include "obs/schemas.h"
+#include "obs/trace_reader.h"
+#include "obs/trace_sink.h"
 #include "stats/table.h"
 
 namespace dynvote {
@@ -48,7 +60,9 @@ struct Options {
   std::string protocol = "LDV";
   std::string csv_path;
   std::string json_path;
-  std::string positional;  // scenario script path
+  std::string trace_out_path;    // simulate/repeat: JSONL event trace
+  std::string metrics_out_path;  // simulate/repeat: metrics JSON
+  std::string positional;  // scenario script / trace-summary input path
   double years = 100.0;
   double rate = 1.0;
   std::uint64_t seed = 20260704;
@@ -59,9 +73,20 @@ struct Options {
   int jobs = -1;
 };
 
+// Exit codes: 0 success, 1 runtime failure, 2 bad flags / usage,
+// 3 unknown subcommand (distinct so scripts can tell a typo'd command
+// from a malformed invocation of a real one).
+constexpr int kExitUsage = 2;
+constexpr int kExitUnknownCommand = 3;
+
+constexpr const char kSubcommands[] =
+    "print analyze simulate repeat scenario trace-summary";
+
 int Usage() {
   std::cerr <<
-      "usage: dynvote <print|analyze|simulate|repeat|scenario> [options]\n"
+      "usage: dynvote "
+      "<print|analyze|simulate|repeat|scenario|trace-summary> [options]\n"
+      "       dynvote --version\n"
       "  --network=FILE   network description (default: the paper's)\n"
       "  --sites=a,b,c    copy placement (names, or 1-8 on the paper "
       "network)\n"
@@ -71,10 +96,29 @@ int Usage() {
       "  --jobs=M         repeat: worker threads (0 = all cores; never "
       "changes results)\n"
       "  --json=PATH      repeat: write per-replication + aggregate JSON\n"
+      "  --trace-out=F    simulate/repeat: write " << kTraceSchema
+      << " JSONL events\n"
+      "  --metrics-out=F  simulate/repeat: write " << kMetricsSchema
+      << " JSON metrics\n"
       "  --no-quorum-cache  simulate/repeat: disable grant-decision\n"
       "                   memoization (results are identical either way)\n"
       "  --years=N --rate=R --seed=N --csv=PATH\n";
-  return 2;
+  return kExitUsage;
+}
+
+int UnknownCommand(const std::string& command) {
+  std::cerr << "dynvote: unknown command '" << command
+            << "'\navailable commands: " << kSubcommands
+            << "\n(run a command with no arguments, or see --version)\n";
+  return kExitUnknownCommand;
+}
+
+int Version() {
+  std::cout << "dynvote schemas:\n"
+            << "  bench    " << kHotpathBenchSchema << "\n"
+            << "  trace    " << kTraceSchema << "\n"
+            << "  metrics  " << kMetricsSchema << "\n";
+  return 0;
 }
 
 Result<Options> Parse(int argc, char** argv) {
@@ -98,6 +142,10 @@ Result<Options> Parse(int argc, char** argv) {
       opt.csv_path = value("--csv=");
     } else if (a.rfind("--json=", 0) == 0) {
       opt.json_path = value("--json=");
+    } else if (a.rfind("--trace-out=", 0) == 0) {
+      opt.trace_out_path = value("--trace-out=");
+    } else if (a.rfind("--metrics-out=", 0) == 0) {
+      opt.metrics_out_path = value("--metrics-out=");
     } else if (a.rfind("--reps=", 0) == 0) {
       opt.reps = std::stoi(value("--reps="));
       if (opt.reps < 1) {
@@ -259,6 +307,33 @@ int Analyze(const Options& opt) {
   return 0;
 }
 
+/// Writes --trace-out (schema header line + pre-rendered JSONL body)
+/// and/or --metrics-out after a run. Returns 0, or 1 with the error
+/// already printed.
+int WriteObsOutputs(const Options& opt, const std::string& trace_body,
+                    const MetricsShard& metrics) {
+  if (!opt.trace_out_path.empty()) {
+    std::string contents = TraceHeaderLine(opt.seed);
+    contents.push_back('\n');
+    contents += trace_body;
+    Status st = WriteFile(opt.trace_out_path, contents);
+    if (!st.ok()) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << opt.trace_out_path << "\n";
+  }
+  if (!opt.metrics_out_path.empty()) {
+    Status st = WriteFile(opt.metrics_out_path, metrics.ToJson());
+    if (!st.ok()) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << opt.metrics_out_path << "\n";
+  }
+  return 0;
+}
+
 int Simulate(const Options& opt) {
   auto network = LoadNetwork(opt);
   if (!network.ok()) {
@@ -281,6 +356,16 @@ int Simulate(const Options& opt) {
   spec.options.access.rate_per_day = opt.rate;
   spec.options.seed = opt.seed;
   spec.options.quorum_cache = opt.quorum_cache;
+
+  // Observability is opt-in per flag; with neither flag spec.obs stays
+  // null and instrumentation costs one never-taken branch per site.
+  std::ostringstream trace_out;
+  JsonlTraceSink trace_sink(&trace_out);
+  MetricsShard metrics;
+  ObsContext obs;
+  if (!opt.trace_out_path.empty()) obs.sink = &trace_sink;
+  if (!opt.metrics_out_path.empty()) obs.metrics = &metrics;
+  if (obs.sink != nullptr || obs.metrics != nullptr) spec.obs = &obs;
 
   std::vector<std::unique_ptr<ConsistencyProtocol>> protocols;
   std::stringstream ss(opt.policies);
@@ -323,7 +408,7 @@ int Simulate(const Options& opt) {
     }
     std::cout << "wrote " << opt.csv_path << "\n";
   }
-  return 0;
+  return WriteObsOutputs(opt, trace_out.str(), metrics);
 }
 
 int Repeat(const Options& opt) {
@@ -354,6 +439,8 @@ int Repeat(const Options& opt) {
   ReplicationOptions replication;
   replication.replications = opt.reps >= 1 ? opt.reps : network->replications;
   replication.jobs = opt.jobs >= 0 ? opt.jobs : network->jobs;
+  replication.collect_traces = !opt.trace_out_path.empty();
+  replication.collect_metrics = !opt.metrics_out_path.empty();
 
   std::vector<std::string> policies;
   std::stringstream ss(opt.policies);
@@ -406,7 +493,11 @@ int Repeat(const Options& opt) {
     }
     std::cout << "wrote " << opt.json_path << "\n";
   }
-  return 0;
+  // Per-replication bodies concatenate in replication order, so the
+  // trace file is byte-identical for any --jobs.
+  std::string trace_body;
+  for (const std::string& body : results->traces) trace_body += body;
+  return WriteObsOutputs(opt, trace_body, results->metrics);
 }
 
 int RunScenario(const Options& opt) {
@@ -454,19 +545,46 @@ int RunScenario(const Options& opt) {
   return 0;
 }
 
+int TraceSummaryCommand(const Options& opt) {
+  if (opt.positional.empty()) {
+    std::cerr << "trace-summary needs a trace file path\n";
+    return 1;
+  }
+  std::ifstream in(opt.positional);
+  if (!in) {
+    std::cerr << "cannot read " << opt.positional << "\n";
+    return 1;
+  }
+  TraceSummary summary = SummarizeTrace(in);
+  if (!summary.schema.empty() && summary.schema != kTraceSchema) {
+    std::cerr << "unsupported trace schema '" << summary.schema
+              << "' (expected " << kTraceSchema << ")\n";
+    return 1;
+  }
+  if (summary.schema.empty()) {
+    std::cerr << "warning: no schema header line; assuming " << kTraceSchema
+              << "\n";
+  }
+  std::cout << summary.ToString();
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   auto opt = Parse(argc, argv);
   if (!opt.ok()) {
     std::cerr << opt.status() << "\n";
     return Usage();
   }
+  if (opt->command == "--version" || opt->command == "version") {
+    return Version();
+  }
   if (opt->command == "print") return Print(*opt);
   if (opt->command == "analyze") return Analyze(*opt);
   if (opt->command == "simulate") return Simulate(*opt);
   if (opt->command == "repeat") return Repeat(*opt);
   if (opt->command == "scenario") return RunScenario(*opt);
-  std::cerr << "unknown command '" << opt->command << "'\n";
-  return Usage();
+  if (opt->command == "trace-summary") return TraceSummaryCommand(*opt);
+  return UnknownCommand(opt->command);
 }
 
 }  // namespace
