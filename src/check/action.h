@@ -1,0 +1,61 @@
+// The action alphabet the model checker explores: every fault-injection
+// and data-plane move a schedule can make against a KvCluster. Actions
+// serialize to stable string tokens ("toggle_site:2", "write", ...) so a
+// schedule round-trips through the dynvote-counterexample-v1 JSON schema.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+#include "util/result.h"
+
+namespace dynvote {
+namespace check {
+
+/// One move of a model-checking schedule.
+enum class ActionKind {
+  /// Crash the target site if up, restart it if down (fail-stop, as the
+  /// paper assumes; a gateway site toggle doubles as a partition flip).
+  kToggleSite,
+  /// Fail the target repeater if up, repair it if down (partition flip).
+  kToggleRepeater,
+  /// Attempt one write at the first live site the protocol grants.
+  kWrite,
+  /// Attempt a read at every live site and check it against the committed
+  /// history.
+  kReadCheck,
+  /// Run the recovery procedure at every live site.
+  kRecoverAll,
+};
+
+struct CheckAction {
+  ActionKind kind = ActionKind::kWrite;
+  /// Site id for kToggleSite, repeater id for kToggleRepeater, unused
+  /// otherwise.
+  int target = -1;
+
+  friend bool operator==(const CheckAction& a,
+                         const CheckAction& b) = default;
+
+  /// Stable token: "toggle_site:N", "toggle_repeater:N", "write",
+  /// "read_check", "recover_all".
+  std::string Token() const;
+};
+
+/// Inverse of CheckAction::Token.
+Result<CheckAction> ParseActionToken(const std::string& token);
+
+/// Every action applicable to `topology`: one toggle per site, one per
+/// repeater, plus the three data-plane moves, in that order.
+std::vector<CheckAction> ActionAlphabet(const Topology& topology);
+
+/// Space-separated action tokens.
+std::string ScheduleToString(const std::vector<CheckAction>& schedule);
+
+/// Inverse of ScheduleToString. An empty string is an empty schedule.
+Result<std::vector<CheckAction>> ParseSchedule(const std::string& text);
+
+}  // namespace check
+}  // namespace dynvote

@@ -1,0 +1,219 @@
+#include "check/checker.h"
+
+#include <memory>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "check/shrink.h"
+#include "check/topologies.h"
+#include "util/rng.h"
+
+namespace dynvote {
+namespace check {
+namespace {
+
+/// Shared context of one RunCheck invocation.
+struct Exploration {
+  CheckOptions options;
+  std::shared_ptr<const Topology> topology;
+  SiteSet placement;
+  std::vector<CheckAction> alphabet;
+  CheckReport report;
+};
+
+Result<std::unique_ptr<CheckHarness>> FreshHarness(const Exploration& ex) {
+  return CheckHarness::Make(ex.topology, ex.placement, ex.options.protocol,
+                            ex.options.policy);
+}
+
+/// Replays `schedule` on a fresh harness; returns the violation it trips,
+/// if any, and hands the harness back for signature extraction.
+Result<std::optional<Violation>> Replay(
+    const Exploration& ex, const std::vector<CheckAction>& schedule,
+    std::unique_ptr<CheckHarness>* harness_out) {
+  DYNVOTE_ASSIGN_OR_RETURN(std::unique_ptr<CheckHarness> harness,
+                           FreshHarness(ex));
+  std::optional<Violation> violation;
+  for (const CheckAction& action : schedule) {
+    violation = harness->Apply(action);
+    if (violation.has_value()) break;
+  }
+  *harness_out = std::move(harness);
+  return violation;
+}
+
+/// Shrinks a failing schedule to 1-minimality (preserving the tripped
+/// invariant), re-runs it to refresh step/detail, and packages the
+/// counterexample.
+Result<CounterExample> BuildCounterExample(const Exploration& ex,
+                                           std::vector<CheckAction> schedule,
+                                           const Violation& violation) {
+  if (ex.options.shrink) {
+    const std::string invariant = violation.invariant;
+    schedule = ShrinkSchedule(
+        std::move(schedule),
+        [&ex, &invariant](const std::vector<CheckAction>& candidate) {
+          std::unique_ptr<CheckHarness> harness;
+          auto replayed = Replay(ex, candidate, &harness);
+          return replayed.ok() && replayed->has_value() &&
+                 (*replayed)->invariant == invariant;
+        });
+  }
+  // Re-run the final schedule so step/detail match it exactly, and drop
+  // any trailing actions past the violation.
+  std::unique_ptr<CheckHarness> harness;
+  DYNVOTE_ASSIGN_OR_RETURN(std::optional<Violation> final_violation,
+                           Replay(ex, schedule, &harness));
+  if (!final_violation.has_value()) {
+    return Status::Internal("shrunk schedule no longer fails: " +
+                            ScheduleToString(schedule));
+  }
+  schedule.resize(static_cast<std::size_t>(final_violation->step) + 1);
+
+  CounterExample ce;
+  ce.protocol = ex.options.protocol;
+  ce.topology = ex.options.topology;
+  ce.placement = ex.placement;
+  ce.policy = ex.options.policy;
+  ce.schedule = std::move(schedule);
+  ce.violation = *final_violation;
+  return ce;
+}
+
+/// sum over d = 1..depth of |alphabet|^d, saturating at uint64 max.
+std::uint64_t UnprunedSequences(std::size_t alphabet, int depth) {
+  const std::uint64_t kMax = ~std::uint64_t{0};
+  std::uint64_t total = 0;
+  std::uint64_t layer = 1;
+  for (int d = 0; d < depth; ++d) {
+    if (layer > kMax / alphabet) return kMax;
+    layer *= alphabet;
+    if (total > kMax - layer) return kMax;
+    total += layer;
+  }
+  return total;
+}
+
+Status RunExhaustive(Exploration* ex) {
+  ex->report.unpruned_sequences =
+      UnprunedSequences(ex->alphabet.size(), ex->options.depth);
+
+  // BFS by depth layers. The harness has no snapshot, so each expansion
+  // replays its prefix from the initial state; the frontier holds one
+  // schedule per distinct reached state.
+  std::unordered_set<std::string> visited;
+  bool all_canonical = true;
+
+  std::vector<std::vector<CheckAction>> frontier;
+  {
+    std::unique_ptr<CheckHarness> harness;
+    DYNVOTE_ASSIGN_OR_RETURN(std::optional<Violation> violation,
+                             Replay(*ex, {}, &harness));
+    (void)violation;  // empty schedule cannot violate
+    std::string signature;
+    if (harness->AppendSignature(&signature)) {
+      visited.insert(std::move(signature));
+    } else {
+      all_canonical = false;
+    }
+    frontier.push_back({});
+    ex->report.states_visited = 1;
+  }
+
+  for (int d = 0; d < ex->options.depth && !frontier.empty(); ++d) {
+    std::vector<std::vector<CheckAction>> next;
+    for (const std::vector<CheckAction>& prefix : frontier) {
+      for (const CheckAction& action : ex->alphabet) {
+        std::vector<CheckAction> schedule = prefix;
+        schedule.push_back(action);
+        ++ex->report.transitions;
+
+        std::unique_ptr<CheckHarness> harness;
+        DYNVOTE_ASSIGN_OR_RETURN(std::optional<Violation> violation,
+                                 Replay(*ex, schedule, &harness));
+        ex->report.commits += harness->commits();
+        ex->report.reads_checked += harness->reads_checked();
+        if (violation.has_value()) {
+          DYNVOTE_ASSIGN_OR_RETURN(
+              ex->report.counterexample,
+              BuildCounterExample(*ex, std::move(schedule), *violation));
+          ex->report.memoized = ex->options.memoize && all_canonical;
+          return Status::OK();
+        }
+
+        std::string signature;
+        bool canonical = harness->AppendSignature(&signature);
+        if (!canonical) all_canonical = false;
+        if (ex->options.memoize && canonical) {
+          if (!visited.insert(std::move(signature)).second) continue;
+        }
+        ++ex->report.states_visited;
+        if (d + 1 < ex->options.depth) next.push_back(std::move(schedule));
+      }
+    }
+    frontier = std::move(next);
+  }
+  ex->report.memoized = ex->options.memoize && all_canonical;
+  return Status::OK();
+}
+
+Status RunSwarm(Exploration* ex) {
+  for (int k = 0; k < ex->options.swarm_schedules; ++k) {
+    // Each schedule gets an independent stream derived from (seed, k) so
+    // any single schedule can be re-derived in isolation.
+    Rng rng(SplitMix64(ex->options.seed + static_cast<std::uint64_t>(k))
+                .Next());
+    DYNVOTE_ASSIGN_OR_RETURN(std::unique_ptr<CheckHarness> harness,
+                             FreshHarness(*ex));
+    std::vector<CheckAction> schedule;
+    schedule.reserve(static_cast<std::size_t>(ex->options.swarm_depth));
+    std::optional<Violation> violation;
+    for (int step = 0; step < ex->options.swarm_depth; ++step) {
+      const CheckAction& action =
+          ex->alphabet[rng.NextBounded(ex->alphabet.size())];
+      schedule.push_back(action);
+      ++ex->report.transitions;
+      violation = harness->Apply(action);
+      if (violation.has_value()) break;
+    }
+    ++ex->report.schedules_run;
+    ex->report.commits += harness->commits();
+    ex->report.reads_checked += harness->reads_checked();
+    if (violation.has_value()) {
+      DYNVOTE_ASSIGN_OR_RETURN(
+          ex->report.counterexample,
+          BuildCounterExample(*ex, std::move(schedule), *violation));
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<CheckReport> RunCheck(const CheckOptions& options) {
+  Exploration ex;
+  ex.options = options;
+  DYNVOTE_ASSIGN_OR_RETURN(ex.topology, MakeCheckTopology(options.topology));
+  ex.placement =
+      options.placement.Empty() ? ex.topology->AllSites() : options.placement;
+  ex.alphabet = ActionAlphabet(*ex.topology);
+  if (options.depth < 1 && options.mode == CheckMode::kExhaustive) {
+    return Status::InvalidArgument("depth must be at least 1");
+  }
+
+  // Surface configuration errors (unknown protocol, oracle mismatch)
+  // before exploring.
+  DYNVOTE_ASSIGN_OR_RETURN(std::unique_ptr<CheckHarness> probe,
+                           FreshHarness(ex));
+  probe.reset();
+
+  Status status = options.mode == CheckMode::kExhaustive ? RunExhaustive(&ex)
+                                                         : RunSwarm(&ex);
+  DYNVOTE_RETURN_NOT_OK(status);
+  return std::move(ex.report);
+}
+
+}  // namespace check
+}  // namespace dynvote

@@ -1,0 +1,47 @@
+// The dynvote-counterexample-v1 schema: a self-contained, replayable
+// record of one invariant violation — protocol, named topology,
+// placement, invariant policy, the action schedule, and what failed where.
+// Produced by the checker (after shrinking), consumed by `dynvote check
+// --replay` and the corpus regression tests.
+
+#pragma once
+
+#include <string>
+
+#include "check/action.h"
+#include "check/harness.h"
+#include "util/result.h"
+#include "util/site_set.h"
+
+namespace dynvote {
+namespace check {
+
+/// Schema identifier written into every counterexample JSON.
+inline constexpr const char kCounterExampleSchema[] =
+    "dynvote-counterexample-v1";
+
+struct CounterExample {
+  std::string protocol;  // registry name ("ODV", "TDV", ...)
+  std::string topology;  // check topology name (see topologies.h)
+  SiteSet placement;
+  InvariantPolicy policy;
+  std::vector<CheckAction> schedule;
+  Violation violation;
+};
+
+/// Pretty-printed JSON (flat object; the schedule is one space-separated
+/// token string, the placement a numeric array).
+std::string CounterExampleToJson(const CounterExample& ce);
+
+/// Inverse of CounterExampleToJson; rejects unknown schemas and
+/// malformed fields.
+Result<CounterExample> ParseCounterExampleJson(const std::string& text);
+
+/// Replays the schedule from the initial state and verifies that the
+/// recorded invariant trips at the recorded step. Returns OK exactly
+/// when the counterexample reproduces; Internal with a diagnostic
+/// otherwise. Deterministic: the harness has no hidden inputs.
+Status ReplayCounterExample(const CounterExample& ce);
+
+}  // namespace check
+}  // namespace dynvote

@@ -1,0 +1,45 @@
+#include "check/shrink.h"
+
+namespace dynvote {
+namespace check {
+namespace {
+
+std::vector<CheckAction> WithoutRange(const std::vector<CheckAction>& in,
+                                      std::size_t begin, std::size_t end) {
+  std::vector<CheckAction> out;
+  out.reserve(in.size() - (end - begin));
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (i < begin || i >= end) out.push_back(in[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<CheckAction> ShrinkSchedule(std::vector<CheckAction> schedule,
+                                        const ScheduleOracle& still_fails) {
+  bool progressed = true;
+  while (progressed && schedule.size() > 1) {
+    progressed = false;
+    // Chunk sizes halve from |schedule|/2 down to single actions; each
+    // successful removal restarts the size ladder on the shorter
+    // schedule (greedy ddmin).
+    for (std::size_t chunk = schedule.size() / 2; chunk >= 1; chunk /= 2) {
+      for (std::size_t begin = 0; begin + chunk <= schedule.size();) {
+        std::vector<CheckAction> candidate =
+            WithoutRange(schedule, begin, begin + chunk);
+        if (!candidate.empty() && still_fails(candidate)) {
+          schedule = std::move(candidate);
+          progressed = true;
+          // Retry at the same offset: the next chunk slid into place.
+        } else {
+          begin += chunk;
+        }
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace check
+}  // namespace dynvote

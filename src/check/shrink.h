@@ -1,0 +1,28 @@
+// Greedy delta-debugging over action schedules: remove ever-smaller
+// chunks while the schedule still trips the same invariant, down to a
+// 1-minimal reproducer (no single action can be removed).
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "check/action.h"
+
+namespace dynvote {
+namespace check {
+
+/// Returns true iff `schedule` still reproduces the failure under
+/// investigation (same invariant). Must be deterministic.
+using ScheduleOracle =
+    std::function<bool(const std::vector<CheckAction>& schedule)>;
+
+/// Shrinks `schedule` (which must satisfy `still_fails`) by greedy
+/// chunk removal with halving chunk sizes, iterated to a fixpoint. The
+/// result satisfies `still_fails` and is 1-minimal: removing any single
+/// remaining action makes the failure disappear.
+std::vector<CheckAction> ShrinkSchedule(std::vector<CheckAction> schedule,
+                                        const ScheduleOracle& still_fails);
+
+}  // namespace check
+}  // namespace dynvote

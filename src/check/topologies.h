@@ -1,0 +1,32 @@
+// The named small universes the model checker explores and the
+// counterexample schema refers to by name, so a checked-in JSON
+// counterexample rebuilds its exact topology on replay.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+#include "util/result.h"
+
+namespace dynvote {
+namespace check {
+
+/// Builds a check topology by name:
+///   "singleN"  — N sites (2 <= N <= 8) on one indivisible segment;
+///   "pairs"    — two two-site segments joined by one repeater, the
+///                smallest universe where the topological variants'
+///                vote-carrying (and its fork hazard) shows up;
+///   "section3" — the paper's Section 3 example: segments alpha (sites
+///                A, B), gamma (C) and delta (D) joined by repeaters X
+///                (alpha-gamma) and Y (alpha-delta).
+Result<std::shared_ptr<const Topology>> MakeCheckTopology(
+    const std::string& name);
+
+/// The names MakeCheckTopology accepts ("singleN" listed as single3..5).
+const std::vector<std::string>& CheckTopologyNames();
+
+}  // namespace check
+}  // namespace dynvote

@@ -46,6 +46,13 @@ class AvailableCopy final : public ConsistencyProtocol {
   void OnNetworkEvent(const NetworkState& net) override;
   void Reset() override;
 
+  bool AppendStateSignature(std::string* out) const override {
+    store_.AppendCanonicalSignature(out);
+    out->push_back('c');
+    *out += std::to_string(current_.mask());
+    return true;
+  }
+
   /// Sites currently known to hold the latest write (up or down).
   SiteSet current_set() const { return current_; }
 

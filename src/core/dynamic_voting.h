@@ -102,6 +102,13 @@ class DynamicVoting final : public ConsistencyProtocol {
   /// at construction), so the store epoch is a complete invalidation key.
   std::uint64_t state_epoch() const override { return store_.epoch(); }
 
+  /// For the same reason, the canonical store fingerprint is a complete
+  /// state signature.
+  bool AppendStateSignature(std::string* out) const override {
+    store_.AppendCanonicalSignature(out);
+    return true;
+  }
+
   /// Runs the majority-partition test of Algorithm 1 for the given group
   /// of mutually communicating sites, against current replica state.
   /// Exposed for tests, benches and the KV store. Pure given (group,

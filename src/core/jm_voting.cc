@@ -1,5 +1,7 @@
 #include "core/jm_voting.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace dynvote {
@@ -33,6 +35,39 @@ void JajodiaMutchlerVoting::Reset() {
 const JmReplicaState& JajodiaMutchlerVoting::state(SiteId site) const {
   DYNVOTE_CHECK_MSG(placement_.Contains(site), "site holds no copy");
   return states_[site];
+}
+
+bool JajodiaMutchlerVoting::AppendStateSignature(std::string* out) const {
+  // Update numbers and data versions are monotonic counters; only their
+  // relative order matters to the majority test, so emit ranks (the
+  // cardinality is an absolute quantity and is emitted raw).
+  std::vector<std::int64_t> updates, versions;
+  for (SiteId s : placement_) {
+    updates.push_back(states_[s].update_number);
+    versions.push_back(states_[s].data_version);
+  }
+  std::sort(updates.begin(), updates.end());
+  updates.erase(std::unique(updates.begin(), updates.end()), updates.end());
+  std::sort(versions.begin(), versions.end());
+  versions.erase(std::unique(versions.begin(), versions.end()),
+                 versions.end());
+  auto rank = [](const std::vector<std::int64_t>& sorted,
+                 std::int64_t value) {
+    return static_cast<int>(
+        std::lower_bound(sorted.begin(), sorted.end(), value) -
+        sorted.begin());
+  };
+  for (SiteId s : placement_) {
+    const JmReplicaState& st = states_[s];
+    out->push_back('u');
+    *out += std::to_string(rank(updates, st.update_number));
+    out->push_back('d');
+    *out += std::to_string(rank(versions, st.data_version));
+    out->push_back('c');
+    *out += std::to_string(st.last_cardinality);
+    out->push_back(';');
+  }
+  return true;
 }
 
 JajodiaMutchlerVoting::Evaluation JajodiaMutchlerVoting::Evaluate(

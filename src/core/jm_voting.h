@@ -55,6 +55,7 @@ class JajodiaMutchlerVoting final : public ConsistencyProtocol {
   void OnNetworkEvent(const NetworkState& net) override;
   void Reset() override;
   std::uint64_t state_epoch() const override { return epoch_; }
+  bool AppendStateSignature(std::string* out) const override;
 
   const JmReplicaState& state(SiteId site) const;
 

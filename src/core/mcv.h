@@ -68,6 +68,13 @@ class MajorityConsensusVoting final : public ConsistencyProtocol {
   /// frozen at construction); the store epoch is conservative but cheap.
   std::uint64_t state_epoch() const override { return store_.epoch(); }
 
+  /// Grants are static, but versions steer where commits read from, so
+  /// the store fingerprint is the canonical state.
+  bool AppendStateSignature(std::string* out) const override {
+    store_.AppendCanonicalSignature(out);
+    return true;
+  }
+
   /// Quorums in force (after defaulting).
   long long read_quorum() const { return read_quorum_; }
   long long write_quorum() const { return write_quorum_; }

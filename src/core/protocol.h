@@ -112,6 +112,20 @@ class ConsistencyProtocol {
   /// does not track one. Used only by CachedWouldGrant.
   virtual std::uint64_t state_epoch() const { return kStateEpochUncacheable; }
 
+  /// Appends a *canonical* fingerprint of the protocol's
+  /// consistency-control state to `out` and returns true. Canonical means
+  /// that two instances with equal fingerprints (same options, same
+  /// placement) make identical grant/commit decisions on every possible
+  /// future — monotonic counters must be rank-normalized, not emitted raw
+  /// (see ReplicaStore::AppendCanonicalSignature). The model checker
+  /// (src/check/) keys its visited-state memoization on this; a protocol
+  /// that cannot canonicalize its state returns false and the checker
+  /// falls back to unmerged exploration.
+  virtual bool AppendStateSignature(std::string* out) const {
+    (void)out;
+    return false;
+  }
+
   /// Escape hatch (the --no-quorum-cache flag): disables memoization on
   /// this instance, making CachedWouldGrant a plain WouldGrant call.
   void set_quorum_cache_enabled(bool enabled) {

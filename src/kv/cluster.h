@@ -61,6 +61,7 @@ class KvCluster {
   /// --- observation -----------------------------------------------------
   const NetworkState& net() const { return net_; }
   ReplicatedKvStore& store() { return *store_; }
+  const ReplicatedKvStore& store() const { return *store_; }
   const ConsistencyProtocol& protocol() const {
     return *store_->protocol();
   }

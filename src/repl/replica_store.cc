@@ -1,5 +1,7 @@
 #include "repl/replica_store.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace dynvote {
@@ -74,6 +76,39 @@ SiteSet ReplicaStore::MaxVersionSites(SiteSet among) const {
     if (states_[s].version == best) out.Add(s);
   }
   return out;
+}
+
+namespace {
+/// Rank of `value` among the sorted distinct values in `sorted` (which
+/// must contain it).
+int RankOf(const std::vector<std::int64_t>& sorted, std::int64_t value) {
+  return static_cast<int>(
+      std::lower_bound(sorted.begin(), sorted.end(), value) -
+      sorted.begin());
+}
+}  // namespace
+
+void ReplicaStore::AppendCanonicalSignature(std::string* out) const {
+  std::vector<std::int64_t> ops, versions;
+  for (SiteId s : placement_) {
+    ops.push_back(states_[s].op_number);
+    versions.push_back(states_[s].version);
+  }
+  std::sort(ops.begin(), ops.end());
+  ops.erase(std::unique(ops.begin(), ops.end()), ops.end());
+  std::sort(versions.begin(), versions.end());
+  versions.erase(std::unique(versions.begin(), versions.end()),
+                 versions.end());
+  for (SiteId s : placement_) {
+    const ReplicaState& st = states_[s];
+    out->push_back('o');
+    *out += std::to_string(RankOf(ops, st.op_number));
+    out->push_back('v');
+    *out += std::to_string(RankOf(versions, st.version));
+    out->push_back('p');
+    *out += std::to_string(st.partition_set.mask());
+    out->push_back(';');
+  }
 }
 
 void ReplicaStore::Commit(SiteSet participants, OpNumber op,

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "repl/replica_state.h"
@@ -64,6 +65,15 @@ class ReplicaStore {
   /// every copy in `participants` (∩ placement).
   void Commit(SiteSet participants, OpNumber op, VersionNumber version,
               SiteSet new_partition_set);
+
+  /// Appends a canonical fingerprint of every copy's ensemble to `out`.
+  /// Operation and version numbers are replaced by their rank among the
+  /// distinct values present, so two stores whose copies agree on the
+  /// *relative* order of operation numbers and versions (the only thing
+  /// the quorum test consumes) produce identical fingerprints even when
+  /// the absolute counters differ. Used by the model checker to merge
+  /// equivalent states (src/check/).
+  void AppendCanonicalSignature(std::string* out) const;
 
  private:
   explicit ReplicaStore(SiteSet placement);

@@ -1,0 +1,90 @@
+// Replays every checked-in counterexample in tests/check/corpus/ and
+// requires each to reproduce its recorded violation exactly. The corpus
+// is the regression lock for hazards the checker has already found once:
+// the topological variants' fork (TDV, OTDV), available-copies under a
+// partition it assumes away, the LDV/ODV lex_pair divergence, and the
+// weakened-mutex pipeline demo. If a protocol change "fixes" or shifts
+// one of these, this test fails and the corpus entry must be
+// regenerated with `dynvote check` — a deliberate, visible step.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/counterexample.h"
+
+#ifndef DYNVOTE_CHECK_CORPUS_DIR
+#error "build must define DYNVOTE_CHECK_CORPUS_DIR"
+#endif
+
+namespace dynvote {
+namespace check {
+namespace {
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(DYNVOTE_CHECK_CORPUS_DIR)) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(CorpusTest, DirectoryIsPopulated) {
+  // Catches a misconfigured corpus path before the parameterized replay
+  // silently runs zero cases.
+  EXPECT_GE(CorpusFiles().size(), 5u);
+}
+
+class CorpusReplayTest
+    : public ::testing::TestWithParam<std::filesystem::path> {};
+
+std::string CorpusCaseName(
+    const ::testing::TestParamInfo<std::filesystem::path>& info) {
+  std::string name = info.param.stem().string();
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+TEST_P(CorpusReplayTest, ReproducesRecordedViolation) {
+  std::ifstream in(GetParam());
+  ASSERT_TRUE(in) << "cannot read " << GetParam();
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  auto ce = ParseCounterExampleJson(buffer.str());
+  ASSERT_TRUE(ce.ok()) << GetParam() << ": " << ce.status();
+  EXPECT_FALSE(ce->violation.invariant.empty());
+
+  Status st = ReplayCounterExample(*ce);
+  EXPECT_TRUE(st.ok()) << GetParam() << ": " << st;
+}
+
+TEST_P(CorpusReplayTest, JsonIsCanonical) {
+  // Corpus files are exactly what CounterExampleToJson emits — hand
+  // edits that still parse get normalized away here.
+  std::ifstream in(GetParam());
+  ASSERT_TRUE(in);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto ce = ParseCounterExampleJson(buffer.str());
+  ASSERT_TRUE(ce.ok()) << ce.status();
+  EXPECT_EQ(CounterExampleToJson(*ce), buffer.str()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Checked, CorpusReplayTest,
+                         ::testing::ValuesIn(CorpusFiles()),
+                         CorpusCaseName);
+
+}  // namespace
+}  // namespace check
+}  // namespace dynvote

@@ -1,0 +1,95 @@
+// Error paths of the observability plumbing: the trace reader on
+// truncated and garbage input, the JSONL sink on a stream that already
+// failed (e.g. an unwritable path), and WriteFile on paths that cannot
+// be created. None of these may crash, and failures must surface as
+// counted malformed lines or a clean Status — never as an exception.
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "model/export.h"
+#include "obs/trace_reader.h"
+#include "obs/trace_sink.h"
+
+namespace dynvote {
+namespace {
+
+TEST(TraceReaderErrorTest, GarbageLinesAreCountedNotFatal) {
+  std::istringstream in(
+      "this is not json\n"
+      "{\"ev\":\"sim\",\"t\":1.0,\"seq\":1,\"op\":\"x\"}\n"
+      "\x01\x02\x03 binary junk\n"
+      "[\"an\",\"array\",\"line\"]\n"
+      "{\"unterminated\": \"value\n");
+  TraceSummary summary = SummarizeTrace(in);
+  EXPECT_EQ(summary.total_lines, 5u);
+  EXPECT_EQ(summary.sim_events, 1u);
+  EXPECT_EQ(summary.malformed_lines, 4u);
+}
+
+TEST(TraceReaderErrorTest, TruncatedTraceStillSummarizesThePrefix) {
+  // A trace cut off mid-write: header, one good event, then a partial
+  // line with no trailing newline.
+  std::istringstream in(
+      "{\"schema\":\"dynvote-trace-v1\",\"seed\":7}\n"
+      "{\"ev\":\"sim\",\"t\":1.0,\"seq\":1,\"op\":\"site_fail\"}\n"
+      "{\"ev\":\"sim\",\"t\":2.0,\"se");
+  TraceSummary summary = SummarizeTrace(in);
+  EXPECT_EQ(summary.schema, "dynvote-trace-v1");
+  EXPECT_EQ(summary.sim_events, 1u);
+  EXPECT_GE(summary.malformed_lines, 1u);
+}
+
+TEST(TraceReaderErrorTest, EmptyStreamYieldsEmptySummary) {
+  std::istringstream in("");
+  TraceSummary summary = SummarizeTrace(in);
+  EXPECT_EQ(summary.total_lines, 0u);
+  EXPECT_EQ(summary.malformed_lines, 0u);
+  EXPECT_TRUE(summary.schema.empty());
+  // ToString on an empty summary must also be safe.
+  EXPECT_FALSE(summary.ToString().empty());
+}
+
+TEST(TraceReaderErrorTest, ParseTraceLineRejectsNonObjects) {
+  std::map<std::string, std::string> fields;
+  EXPECT_FALSE(ParseTraceLine("", &fields));
+  EXPECT_FALSE(ParseTraceLine("42", &fields));
+  EXPECT_FALSE(ParseTraceLine("[1,2]", &fields));
+  EXPECT_FALSE(ParseTraceLine("{\"key\": }", &fields));
+  EXPECT_FALSE(ParseTraceLine("{\"key\"}", &fields));
+}
+
+TEST(JsonlTraceSinkErrorTest, FailedStreamDoesNotCrashAndKeepsCounting) {
+  // An ofstream on an unwritable path is open()-failed from the start;
+  // the sink must tolerate writing into it indefinitely.
+  std::ofstream out("/nonexistent-dir-dynvote/trace.jsonl");
+  ASSERT_FALSE(out.good());
+  JsonlTraceSink sink(&out);
+  TraceEvent e;
+  e.type = TraceEventType::kSim;
+  e.op = "site_fail";
+  for (int i = 0; i < 100; ++i) {
+    e.seq = static_cast<std::uint64_t>(i);
+    sink.Write(e);
+  }
+  EXPECT_EQ(sink.total_events(), 100u);
+  EXPECT_FALSE(out.good());
+}
+
+TEST(WriteFileErrorTest, UnwritablePathReturnsCleanStatus) {
+  Status st = WriteFile("/nonexistent-dir-dynvote/out.json", "content");
+  EXPECT_FALSE(st.ok());
+  // The status must carry the offending path for the CLI error message.
+  EXPECT_NE(st.ToString().find("/nonexistent-dir-dynvote/out.json"),
+            std::string::npos)
+      << st;
+}
+
+TEST(WriteFileErrorTest, DirectoryTargetReturnsCleanStatus) {
+  EXPECT_FALSE(WriteFile("/tmp", "content").ok());
+}
+
+}  // namespace
+}  // namespace dynvote

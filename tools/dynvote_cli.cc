@@ -12,7 +12,14 @@
 //   dynvote scenario [--network=FILE] --sites=a,b,c [--protocol=LDV]
 //                    <script.dvs>
 //   dynvote trace-summary <trace.jsonl>
+//   dynvote check    [--protocol=ODV] [--topology=single3] [--depth=5]
+//                    [--mode=exhaustive|swarm] [--seed=N] [--schedules=N]
+//                    [--swarm-depth=N] [--oracle=NAME] [--weaken-mutex]
+//                    [--no-memo] [--no-shrink] [--out=FILE.json]
+//   dynvote check    --replay=counterexample.json
 //   dynvote --version
+//
+// Flags accept both `--flag=value` and `--flag value`.
 //
 // Without --network the paper's eight-site network is used and sites may
 // be given either by name (csvax, ..., mangle) or by the paper's 1-based
@@ -25,14 +32,21 @@
 // dynvote-trace-v1 JSONL file into per-protocol grant/denial attribution
 // (see docs/observability.md). Tracing never changes statistical
 // results: traced and untraced runs of the same seed produce identical
-// tables, CSV and JSON.
+// tables, CSV and JSON. `check` model-checks a protocol's safety
+// invariants over small fault/access schedules, shrinks any violation to
+// a minimal reproducer and replays exported counterexamples (see
+// docs/model_checking.md).
 
+#include <cctype>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "check/checker.h"
+#include "check/counterexample.h"
+#include "check/topologies.h"
 #include "core/registry.h"
 #include "kv/scenario.h"
 #include "model/analytic.h"
@@ -71,6 +85,19 @@ struct Options {
   // declaration (default 1).
   int reps = -1;
   int jobs = -1;
+  // check:
+  std::string topology = "single3";
+  std::string mode = "exhaustive";
+  std::string oracle = "none";
+  std::string strict = "auto";
+  std::string replay_path;
+  std::string out_path;
+  int depth = 5;
+  int schedules = 256;
+  int swarm_depth = 12;
+  bool memoize = true;
+  bool shrink = true;
+  bool weaken_mutex = false;
 };
 
 // Exit codes: 0 success, 1 runtime failure, 2 bad flags / usage,
@@ -80,13 +107,15 @@ constexpr int kExitUsage = 2;
 constexpr int kExitUnknownCommand = 3;
 
 constexpr const char kSubcommands[] =
-    "print analyze simulate repeat scenario trace-summary";
+    "print analyze simulate repeat scenario trace-summary check";
 
 int Usage() {
   std::cerr <<
       "usage: dynvote "
-      "<print|analyze|simulate|repeat|scenario|trace-summary> [options]\n"
+      "<print|analyze|simulate|repeat|scenario|trace-summary|check> "
+      "[options]\n"
       "       dynvote --version\n"
+      "(flags accept --flag=value and --flag value)\n"
       "  --network=FILE   network description (default: the paper's)\n"
       "  --sites=a,b,c    copy placement (names, or 1-8 on the paper "
       "network)\n"
@@ -102,7 +131,21 @@ int Usage() {
       << " JSON metrics\n"
       "  --no-quorum-cache  simulate/repeat: disable grant-decision\n"
       "                   memoization (results are identical either way)\n"
-      "  --years=N --rate=R --seed=N --csv=PATH\n";
+      "  --years=N --rate=R --seed=N --csv=PATH\n"
+      "check options (see docs/model_checking.md):\n"
+      "  --topology=T     check universe (single2..single8, pairs, "
+      "section3)\n"
+      "  --depth=N        exhaustive: maximum schedule length\n"
+      "  --mode=M         exhaustive (default) or swarm\n"
+      "  --schedules=N --swarm-depth=N  swarm size and schedule length\n"
+      "  --oracle=O       none, quorum_cache, jm_equivalence, lex_pair\n"
+      "  --strict=S       auto (strict iff partition-safe), on, off\n"
+      "  --weaken-mutex   test hook: any grant at all violates\n"
+      "  --no-memo        disable canonical-state merging\n"
+      "  --no-shrink      keep the unshrunk failing schedule\n"
+      "  --out=FILE       write the counterexample JSON here\n"
+      "  --replay=FILE    replay a " << check::kCounterExampleSchema
+      << " file instead of exploring\n";
   return kExitUsage;
 }
 
@@ -115,10 +158,16 @@ int UnknownCommand(const std::string& command) {
 
 int Version() {
   std::cout << "dynvote schemas:\n"
-            << "  bench    " << kHotpathBenchSchema << "\n"
-            << "  trace    " << kTraceSchema << "\n"
-            << "  metrics  " << kMetricsSchema << "\n";
+            << "  bench           " << kHotpathBenchSchema << "\n"
+            << "  trace           " << kTraceSchema << "\n"
+            << "  metrics         " << kMetricsSchema << "\n"
+            << "  counterexample  " << check::kCounterExampleSchema << "\n";
   return 0;
+}
+
+bool IsBooleanFlag(const std::string& a) {
+  return a == "--no-quorum-cache" || a == "--no-memo" || a == "--no-shrink" ||
+         a == "--weaken-mutex";
 }
 
 Result<Options> Parse(int argc, char** argv) {
@@ -127,6 +176,13 @@ Result<Options> Parse(int argc, char** argv) {
   opt.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
+    // Accept `--flag value` by folding it into the `--flag=value` form.
+    if (a.rfind("--", 0) == 0 && a.find('=') == std::string::npos &&
+        !IsBooleanFlag(a) && i + 1 < argc &&
+        std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      a += "=";
+      a += argv[++i];
+    }
     auto value = [&a](const char* prefix) {
       return a.substr(std::string(prefix).size());
     };
@@ -164,6 +220,30 @@ Result<Options> Parse(int argc, char** argv) {
       opt.seed = std::stoull(value("--seed="));
     } else if (a == "--no-quorum-cache") {
       opt.quorum_cache = false;
+    } else if (a.rfind("--topology=", 0) == 0) {
+      opt.topology = value("--topology=");
+    } else if (a.rfind("--mode=", 0) == 0) {
+      opt.mode = value("--mode=");
+    } else if (a.rfind("--oracle=", 0) == 0) {
+      opt.oracle = value("--oracle=");
+    } else if (a.rfind("--strict=", 0) == 0) {
+      opt.strict = value("--strict=");
+    } else if (a.rfind("--replay=", 0) == 0) {
+      opt.replay_path = value("--replay=");
+    } else if (a.rfind("--out=", 0) == 0) {
+      opt.out_path = value("--out=");
+    } else if (a.rfind("--depth=", 0) == 0) {
+      opt.depth = std::stoi(value("--depth="));
+    } else if (a.rfind("--schedules=", 0) == 0) {
+      opt.schedules = std::stoi(value("--schedules="));
+    } else if (a.rfind("--swarm-depth=", 0) == 0) {
+      opt.swarm_depth = std::stoi(value("--swarm-depth="));
+    } else if (a == "--no-memo") {
+      opt.memoize = false;
+    } else if (a == "--no-shrink") {
+      opt.shrink = false;
+    } else if (a == "--weaken-mutex") {
+      opt.weaken_mutex = true;
     } else if (a.rfind("--", 0) == 0) {
       return Status::InvalidArgument("unknown flag " + a);
     } else {
@@ -569,6 +649,139 @@ int TraceSummaryCommand(const Options& opt) {
   return 0;
 }
 
+/// Replays a counterexample file and reports whether it reproduces.
+int ReplayCounterExampleFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot read " << path << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto ce = check::ParseCounterExampleJson(buffer.str());
+  if (!ce.ok()) {
+    std::cerr << ce.status() << "\n";
+    return 1;
+  }
+  std::cout << "replaying " << ce->protocol << " on " << ce->topology << ": "
+            << check::ScheduleToString(ce->schedule) << "\n";
+  Status st = check::ReplayCounterExample(*ce);
+  if (!st.ok()) {
+    std::cerr << "NOT REPRODUCED: " << st << "\n";
+    return 1;
+  }
+  std::cout << "reproduced: '" << ce->violation.invariant << "' at step "
+            << ce->violation.step << " (" << ce->violation.detail << ")\n";
+  return 0;
+}
+
+int Check(const Options& opt) {
+  if (!opt.replay_path.empty()) {
+    return ReplayCounterExampleFile(opt.replay_path);
+  }
+
+  check::CheckOptions options;
+  // Registry names are uppercase; accept `--protocol odv` as a courtesy.
+  options.protocol = opt.protocol;
+  for (char& c : options.protocol) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  options.topology = opt.topology;
+  options.depth = opt.depth;
+  options.seed = opt.seed;
+  options.swarm_schedules = opt.schedules;
+  options.swarm_depth = opt.swarm_depth;
+  options.memoize = opt.memoize;
+  options.shrink = opt.shrink;
+  if (opt.mode == "exhaustive") {
+    options.mode = check::CheckMode::kExhaustive;
+  } else if (opt.mode == "swarm") {
+    options.mode = check::CheckMode::kSwarm;
+  } else {
+    std::cerr << "unknown --mode '" << opt.mode
+              << "' (expected exhaustive or swarm)\n";
+    return kExitUsage;
+  }
+  if (opt.weaken_mutex) options.policy.max_granted_groups = 0;
+  if (opt.strict == "on") {
+    options.policy.strict = true;
+  } else if (opt.strict == "off") {
+    options.policy.strict = false;
+  } else if (opt.strict == "auto") {
+    // Strict iff the protocol has no documented partition hazard; probe
+    // an instance to ask.
+    auto topology = check::MakeCheckTopology(options.topology);
+    if (!topology.ok()) {
+      std::cerr << topology.status() << "\n";
+      return 1;
+    }
+    auto probe = MakeProtocolByName(options.protocol, *topology,
+                                    (*topology)->AllSites());
+    if (!probe.ok()) {
+      std::cerr << probe.status() << "\n";
+      return 1;
+    }
+    options.policy.strict = (*probe)->partition_safe();
+  } else {
+    std::cerr << "unknown --strict '" << opt.strict
+              << "' (expected auto, on or off)\n";
+    return kExitUsage;
+  }
+  auto oracle = check::ParseDifferentialOracle(opt.oracle);
+  if (!oracle.ok()) {
+    std::cerr << oracle.status() << "\n";
+    return kExitUsage;
+  }
+  options.policy.oracle = *oracle;
+
+  auto report = check::RunCheck(options);
+  if (!report.ok()) {
+    std::cerr << report.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "protocol " << options.protocol << " on " << opt.topology
+            << ", " << (options.policy.strict ? "strict" : "loose") << ", "
+            << opt.mode;
+  if (options.mode == check::CheckMode::kExhaustive) {
+    std::cout << " to depth " << opt.depth
+              << (report->memoized ? " (memoized)" : " (no state merging)");
+  } else {
+    std::cout << ", " << report->schedules_run << " schedule(s) of "
+              << opt.swarm_depth << " action(s), seed " << opt.seed;
+  }
+  std::cout << "\n";
+  if (options.mode == check::CheckMode::kExhaustive) {
+    std::cout << "states visited:     " << report->states_visited << "\n"
+              << "unpruned sequences: " << report->unpruned_sequences << "\n";
+  }
+  std::cout << "transitions:        " << report->transitions << "\n"
+            << "commits / reads:    " << report->commits << " / "
+            << report->reads_checked << "\n";
+
+  if (!report->counterexample.has_value()) {
+    std::cout << "no invariant violations.\n";
+    return 0;
+  }
+  const check::CounterExample& ce = *report->counterexample;
+  std::cout << "VIOLATION of '" << ce.violation.invariant << "' at step "
+            << ce.violation.step << ": " << ce.violation.detail << "\n"
+            << (options.shrink ? "minimal schedule: " : "schedule: ")
+            << check::ScheduleToString(ce.schedule) << "\n";
+  std::string json = check::CounterExampleToJson(ce);
+  if (!opt.out_path.empty()) {
+    Status st = WriteFile(opt.out_path, json);
+    if (!st.ok()) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << opt.out_path << "\n";
+  } else {
+    std::cout << json;
+  }
+  return 1;
+}
+
 int Main(int argc, char** argv) {
   auto opt = Parse(argc, argv);
   if (!opt.ok()) {
@@ -584,6 +797,7 @@ int Main(int argc, char** argv) {
   if (opt->command == "repeat") return Repeat(*opt);
   if (opt->command == "scenario") return RunScenario(*opt);
   if (opt->command == "trace-summary") return TraceSummaryCommand(*opt);
+  if (opt->command == "check") return Check(*opt);
   return UnknownCommand(opt->command);
 }
 
