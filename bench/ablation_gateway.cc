@@ -12,6 +12,9 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "core/registry.h"
+#include "model/site_profile.h"
+#include "stats/table.h"
 
 namespace dynvote {
 namespace bench {
@@ -60,7 +63,7 @@ int Run(const BenchArgs& args) {
   std::vector<RepeaterProfile> repeater_profiles;
   auto repeater_net = MakeRepeaterVariant(&repeater_profiles);
   if (!gateway_net.ok() || !repeater_net.ok()) {
-    std::cerr << "network construction failed" << std::endl;
+    std::cerr << "network construction failed" << "\n";
     return 1;
   }
 
@@ -94,7 +97,7 @@ int Run(const BenchArgs& args) {
       }
       auto results = RunAvailabilityExperiment(spec, std::move(protocols));
       if (!results.ok()) {
-        std::cerr << results.status() << std::endl;
+        std::cerr << results.status() << "\n";
         return 1;
       }
       for (const PolicyResult& r : *results) {

@@ -12,6 +12,9 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "core/registry.h"
+#include "model/site_profile.h"
+#include "stats/table.h"
 #include "core/dynamic_voting.h"
 
 namespace dynvote {
@@ -44,7 +47,7 @@ int Run(BenchArgs args) {
   if (args.configs == "ABCDEFGH") args.configs = "FH";
   auto network = MakePaperNetwork();
   if (!network.ok()) {
-    std::cerr << network.status() << std::endl;
+    std::cerr << network.status() << "\n";
     return 1;
   }
 
@@ -81,7 +84,7 @@ int Run(BenchArgs args) {
     auto pref_worst = MakePreferring(network->topology, config->placement,
                                      worst, "LDV-pref-flaky");
     if (!pref_best.ok() || !pref_worst.ok()) {
-      std::cerr << "weighted construction failed" << std::endl;
+      std::cerr << "weighted construction failed" << "\n";
       return 1;
     }
     protocols.push_back(pref_best.MoveValue());
@@ -89,7 +92,7 @@ int Run(BenchArgs args) {
 
     auto results = RunAvailabilityExperiment(spec, std::move(protocols));
     if (!results.ok()) {
-      std::cerr << results.status() << std::endl;
+      std::cerr << results.status() << "\n";
       return 1;
     }
 

@@ -12,6 +12,9 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "core/registry.h"
+#include "model/site_profile.h"
+#include "stats/table.h"
 #include "core/available_copy.h"
 
 namespace dynvote {
@@ -27,7 +30,7 @@ struct Clustering {
 int Run(const BenchArgs& args) {
   auto network = MakePaperNetwork();
   if (!network.ok()) {
-    std::cerr << network.status() << std::endl;
+    std::cerr << network.status() << "\n";
     return 1;
   }
 
@@ -67,7 +70,7 @@ int Run(const BenchArgs& args) {
     }
     auto results = RunAvailabilityExperiment(spec, std::move(protocols));
     if (!results.ok()) {
-      std::cerr << results.status() << std::endl;
+      std::cerr << results.status() << "\n";
       return 1;
     }
     double ldv = ResultOf(*results, "LDV").unavailability;

@@ -1,21 +1,16 @@
 // Shared helpers for the benchmark binaries: command-line parsing for run
 // length / seed, and the config × policy grid runner used by the Table 2
-// and Table 3 reproductions.
+// and Table 3 reproductions. Implementations live in bench_util.cc so
+// this header stays free of <iostream> (lint rule iostream-header).
 
 #pragma once
 
 #include <cstdint>
-#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
-#include "core/registry.h"
-#include "model/export.h"
 #include "model/experiment.h"
-#include "model/replicated_experiment.h"
-#include "model/site_profile.h"
-#include "stats/table.h"
 
 namespace dynvote {
 namespace bench {
@@ -45,57 +40,11 @@ struct BenchArgs {
 
 /// Parses --years=, --batches=, --seed=, --configs=, --reps=, --jobs=,
 /// --verbose from argv. Unknown flags (including google-benchmark's) are
-/// ignored.
-inline BenchArgs ParseArgs(int argc, char** argv) {
-  BenchArgs args;
-  for (int i = 1; i < argc; ++i) {
-    std::string a = argv[i];
-    auto value_of = [&a](const std::string& prefix) -> std::string {
-      return a.substr(prefix.size());
-    };
-    if (a.rfind("--years=", 0) == 0) {
-      args.years = std::stod(value_of("--years="));
-    } else if (a.rfind("--batches=", 0) == 0) {
-      args.batches = std::stoi(value_of("--batches="));
-    } else if (a.rfind("--seed=", 0) == 0) {
-      args.seed = std::stoull(value_of("--seed="));
-    } else if (a.rfind("--configs=", 0) == 0) {
-      args.configs = value_of("--configs=");
-    } else if (a.rfind("--csv=", 0) == 0) {
-      args.csv_path = value_of("--csv=");
-    } else if (a.rfind("--reps=", 0) == 0) {
-      args.reps = std::stoi(value_of("--reps="));
-    } else if (a.rfind("--jobs=", 0) == 0) {
-      args.jobs = std::stoi(value_of("--jobs="));
-    } else if (a == "--no-quorum-cache") {
-      args.quorum_cache = false;
-    } else if (a == "--verbose") {
-      args.verbose = true;
-    }
-  }
-  if (args.reps < 1) {
-    std::cerr << "--reps must be >= 1" << std::endl;
-    std::exit(1);
-  }
-  if (args.jobs < 0) {
-    std::cerr << "--jobs must be >= 0 (0 = all cores)" << std::endl;
-    std::exit(1);
-  }
-  return args;
-}
+/// ignored. Exits the process on invalid values.
+BenchArgs ParseArgs(int argc, char** argv);
 
 /// Builds paper-style experiment options from bench args.
-inline ExperimentOptions MakeOptions(const BenchArgs& args) {
-  ExperimentOptions options;
-  options.warmup = Days(360);
-  options.num_batches = args.batches;
-  options.batch_length = Years(args.years / args.batches);
-  options.access.rate_per_day = 1.0;  // the paper's one access per day
-  options.access.write_fraction = 0.5;
-  options.seed = args.seed;
-  options.quorum_cache = args.quorum_cache;
-  return options;
-}
+ExperimentOptions MakeOptions(const BenchArgs& args);
 
 /// Results of the full config × policy grid.
 struct GridResults {
@@ -109,42 +58,10 @@ struct GridResults {
 /// threads) and the table rows carry cross-replication means with
 /// Student-t CIs instead of single-run batch means. Exits the process on
 /// error (bench binaries have no meaningful recovery).
-inline GridResults RunPaperGrid(const BenchArgs& args) {
-  GridResults grid;
-  ExperimentOptions options = MakeOptions(args);
-  ReplicationOptions replication;
-  replication.replications = args.reps;
-  replication.jobs = args.jobs;
-  for (char label : args.configs) {
-    auto results = RunReplicatedPaperExperiment(label, PaperProtocolNames(),
-                                                options, replication);
-    if (!results.ok()) {
-      std::cerr << "config " << label << ": " << results.status()
-                << std::endl;
-      std::exit(1);
-    }
-    grid.by_config[label] = MeanPolicyResults(*results);
-  }
-  return grid;
-}
+GridResults RunPaperGrid(const BenchArgs& args);
 
 /// Flattens a grid into labelled rows and, if requested, writes CSV.
-inline void MaybeWriteCsv(const BenchArgs& args, const GridResults& grid) {
-  if (args.csv_path.empty()) return;
-  std::vector<LabeledResult> rows;
-  for (const auto& [label, row] : grid.by_config) {
-    for (const PolicyResult& r : row) {
-      rows.push_back(LabeledResult{std::string(1, label), r});
-    }
-  }
-  Status st = WriteFile(args.csv_path, ResultsToCsv(rows));
-  if (!st.ok()) {
-    std::cerr << "csv export failed: " << st << std::endl;
-  } else {
-    std::cout << "\nwrote " << rows.size() << " rows to " << args.csv_path
-              << "\n";
-  }
-}
+void MaybeWriteCsv(const BenchArgs& args, const GridResults& grid);
 
 /// One shape expectation: "measured[a] relation measured[b]".
 struct ShapeCheck {
@@ -152,28 +69,12 @@ struct ShapeCheck {
   bool passed;
 };
 
-inline int ReportShapeChecks(const std::vector<ShapeCheck>& checks) {
-  int failures = 0;
-  std::cout << "\nShape checks (paper section 4 findings):\n";
-  for (const ShapeCheck& c : checks) {
-    std::cout << "  [" << (c.passed ? "PASS" : "FAIL") << "] "
-              << c.description << "\n";
-    if (!c.passed) ++failures;
-  }
-  std::cout << (failures == 0 ? "All shape checks passed.\n"
-                              : "Some shape checks FAILED.\n");
-  return failures;
-}
+/// Prints the PASS/FAIL table and returns the number of failures.
+int ReportShapeChecks(const std::vector<ShapeCheck>& checks);
 
-/// Finds the result of `policy` in a config row.
-inline const PolicyResult& ResultOf(const std::vector<PolicyResult>& row,
-                                    const std::string& policy) {
-  for (const PolicyResult& r : row) {
-    if (r.name == policy) return r;
-  }
-  std::cerr << "policy " << policy << " missing from results" << std::endl;
-  std::exit(1);
-}
+/// Finds the result of `policy` in a config row; exits if missing.
+const PolicyResult& ResultOf(const std::vector<PolicyResult>& row,
+                             const std::string& policy);
 
 }  // namespace bench
 }  // namespace dynvote

@@ -14,6 +14,9 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "core/registry.h"
+#include "model/site_profile.h"
+#include "stats/table.h"
 #include "core/dynamic_voting.h"
 #include "core/regenerating.h"
 
@@ -24,7 +27,7 @@ namespace {
 int Run(const BenchArgs& args) {
   auto network = MakePaperNetwork();
   if (!network.ok()) {
-    std::cerr << network.status() << std::endl;
+    std::cerr << network.status() << "\n";
     return 1;
   }
   auto topo = network->topology;
@@ -62,7 +65,7 @@ int Run(const BenchArgs& args) {
 
   auto results = RunAvailabilityExperiment(spec, std::move(protocols));
   if (!results.ok()) {
-    std::cerr << results.status() << std::endl;
+    std::cerr << results.status() << "\n";
     return 1;
   }
   (*results)[3].name = "LDV-3data";

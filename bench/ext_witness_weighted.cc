@@ -15,6 +15,9 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "core/registry.h"
+#include "model/site_profile.h"
+#include "stats/table.h"
 #include "core/dynamic_voting.h"
 #include "core/mcv.h"
 
@@ -46,7 +49,7 @@ std::unique_ptr<ConsistencyProtocol> WeightedLdv(
 int Run(const BenchArgs& args) {
   auto network = MakePaperNetwork();
   if (!network.ok()) {
-    std::cerr << network.status() << std::endl;
+    std::cerr << network.status() << "\n";
     return 1;
   }
   auto topo = network->topology;
@@ -71,7 +74,7 @@ int Run(const BenchArgs& args) {
 
   auto results = RunAvailabilityExperiment(spec, std::move(protocols));
   if (!results.ok()) {
-    std::cerr << results.status() << std::endl;
+    std::cerr << results.status() << "\n";
     return 1;
   }
   TextTable witness_table({"Policy", "Copies", "Unavailability",
@@ -123,7 +126,7 @@ int Run(const BenchArgs& args) {
   spec2.options = MakeOptions(args);
   auto wresults = RunAvailabilityExperiment(spec2, std::move(weighted));
   if (!wresults.ok()) {
-    std::cerr << wresults.status() << std::endl;
+    std::cerr << wresults.status() << "\n";
     return 1;
   }
   TextTable weight_table({"Policy", "Unavailability", "95% CI ±"});

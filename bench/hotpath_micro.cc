@@ -205,7 +205,7 @@ std::vector<std::unique_ptr<ConsistencyProtocol>> MakePaperProtocols(
   for (const std::string& name : PaperProtocolNames()) {
     auto p = MakeProtocolByName(name, topology, placement);
     if (!p.ok()) {
-      std::cerr << "protocol " << name << ": " << p.status() << std::endl;
+      std::cerr << "protocol " << name << ": " << p.status() << "\n";
       std::exit(1);
     }
     protocols.push_back(p.MoveValue());
@@ -394,7 +394,7 @@ void BenchExperimentYear(double min_ms, std::vector<BenchEntry>* out) {
       auto results =
           RunAvailabilityExperiment(spec, std::move(protocols));
       if (!results.ok()) {
-        std::cerr << results.status() << std::endl;
+        std::cerr << results.status() << "\n";
         std::exit(1);
       }
     }
@@ -433,7 +433,7 @@ void BenchTracingOverhead(double min_ms, std::vector<BenchEntry>* out) {
           MakePaperProtocols(paper->topology, kFiveCopyPlacement);
       auto results = RunAvailabilityExperiment(spec, std::move(protocols));
       if (!results.ok()) {
-        std::cerr << results.status() << std::endl;
+        std::cerr << results.status() << "\n";
         std::exit(1);
       }
     }
@@ -468,7 +468,7 @@ void BenchTracingOverhead(double min_ms, std::vector<BenchEntry>* out) {
                   auto results =
                       RunAvailabilityExperiment(spec, std::move(protocols));
                   if (!results.ok()) {
-                    std::cerr << results.status() << std::endl;
+                    std::cerr << results.status() << "\n";
                     std::exit(1);
                   }
                 }
@@ -547,7 +547,7 @@ int Main(int argc, char** argv) {
 
   std::ofstream out(out_path);
   if (!out) {
-    std::cerr << "cannot write " << out_path << std::endl;
+    std::cerr << "cannot write " << out_path << "\n";
     return 1;
   }
   out << ToJson(entries);

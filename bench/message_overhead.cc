@@ -10,6 +10,9 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "core/registry.h"
+#include "model/site_profile.h"
+#include "stats/table.h"
 
 namespace dynvote {
 namespace bench {
@@ -22,7 +25,7 @@ int Run(BenchArgs args) {
   ExperimentOptions options = MakeOptions(args);
   auto results = RunPaperExperiment(config, PaperProtocolNames(), options);
   if (!results.ok()) {
-    std::cerr << results.status() << std::endl;
+    std::cerr << results.status() << "\n";
     return 1;
   }
 
@@ -96,7 +99,7 @@ int Run(BenchArgs args) {
     auto multi_results =
         RunAvailabilityExperiment(spec, std::move(protocols));
     if (!multi_results.ok()) {
-      std::cerr << multi_results.status() << std::endl;
+      std::cerr << multi_results.status() << "\n";
       return 1;
     }
     std::uint64_t ldv_total = 0;

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/registry.h"
+#include "stats/table.h"
 #include "stats/histogram.h"
 
 namespace dynvote {
@@ -45,7 +47,7 @@ int Run(const BenchArgs& args, int runs) {
       auto results =
           RunPaperExperiment(config, PaperProtocolNames(), options);
       if (!results.ok()) {
-        std::cerr << results.status() << std::endl;
+        std::cerr << results.status() << "\n";
         return 1;
       }
       for (const PolicyResult& r : *results) {

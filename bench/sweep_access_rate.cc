@@ -13,6 +13,9 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "core/registry.h"
+#include "model/replicated_experiment.h"
+#include "stats/table.h"
 
 namespace dynvote {
 namespace bench {
@@ -42,7 +45,7 @@ int Run(BenchArgs args) {
       auto replicated = RunReplicatedPaperExperiment(
           config, PaperProtocolNames(), options, replication);
       if (!replicated.ok()) {
-        std::cerr << replicated.status() << std::endl;
+        std::cerr << replicated.status() << "\n";
         return 1;
       }
       std::vector<PolicyResult> results = MeanPolicyResults(*replicated);

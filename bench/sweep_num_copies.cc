@@ -11,6 +11,10 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "core/registry.h"
+#include "model/replicated_experiment.h"
+#include "model/site_profile.h"
+#include "stats/table.h"
 
 namespace dynvote {
 namespace bench {
@@ -19,7 +23,7 @@ namespace {
 int Run(const BenchArgs& args) {
   auto network = MakePaperNetwork();
   if (!network.ok()) {
-    std::cerr << network.status() << std::endl;
+    std::cerr << network.status() << "\n";
     return 1;
   }
 
@@ -60,7 +64,7 @@ int Run(const BenchArgs& args) {
     replication.jobs = args.jobs;
     auto replicated = RunReplicatedExperiment(spec, factory, replication);
     if (!replicated.ok()) {
-      std::cerr << replicated.status() << std::endl;
+      std::cerr << replicated.status() << "\n";
       return 1;
     }
     std::vector<PolicyResult> results = MeanPolicyResults(*replicated);

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "stats/table.h"
 
 namespace dynvote {
 namespace bench {

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "stats/table.h"
 
 namespace dynvote {
 namespace bench {

@@ -172,17 +172,17 @@ std::string MetricsShard::ToJson() const {
 }
 
 void MetricsRegistry::Merge(const MetricsShard& shard) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   merged_.Merge(shard);
 }
 
 MetricsShard MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return merged_;
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return merged_.ToJson();
 }
 

@@ -10,9 +10,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "util/thread_annotations.h"
 
 namespace dynvote {
 
@@ -77,14 +78,14 @@ class MetricsShard {
 /// hot path — they batch into local shards and call Merge once.
 class MetricsRegistry {
  public:
-  void Merge(const MetricsShard& shard);
+  void Merge(const MetricsShard& shard) DYNVOTE_EXCLUDES(mutex_);
   /// Copies the merged state out under the lock.
-  MetricsShard Snapshot() const;
-  std::string ToJson() const;
+  MetricsShard Snapshot() const DYNVOTE_EXCLUDES(mutex_);
+  std::string ToJson() const DYNVOTE_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  MetricsShard merged_;
+  mutable Mutex mutex_;
+  MetricsShard merged_ DYNVOTE_GUARDED_BY(mutex_);
 };
 
 /// Builds "name{k1=v1,k2=v2}"-style keys without iostream machinery.

@@ -75,7 +75,13 @@ class EventQueue {
   void SkimCancelled();
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Audited for iteration-order hazards: both sets are membership-only —
+  // insert/erase/find/size/clear, never iterated — so their unordered
+  // layout cannot leak into event order; dispatch order comes solely
+  // from the (time, seq) heap above.
+  // dynvote-lint: allow(unordered-container)
   std::unordered_set<EventId> live_;
+  // dynvote-lint: allow(unordered-container)
   std::unordered_set<EventId> cancelled_;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;

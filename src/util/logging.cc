@@ -47,14 +47,14 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) std::cerr << buffer_ << std::endl;
+  if (enabled_) std::cerr << buffer_ << "\n";
 }
 
 void CheckFailed(const char* expr, const char* file, int line,
                  const std::string& message) {
   std::cerr << "[FATAL " << file << ":" << line << "] check failed: " << expr;
   if (!message.empty()) std::cerr << " — " << message;
-  std::cerr << std::endl;
+  std::cerr << "\n";
   std::abort();
 }
 

@@ -1,0 +1,127 @@
+// Clang Thread Safety Analysis annotations and the capability-annotated
+// mutex the whole tree is required to use (dynvote_lint's raw-mutex rule
+// bans std::mutex everywhere else). Under clang the tree compiles with
+// -Wthread-safety -Werror=thread-safety, so an unguarded access to a
+// DYNVOTE_GUARDED_BY member is a build break; under gcc every macro
+// expands to nothing and Mutex is a zero-cost veneer over std::mutex.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define DYNVOTE_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef DYNVOTE_THREAD_ANNOTATION
+#define DYNVOTE_THREAD_ANNOTATION(x)  // no thread-safety analysis
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define DYNVOTE_CAPABILITY(x) DYNVOTE_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type that acquires in its constructor and releases in
+/// its destructor.
+#define DYNVOTE_SCOPED_CAPABILITY DYNVOTE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a member is protected by the given mutex: every read or
+/// write must happen with the capability held.
+#define DYNVOTE_GUARDED_BY(x) DYNVOTE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Like DYNVOTE_GUARDED_BY for the data a pointer member points at.
+#define DYNVOTE_PT_GUARDED_BY(x) DYNVOTE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function must be called with the capability already held.
+#define DYNVOTE_REQUIRES(...) \
+  DYNVOTE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function must be called with the capability NOT held (it acquires
+/// internally; calling with it held would self-deadlock).
+#define DYNVOTE_EXCLUDES(...) \
+  DYNVOTE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define DYNVOTE_ACQUIRE(...) \
+  DYNVOTE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases a held capability.
+#define DYNVOTE_RELEASE(...) \
+  DYNVOTE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `result`.
+#define DYNVOTE_TRY_ACQUIRE(result, ...) \
+  DYNVOTE_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// The function returns a reference to the given capability.
+#define DYNVOTE_RETURN_CAPABILITY(x) \
+  DYNVOTE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opt a function out of analysis (initialization, test scaffolding).
+#define DYNVOTE_NO_THREAD_SAFETY_ANALYSIS \
+  DYNVOTE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace dynvote {
+
+/// std::mutex with the capability annotation the analysis needs. The
+/// lowercase lock()/unlock() aliases satisfy BasicLockable so CondVar
+/// (std::condition_variable_any) can wait on the annotated mutex
+/// directly — the unlock/relock inside wait() happens in a system header
+/// and is invisible to (and ignored by) the analysis, which sees the
+/// capability as held across the whole wait, exactly the caller's view.
+class DYNVOTE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DYNVOTE_ACQUIRE() { mu_.lock(); }
+  void Unlock() DYNVOTE_RELEASE() { mu_.unlock(); }
+  bool TryLock() DYNVOTE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // BasicLockable spelling, required by std::condition_variable_any.
+  void lock() DYNVOTE_ACQUIRE() { mu_.lock(); }
+  void unlock() DYNVOTE_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over Mutex; the scoped-capability annotation lets the
+/// analysis treat the guarded region as holding the mutex.
+class DYNVOTE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DYNVOTE_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() DYNVOTE_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Wait() must be called with the
+/// mutex held and returns with it held; the REQUIRES annotation makes
+/// the analysis enforce that at every call site.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires before returning.
+  /// Spurious wakeups are possible: always wait in a predicate loop.
+  void Wait(Mutex& mu) DYNVOTE_REQUIRES(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace dynvote

@@ -15,30 +15,43 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
-  Wait();
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    shutting_down_ = true;
-  }
-  work_available_.notify_all();
-  for (std::thread& t : workers_) t.join();
-}
+ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Submit(std::function<void()> task) {
   DYNVOTE_CHECK_MSG(task != nullptr, "null task submitted to ThreadPool");
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     DYNVOTE_CHECK_MSG(!shutting_down_, "Submit on a shut-down ThreadPool");
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr pending;
+  {
+    MutexLock lock(mutex_);
+    while (in_flight_ != 0) all_done_.Wait(mutex_);
+    pending = std::exchange(first_exception_, nullptr);
+  }
+  if (pending) std::rethrow_exception(pending);
+}
+
+void ThreadPool::Shutdown() {
+  {
+    MutexLock lock(mutex_);
+    while (in_flight_ != 0) all_done_.Wait(mutex_);
+    if (shutting_down_) return;  // second Shutdown(): workers already joined
+    shutting_down_ = true;
+    if (first_exception_ != nullptr) {
+      DYNVOTE_LOG(Warning)
+          << "ThreadPool shut down with an uncollected task exception";
+      first_exception_ = nullptr;
+    }
+  }
+  work_available_.NotifyAll();
+  for (std::thread& t : workers_) t.join();
 }
 
 int ThreadPool::DefaultThreads() {
@@ -50,18 +63,24 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(mutex_);
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      MutexLock lock(mutex_);
+      if (first_exception_ == nullptr) {
+        first_exception_ = std::current_exception();
+      }
+    }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -7,13 +7,14 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace dynvote {
 
@@ -21,23 +22,36 @@ namespace dynvote {
 ///
 /// Threading: Submit() and Wait() may be called from any thread, though
 /// the intended pattern is one coordinator thread submitting and waiting.
-/// Tasks must not throw; a task may Submit() further tasks.
+/// A task may Submit() further tasks. If a task throws, the first
+/// exception (in completion order) is captured and rethrown from the
+/// next Wait(); the remaining tasks still run to completion.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (clamped to >= 1).
   explicit ThreadPool(int num_threads);
 
-  /// Drains the queue, then joins all workers.
+  /// Equivalent to Shutdown(); a pending captured exception that no
+  /// Wait() collected is dropped with a warning.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Never blocks (the queue is unbounded).
-  void Submit(std::function<void()> task);
+  /// Enqueues a task. Never blocks (the queue is unbounded). It is a
+  /// fatal error to Submit() after Shutdown().
+  void Submit(std::function<void()> task) DYNVOTE_EXCLUDES(mutex_);
 
-  /// Blocks until every submitted task has finished running.
-  void Wait();
+  /// Blocks until every submitted task has finished running, then
+  /// rethrows the first exception any task threw since the last Wait()
+  /// (if any). The pool stays usable after a rethrow: the exception slot
+  /// is cleared and further Submit()/Wait() cycles behave normally.
+  void Wait() DYNVOTE_EXCLUDES(mutex_);
+
+  /// Drains the queue, joins all workers, and marks the pool shut down.
+  /// Idempotent: calling Shutdown() again (or destroying the pool after
+  /// an explicit Shutdown()) is a no-op. Never throws — an uncollected
+  /// task exception is logged and dropped.
+  void Shutdown() DYNVOTE_EXCLUDES(mutex_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
@@ -46,14 +60,19 @@ class ThreadPool {
   static int DefaultThreads();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() DYNVOTE_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;  // queued + currently executing
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ DYNVOTE_GUARDED_BY(mutex_);
+  std::size_t in_flight_ DYNVOTE_GUARDED_BY(mutex_) = 0;  // queued + running
+  bool shutting_down_ DYNVOTE_GUARDED_BY(mutex_) = false;
+  /// First exception thrown by a task since the last Wait(); later ones
+  /// are dropped (their tasks still complete).
+  std::exception_ptr first_exception_ DYNVOTE_GUARDED_BY(mutex_);
+  /// Written by the constructor, joined+cleared by Shutdown(); otherwise
+  /// read-only, so it needs no guard (coordinator-confined).
   std::vector<std::thread> workers_;
 };
 

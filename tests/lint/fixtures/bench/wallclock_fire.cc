@@ -1,0 +1,10 @@
+// Fixture: wall-clock time source in a bench (steady_clock is the
+// sanctioned alternative and must not fire).
+#include <chrono>
+
+double WallclockFixture() {
+  auto wall = std::chrono::system_clock::now();
+  auto mono = std::chrono::steady_clock::now();
+  return static_cast<double>(wall.time_since_epoch().count()) +
+         static_cast<double>(mono.time_since_epoch().count());
+}

@@ -1,0 +1,14 @@
+// Fixture: the same sources, all suppressed (same-line and previous-line
+// forms), plus a mention in a comment (std::rand) and inside a string
+// literal, neither of which may fire.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int NondetSeed() {
+  int a = std::rand();  // dynvote-lint: allow(nondeterminism)
+  // dynvote-lint: allow(nondeterminism)
+  std::random_device rd;
+  const char* msg = "docs say std::random_device is banned";
+  return a + static_cast<int>(rd()) + (msg != nullptr ? 1 : 0);
+}

@@ -1,0 +1,11 @@
+// Fixture: every banned nondeterminism source, unsuppressed.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int NondetSeed() {
+  int a = std::rand();
+  std::random_device rd;
+  long t = time(nullptr);
+  return a + static_cast<int>(rd()) + static_cast<int>(t);
+}

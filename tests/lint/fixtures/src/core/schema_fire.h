@@ -1,0 +1,5 @@
+// Fixture: one documented schema string and one undocumented one.
+#pragma once
+
+inline constexpr const char kDocumentedSchema[] = "dynvote-fixture-v1";
+inline constexpr const char kUndocumentedSchema[] = "dynvote-phantom-v3";

@@ -1,0 +1,8 @@
+// Fixture: raw standard-library mutex outside util/thread_annotations.h.
+#include <mutex>
+
+std::mutex g_fixture_mutex;
+
+void LockedFixture() {
+  std::lock_guard<std::mutex> lock(g_fixture_mutex);
+}

@@ -1,0 +1,7 @@
+// Fixture: unordered container in a result-affecting directory.
+#pragma once
+#include <unordered_map>
+
+struct Fixture {
+  std::unordered_map<int, int> by_id;
+};

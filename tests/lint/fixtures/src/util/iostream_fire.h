@@ -1,0 +1,7 @@
+// Fixture: the heavyweight stream header included from a header;
+// --fix rewrites the include to the forward-declaration header.
+#pragma once
+#include <iostream>
+#include <string>
+
+void PrintTo(std::ostream& os, const std::string& s);

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -88,6 +89,86 @@ TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
 
 TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
   EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+TEST(ThreadPoolTest, TaskExceptionPropagatesToWait) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&count, i] {
+      ++count;
+      if (i == 3) throw std::runtime_error("task 3 failed");
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // Every task still ran: one throwing task never cancels the batch.
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, WaitClearsTheExceptionSlot) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("once"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The pool stays usable and the next batch is unaffected.
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, FirstExceptionWinsLaterOnesAreDropped) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([] { throw std::runtime_error("boom"); });
+  }
+  // Exactly one rethrow regardless of how many tasks threw.
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  pool.Wait();  // slot cleared: second Wait returns normally
+}
+
+TEST(ThreadPoolTest, ShutdownRunsAllQueuedTasksBeforeReturning) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&count] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++count;
+    });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPoolTest, DoubleShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Shutdown();
+  pool.Shutdown();  // must not deadlock, double-join, or crash
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorAfterExplicitShutdownIsSafe) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    pool.Submit([&count] { ++count; });
+    pool.Shutdown();
+  }  // destructor's implicit Shutdown() must be a no-op
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ShutdownSwallowsUncollectedExceptions) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("never collected"); });
+  pool.Shutdown();  // must not throw or terminate
+}
+
+TEST(ThreadPoolDeathTest, SubmitAfterShutdownDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ThreadPool pool(1);
+  pool.Shutdown();
+  EXPECT_DEATH(pool.Submit([] {}), "shut-down ThreadPool");
 }
 
 }  // namespace

@@ -1,0 +1,127 @@
+// Command-line driver for the project lint. Exit codes: 0 clean,
+// 1 findings remain, 2 usage/IO error.
+//
+//   dynvote_lint [--json] [--fix] [--list-rules] <files-or-dirs>...
+//
+// Directories are walked recursively for .h/.hpp/.cc/.cpp/.md files in
+// sorted order, so output is stable for stable trees. Markdown inputs
+// participate only in the schema-docs cross-check — pass the docs
+// alongside the source to enable it (CI does).
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using dynvote::lint::FileInput;
+
+bool WantedExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" ||
+         ext == ".md";
+}
+
+bool ReadFileInto(const fs::path& path, std::vector<FileInput>* files) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "dynvote_lint: cannot read " << path.string() << "\n";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  files->push_back({path.generic_string(), buffer.str()});
+  return true;
+}
+
+bool CollectPath(const std::string& arg, std::vector<FileInput>* files) {
+  fs::path path(arg);
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    std::vector<fs::path> found;
+    for (const auto& entry : fs::recursive_directory_iterator(path, ec)) {
+      if (entry.is_regular_file() && WantedExtension(entry.path())) {
+        found.push_back(entry.path());
+      }
+    }
+    std::sort(found.begin(), found.end());
+    for (const fs::path& p : found) {
+      if (!ReadFileInto(p, files)) return false;
+    }
+    return true;
+  }
+  if (fs::is_regular_file(path, ec)) return ReadFileInto(path, files);
+  std::cerr << "dynvote_lint: no such file or directory: " << arg << "\n";
+  return false;
+}
+
+int Usage() {
+  std::cerr
+      << "usage: dynvote_lint [--json] [--fix] [--list-rules] <paths>...\n"
+         "  --json        machine-readable output (dynvote-lint-v1)\n"
+         "  --fix         rewrite fixable findings in place\n"
+         "  --list-rules  print the rule catalog and exit\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool fix = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--fix") {
+      fix = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : dynvote::lint::Rules()) {
+        std::cout << rule.name << "\n    " << rule.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "dynvote_lint: unknown flag " << arg << "\n";
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return Usage();
+
+  std::vector<FileInput> files;
+  for (const std::string& path : paths) {
+    if (!CollectPath(path, &files)) return 2;
+  }
+
+  dynvote::lint::Options options;
+  options.apply_fixes = fix;
+  dynvote::lint::RunResult result = dynvote::lint::RunLint(files, options);
+
+  for (const auto& [path, content] : result.fixes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "dynvote_lint: cannot write " << path << "\n";
+      return 2;
+    }
+    out << content;
+  }
+
+  if (json) {
+    std::cout << dynvote::lint::ToJson(result);
+  } else {
+    std::cout << dynvote::lint::ToText(result);
+  }
+  return result.findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,565 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <iterator>
+#include <regex>
+#include <set>
+#include <string_view>
+#include <utility>
+
+namespace dynvote {
+namespace lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Path classification
+
+struct PathInfo {
+  bool in_src = false;
+  bool in_bench = false;
+  bool in_tools = false;
+  bool is_header = false;
+  bool is_code = false;      // .h/.hpp/.cc/.cpp
+  bool is_markdown = false;  // .md
+  std::string src_dir;       // "core", "util", ... when in_src
+  std::string filename;      // last component
+};
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+PathInfo ClassifyPath(const std::string& raw_path) {
+  std::string path = raw_path;
+  std::replace(path.begin(), path.end(), '\\', '/');
+
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    std::size_t slash = path.find('/', start);
+    if (slash == std::string::npos) slash = path.size();
+    if (slash > start) parts.push_back(path.substr(start, slash - start));
+    start = slash + 1;
+  }
+
+  PathInfo info;
+  if (!parts.empty()) info.filename = parts.back();
+  info.is_header = EndsWith(path, ".h") || EndsWith(path, ".hpp");
+  info.is_code = info.is_header || EndsWith(path, ".cc") ||
+                 EndsWith(path, ".cpp");
+  info.is_markdown = EndsWith(path, ".md");
+
+  // The last marker component wins, so absolute checkout prefixes (which
+  // may themselves contain "src") never misclassify.
+  for (std::size_t i = parts.size(); i-- > 0;) {
+    const std::string& part = parts[i];
+    if (part == "src" || part == "bench" || part == "tools") {
+      info.in_src = part == "src";
+      info.in_bench = part == "bench";
+      info.in_tools = part == "tools";
+      // src_dir needs both a directory and a filename after "src".
+      if (info.in_src && i + 2 < parts.size()) {
+        info.src_dir = parts[i + 1];
+      }
+      break;
+    }
+  }
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// Line preprocessing: comment stripping, literal blanking, suppressions,
+// include parsing.
+
+struct Line {
+  std::string raw;
+  std::string code;        // comments stripped, string/char contents blanked
+  std::string include;     // include target when the line is an #include
+  bool include_angle = false;
+  std::set<std::string> allows;   // rules suppressed on this line
+  bool pure_suppression = false;  // comment-only line carrying an allow()
+};
+
+const std::regex kAllowRe(R"(dynvote-lint:\s*allow\(([^)\n]*)\))");
+const std::regex kIncludeRe(R"(^\s*#\s*include\s*([<"])([^>"]+)[>"])");
+
+void ParseAllows(const std::string& raw, std::set<std::string>* allows) {
+  auto begin = std::sregex_iterator(raw.begin(), raw.end(), kAllowRe);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    std::string list = (*it)[1].str();
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+      std::size_t comma = list.find(',', pos);
+      if (comma == std::string::npos) comma = list.size();
+      std::string name = list.substr(pos, comma - pos);
+      name.erase(0, name.find_first_not_of(" \t"));
+      std::size_t last = name.find_last_not_of(" \t:");
+      name.erase(last == std::string::npos ? 0 : last + 1);
+      if (!name.empty()) allows->insert(name);
+      pos = comma + 1;
+    }
+  }
+}
+
+/// Splits `content` into lines, stripping comments and blanking string
+/// and char literal contents in `code` (so tokens mentioned in comments,
+/// docstrings or messages never trip a rule). Tracks /* */ state across
+/// lines. Raw string literals are not special-cased — the tree has none,
+/// and the repo_lint run would surface a misparse as a stray finding.
+std::vector<Line> SplitLines(const std::string& content) {
+  std::vector<Line> lines;
+  bool in_block_comment = false;
+  std::size_t start = 0;
+  while (start <= content.size()) {
+    std::size_t end = content.find('\n', start);
+    if (end == std::string::npos) end = content.size();
+    Line line;
+    line.raw = content.substr(start, end - start);
+
+    std::string code;
+    code.reserve(line.raw.size());
+    bool in_string = false;
+    bool in_char = false;
+    for (std::size_t i = 0; i < line.raw.size(); ++i) {
+      char c = line.raw[i];
+      char next = i + 1 < line.raw.size() ? line.raw[i + 1] : '\0';
+      if (in_block_comment) {
+        if (c == '*' && next == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+        code.push_back(' ');
+        continue;
+      }
+      if (in_string || in_char) {
+        char quote = in_string ? '"' : '\'';
+        if (c == '\\') {
+          code.push_back(' ');
+          if (next != '\0') {
+            code.push_back(' ');
+            ++i;
+          }
+        } else if (c == quote) {
+          in_string = in_char = false;
+          code.push_back(c);
+        } else {
+          code.push_back(' ');
+        }
+        continue;
+      }
+      if (c == '/' && next == '/') break;  // rest of line is a comment
+      if (c == '/' && next == '*') {
+        in_block_comment = true;
+        code.push_back(' ');
+        code.push_back(' ');
+        ++i;
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+        code.push_back(c);
+        continue;
+      }
+      if (c == '\'') {
+        in_char = true;
+        code.push_back(c);
+        continue;
+      }
+      code.push_back(c);
+    }
+    line.code = std::move(code);
+
+    std::smatch inc;
+    if (std::regex_search(line.raw, inc, kIncludeRe)) {
+      line.include = inc[2].str();
+      line.include_angle = inc[1].str() == "<";
+    }
+
+    ParseAllows(line.raw, &line.allows);
+    if (!line.allows.empty()) {
+      std::size_t first = line.raw.find_first_not_of(" \t");
+      line.pure_suppression =
+          first != std::string::npos && line.raw.compare(first, 2, "//") == 0;
+    }
+
+    lines.push_back(std::move(line));
+    if (end == content.size()) break;
+    start = end + 1;
+  }
+  return lines;
+}
+
+bool IsAllowed(const std::vector<Line>& lines, std::size_t index,
+               const std::string& rule) {
+  if (lines[index].allows.count(rule) != 0) return true;
+  // A comment-only allow() line suppresses the line that follows it.
+  return index > 0 && lines[index - 1].pure_suppression &&
+         lines[index - 1].allows.count(rule) != 0;
+}
+
+// ---------------------------------------------------------------------------
+// Token rules (data-driven)
+
+enum class Scope {
+  kSrcAndBench,        // all of src/ + bench/
+  kSrcExceptObsBench,  // src/ except src/obs, plus bench/
+  kResultAffecting,    // src/core, src/sim, src/repl, src/stats
+  kAllCode,            // src/ + bench/ + tools/
+};
+
+struct TokenRuleSpec {
+  const char* rule;
+  const char* pattern;
+  Scope scope;
+  const char* message;  // "%s" is replaced with the matched token
+};
+
+const TokenRuleSpec kTokenRules[] = {
+    {"nondeterminism",
+     R"((std::s?rand\b|\bsrand\s*\(|std::random_device\b)"
+     R"(|\btime\s*\(\s*(nullptr|NULL|0)\s*\)))",
+     Scope::kSrcAndBench,
+     "banned nondeterminism source `%s`: results must be a pure function "
+     "of the seed; use the seeded RNGs in util/rng.h"},
+    {"wall-clock", R"(\bsystem_clock\b)", Scope::kSrcExceptObsBench,
+     "wall-clock `%s` outside src/obs breaks replay determinism; use "
+     "steady_clock for durations or SimTime for simulated time"},
+    {"unordered-container",
+     R"(std::unordered_(map|set|multimap|multiset)\b)",
+     Scope::kResultAffecting,
+     "`%s` in a result-affecting path: iteration order is unspecified "
+     "and can leak into outputs; use a sorted container, or audit every "
+     "use and suppress with a proof comment"},
+    {"raw-mutex",
+     R"(std::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex)"
+     R"(|shared_mutex|shared_timed_mutex|condition_variable)"
+     R"(|condition_variable_any)\b)",
+     Scope::kAllCode,
+     "raw `%s` outside util/thread_annotations.h: use dynvote::Mutex / "
+     "MutexLock / CondVar so clang thread-safety analysis can see it"},
+};
+
+bool InScope(const TokenRuleSpec& spec, const PathInfo& info) {
+  if (!info.is_code) return false;
+  switch (spec.scope) {
+    case Scope::kSrcAndBench:
+      return info.in_src || info.in_bench;
+    case Scope::kSrcExceptObsBench:
+      return (info.in_src && info.src_dir != "obs") || info.in_bench;
+    case Scope::kResultAffecting:
+      return info.in_src &&
+             (info.src_dir == "core" || info.src_dir == "sim" ||
+              info.src_dir == "repl" || info.src_dir == "stats");
+    case Scope::kAllCode:
+      return info.in_src || info.in_bench || info.in_tools;
+  }
+  return false;
+}
+
+std::string FormatMessage(const char* format, const std::string& token) {
+  std::string out = format;
+  std::size_t pos = out.find("%s");
+  if (pos != std::string::npos) out.replace(pos, 2, token);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Layering rule: the include DAG between src/ directories. A directory
+// may include only the listed directories (itself always included).
+// Keep in sync with the diagram in docs/static_analysis.md.
+
+const std::map<std::string, std::set<std::string>>& AllowedDeps() {
+  static const std::map<std::string, std::set<std::string>> kDeps = {
+      {"util", {"util"}},
+      {"obs", {"obs", "util"}},
+      {"repl", {"repl", "util"}},
+      {"net", {"net", "obs", "util"}},
+      {"sim", {"sim", "obs", "util"}},
+      {"core", {"core", "net", "obs", "repl", "util"}},
+      {"stats", {"stats", "sim", "obs", "util"}},
+      {"kv", {"kv", "core", "net", "obs", "util"}},
+      {"model",
+       {"model", "core", "net", "obs", "repl", "sim", "stats", "util"}},
+      {"check", {"check", "core", "kv", "net", "obs", "repl", "util"}},
+  };
+  return kDeps;
+}
+
+std::string JoinSet(const std::set<std::string>& s) {
+  std::string out;
+  for (const std::string& e : s) {
+    if (!out.empty()) out += ", ";
+    out += e;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Schema rule
+
+const std::regex kSchemaRe(R"(dynvote-[a-z0-9]+(-[a-z0-9]+)*-v[0-9]+)");
+
+struct SchemaSighting {
+  std::string file;
+  int line = 0;
+};
+
+void CollectSchemas(const std::vector<Line>& lines, const std::string& path,
+                    std::map<std::string, SchemaSighting>* out) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (IsAllowed(lines, i, "schema-docs")) continue;
+    const std::string& raw = lines[i].raw;
+    auto begin = std::sregex_iterator(raw.begin(), raw.end(), kSchemaRe);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      std::string token = it->str();
+      if (out->find(token) == out->end()) {
+        (*out)[token] = {path, static_cast<int>(i + 1)};
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSON helpers
+
+void AppendJsonString(std::string_view value, std::string* out) {
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+RunResult RunLint(const std::vector<FileInput>& files, const Options& opts) {
+  RunResult result;
+  result.files_scanned = static_cast<int>(files.size());
+
+  std::map<std::string, SchemaSighting> code_schemas;
+  std::map<std::string, SchemaSighting> doc_schemas;
+  bool saw_code = false;
+  bool saw_markdown = false;
+
+  std::vector<std::regex> token_regexes;
+  token_regexes.reserve(std::size(kTokenRules));
+  for (const TokenRuleSpec& spec : kTokenRules) {
+    token_regexes.emplace_back(spec.pattern);
+  }
+
+  for (const FileInput& file : files) {
+    PathInfo info = ClassifyPath(file.path);
+    std::vector<Line> lines = SplitLines(file.content);
+
+    if (info.is_markdown) {
+      saw_markdown = true;
+      CollectSchemas(lines, file.path, &doc_schemas);
+      continue;
+    }
+    if (!info.is_code) continue;
+    if (info.in_src || info.in_bench || info.in_tools) {
+      saw_code = true;
+      CollectSchemas(lines, file.path, &code_schemas);
+    }
+
+    bool fixed_any = false;
+    std::vector<std::string> fixed_lines;
+    fixed_lines.reserve(lines.size());
+
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const Line& line = lines[i];
+      std::string fixed_line = line.raw;
+
+      // Token rules.
+      const bool exempt_annotations_header =
+          info.in_src && info.src_dir == "util" &&
+          info.filename == "thread_annotations.h";
+      for (std::size_t r = 0; r < std::size(kTokenRules); ++r) {
+        const TokenRuleSpec& spec = kTokenRules[r];
+        if (!InScope(spec, info)) continue;
+        if (spec.rule == std::string_view("raw-mutex") &&
+            exempt_annotations_header) {
+          continue;
+        }
+        std::smatch m;
+        if (!std::regex_search(line.code, m, token_regexes[r])) continue;
+        if (IsAllowed(lines, i, spec.rule)) continue;
+        result.findings.push_back({spec.rule, file.path,
+                                   static_cast<int>(i + 1),
+                                   FormatMessage(spec.message, m.str()),
+                                   false});
+      }
+
+      // Include rules.
+      if (!line.include.empty()) {
+        if (line.include_angle && line.include == "iostream" &&
+            info.is_header &&
+            (info.in_src || info.in_bench || info.in_tools) &&
+            !IsAllowed(lines, i, "iostream-header")) {
+          std::size_t pos = fixed_line.find("<iostream>");
+          if (opts.apply_fixes && pos != std::string::npos) {
+            fixed_line.replace(pos, 10, "<iosfwd>");
+            fixed_any = true;
+            ++result.fixes_applied;
+          } else {
+            result.findings.push_back(
+                {"iostream-header", file.path, static_cast<int>(i + 1),
+                 "<iostream> in a header drags static stream initializers "
+                 "into every includer; use <iosfwd>/<ostream> and move the "
+                 "heavy include to the .cc",
+                 true});
+          }
+        }
+        if (!line.include_angle && info.in_src && !info.src_dir.empty()) {
+          auto dir_it = AllowedDeps().find(info.src_dir);
+          std::size_t slash = line.include.find('/');
+          if (dir_it != AllowedDeps().end() && slash != std::string::npos) {
+            std::string dep = line.include.substr(0, slash);
+            if (AllowedDeps().count(dep) == 0) {
+              if (!IsAllowed(lines, i, "layering")) {
+                result.findings.push_back(
+                    {"layering", file.path, static_cast<int>(i + 1),
+                     "include of unknown src directory `" + dep +
+                         "`; add it to the layering table in "
+                         "tools/lint/lint.cc and docs/static_analysis.md",
+                     false});
+              }
+            } else if (dir_it->second.count(dep) == 0 &&
+                       !IsAllowed(lines, i, "layering")) {
+              result.findings.push_back(
+                  {"layering", file.path, static_cast<int>(i + 1),
+                   "src/" + info.src_dir + " must not include src/" + dep +
+                       " (allowed: " + JoinSet(dir_it->second) + ")",
+                   false});
+            }
+          }
+        }
+      }
+
+      fixed_lines.push_back(std::move(fixed_line));
+    }
+
+    if (fixed_any) {
+      std::string fixed;
+      fixed.reserve(file.content.size());
+      for (std::size_t i = 0; i < fixed_lines.size(); ++i) {
+        fixed += fixed_lines[i];
+        // Preserve the original trailing-newline shape.
+        if (i + 1 < fixed_lines.size() ||
+            (!file.content.empty() && file.content.back() == '\n')) {
+          fixed += '\n';
+        }
+      }
+      result.fixes[file.path] = std::move(fixed);
+    }
+  }
+
+  // Schema cross-check: only meaningful when both sides were scanned.
+  if (saw_code && saw_markdown) {
+    for (const auto& [token, where] : code_schemas) {
+      if (doc_schemas.find(token) == doc_schemas.end()) {
+        result.findings.push_back(
+            {"schema-docs", where.file, where.line,
+             "schema string `" + token +
+                 "` appears in source but in none of the scanned docs; "
+                 "document it (or retire it)",
+             false});
+      }
+    }
+    for (const auto& [token, where] : doc_schemas) {
+      if (code_schemas.find(token) == code_schemas.end()) {
+        result.findings.push_back(
+            {"schema-docs", where.file, where.line,
+             "schema string `" + token +
+                 "` appears in docs but nowhere in the scanned source; "
+                 "fix the doc (stale version?)",
+             false});
+      }
+    }
+  }
+
+  return result;
+}
+
+std::string ToJson(const RunResult& result) {
+  std::string out;
+  out.append("{\n  \"schema\": \"");
+  out.append(kLintSchema);
+  out.append("\",\n  \"files_scanned\": ");
+  out.append(std::to_string(result.files_scanned));
+  out.append(",\n  \"fixes_applied\": ");
+  out.append(std::to_string(result.fixes_applied));
+  out.append(",\n  \"findings\": [");
+  bool first = true;
+  for (const Finding& f : result.findings) {
+    out.append(first ? "\n    {" : ",\n    {");
+    first = false;
+    out.append("\"rule\": ");
+    AppendJsonString(f.rule, &out);
+    out.append(", \"file\": ");
+    AppendJsonString(f.file, &out);
+    out.append(", \"line\": ");
+    out.append(std::to_string(f.line));
+    out.append(", \"message\": ");
+    AppendJsonString(f.message, &out);
+    out.append(", \"fixable\": ");
+    out.append(f.fixable ? "true" : "false");
+    out.push_back('}');
+  }
+  out.append(first ? "]" : "\n  ]");
+  out.append("\n}\n");
+  return out;
+}
+
+std::string ToText(const RunResult& result) {
+  std::string out;
+  for (const Finding& f : result.findings) {
+    out += f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+           f.message + "\n";
+  }
+  out += std::to_string(result.findings.size()) + " finding(s) in " +
+         std::to_string(result.files_scanned) + " file(s) scanned";
+  if (result.fixes_applied > 0) {
+    out += ", " + std::to_string(result.fixes_applied) + " fix(es) applied";
+  }
+  out += ".\n";
+  return out;
+}
+
+std::vector<RuleInfo> Rules() {
+  std::vector<RuleInfo> rules;
+  for (const TokenRuleSpec& spec : kTokenRules) {
+    rules.push_back({spec.rule, FormatMessage(spec.message, "<token>")});
+  }
+  rules.push_back({"iostream-header",
+                   "#include <iostream> in a header under src/, bench/ or "
+                   "tools/ (fixable: rewrites to <iosfwd>)"});
+  rules.push_back({"layering",
+                   "inter-directory includes in src/ must follow the "
+                   "layering DAG (util < obs < {net,sim,repl} < core < "
+                   "{kv,stats} < {model,check})"});
+  rules.push_back({"schema-docs",
+                   "every dynvote-*-vN schema string must appear in both "
+                   "the source and the scanned docs"});
+  return rules;
+}
+
+}  // namespace lint
+}  // namespace dynvote

@@ -1,0 +1,81 @@
+// dynvote_lint: project-rule static checks too repo-specific for a
+// general linter, encoded as data-driven line/token rules over the
+// source tree (no compiler or libclang dependency, so the lint runs in
+// milliseconds and anywhere the tree checks out).
+//
+// Rules (see docs/static_analysis.md for the full catalog):
+//   nondeterminism      banned RNG/time sources in src/ and bench/
+//   wall-clock          std::chrono::system_clock outside src/obs
+//   unordered-container std::unordered_{map,set} in result-affecting dirs
+//   iostream-header     #include <iostream> in a header (fixable)
+//   raw-mutex           std::mutex & friends outside thread_annotations.h
+//   layering            inter-directory include DAG violations in src/
+//   schema-docs         dynvote-*-vN strings must match source <-> docs
+//
+// Suppression: append `// dynvote-lint: allow(<rule>[, <rule>...])` to
+// the offending line, or place that comment alone on the line above.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dynvote {
+namespace lint {
+
+/// Lint JSON output schema identifier (--json); bump on field changes.
+inline constexpr const char kLintSchema[] = "dynvote-lint-v1";
+
+/// One file to scan. `path` drives rule scoping (src/core vs bench vs
+/// docs); it may be absolute or repo-relative — classification keys off
+/// the last `src/`, `bench/`, `tools/` or `docs/` path component.
+struct FileInput {
+  std::string path;
+  std::string content;
+};
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  int line = 0;  // 1-based
+  std::string message;
+  bool fixable = false;
+};
+
+struct Options {
+  /// Rewrite fixable findings (the include rules) instead of reporting
+  /// them; fixed contents land in RunResult::fixes.
+  bool apply_fixes = false;
+};
+
+struct RunResult {
+  /// Remaining findings, in input-file order then line order.
+  std::vector<Finding> findings;
+  int files_scanned = 0;
+  int fixes_applied = 0;
+  /// path -> full replacement content for files --fix rewrote.
+  std::map<std::string, std::string> fixes;
+};
+
+/// Runs every rule over `files`. The schema-docs cross-check only runs
+/// when the input contains at least one markdown file and one source
+/// file (linting a lone .cc must not demand the docs be re-passed).
+RunResult RunLint(const std::vector<FileInput>& files, const Options& opts);
+
+/// Renders findings as dynvote-lint-v1 JSON (stable key order).
+std::string ToJson(const RunResult& result);
+
+/// Renders findings as `file:line: [rule] message` lines + a summary.
+std::string ToText(const RunResult& result);
+
+struct RuleInfo {
+  std::string name;
+  std::string summary;
+};
+
+/// The rule catalog, for --list-rules and the docs cross-check tests.
+std::vector<RuleInfo> Rules();
+
+}  // namespace lint
+}  // namespace dynvote
