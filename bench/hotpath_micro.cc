@@ -26,6 +26,7 @@
 // baseline's ns_per_op and the speedup ratio. New benchmarks may be
 // appended, but existing names and fields must keep their meaning.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -40,6 +41,8 @@
 #include "model/experiment.h"
 #include "model/site_profile.h"
 #include "net/network_state.h"
+#include "obs/async_writer.h"
+#include "obs/binary_trace.h"
 #include "obs/context.h"
 #include "obs/schemas.h"
 #include "obs/trace_sink.h"
@@ -413,9 +416,11 @@ void BenchExperimentYear(double min_ms, std::vector<BenchEntry>* out) {
 
 /// Tracing overhead on the same experiment-year unit: observability
 /// disabled (instrumentation reduces to one never-taken branch per
-/// site), a bounded in-memory ring sink, and full JSONL serialization.
-/// Both traced entries report their slowdown against the off run via the
-/// "trace-off" baseline.
+/// site), a bounded in-memory ring sink, full JSONL serialization, and
+/// the binary encoder paged through the async writer thread. The traced
+/// entries report their slowdown against the off run via the
+/// "trace-off" baseline; CI gates experiment_year_trace_binary_async at
+/// 1.3x of trace-off.
 void BenchTracingOverhead(double min_ms, std::vector<BenchEntry>* out) {
   auto paper = MakePaperNetwork();
   ExperimentSpec spec;
@@ -439,9 +444,85 @@ void BenchTracingOverhead(double min_ms, std::vector<BenchEntry>* out) {
     }
   };
 
-  BenchEntry off =
-      Measure("experiment_year_trace_off", min_ms,
-              [&](std::uint64_t iters) { run(nullptr, iters); });
+  // The gated pair — trace-off and the shipping binary pipeline — is
+  // measured in alternating rounds with the minimum taken per side: on
+  // a shared machine, measuring each side once back to back folds
+  // scheduling drift straight into the ratio the CI gate checks, and
+  // the per-round minimum is the standard least-interference estimator
+  // there (medians still carry whatever load coincided with most
+  // rounds).
+  std::ostringstream binary_buffer;
+  StreamPageSink page_sink(&binary_buffer);
+  AsyncTraceSink async_sink(&page_sink);
+  BinaryTraceSink binary_sink(&async_sink);
+  ObsContext binary_obs;
+  binary_obs.sink = &binary_sink;
+  auto run_binary = [&](std::uint64_t iters) {
+    // Rewind (rather than reset) the buffer so the probe measures the
+    // pipeline: a fresh str() would make the stream re-grow its buffer
+    // every iteration, charging allocator churn a real file run never
+    // pays. Rewinding is only safe while the writer is parked, so it
+    // happens once per round, outside the timed iterations' async
+    // writes; the Flush() draining the writer likewise closes the
+    // round rather than each iteration — a real traced run drains once
+    // before closing the file, not per simulated year.
+    binary_buffer.seekp(0);
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      spec.options.seed = 1 + i;
+      spec.obs = &binary_obs;
+      auto protocols =
+          MakePaperProtocols(paper->topology, kFiveCopyPlacement);
+      auto results = RunAvailabilityExperiment(spec, std::move(protocols));
+      if (!results.ok()) {
+        std::cerr << results.status() << "\n";
+        std::exit(1);
+      }
+    }
+    binary_sink.Flush();
+  };
+
+  using Clock = std::chrono::steady_clock;
+  auto timed = [](auto&& body, std::uint64_t iters) {
+    auto t0 = Clock::now();
+    body(iters);
+    auto t1 = Clock::now();
+    return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+           static_cast<double>(iters);
+  };
+
+  // Calibrate a round length on the cheap side, then alternate rounds.
+  std::uint64_t round_iters = 1;
+  for (;;) {
+    auto t0 = Clock::now();
+    run(nullptr, round_iters);
+    auto t1 = Clock::now();
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms >= min_ms / 4.0) break;
+    round_iters *= 2;
+  }
+  constexpr int kRounds = 7;
+  std::vector<double> off_ns, binary_ns;
+  for (int r = 0; r < kRounds; ++r) {
+    // Swap the order every round so slow drift cancels instead of
+    // biasing one side.
+    if (r % 2 == 0) {
+      off_ns.push_back(
+          timed([&](std::uint64_t n) { run(nullptr, n); }, round_iters));
+      binary_ns.push_back(timed(run_binary, round_iters));
+    } else {
+      binary_ns.push_back(timed(run_binary, round_iters));
+      off_ns.push_back(
+          timed([&](std::uint64_t n) { run(nullptr, n); }, round_iters));
+    }
+  }
+  auto best = [](const std::vector<double>& v) {
+    return *std::min_element(v.begin(), v.end());
+  };
+
+  BenchEntry off;
+  off.name = "experiment_year_trace_off";
+  off.ops = round_iters * kRounds;
+  off.ns_per_op = best(off_ns);
 
   RingTraceSink ring_sink;
   ObsContext ring_obs;
@@ -458,9 +539,11 @@ void BenchTracingOverhead(double min_ms, std::vector<BenchEntry>* out) {
       Measure("experiment_year_trace_jsonl", min_ms,
               [&](std::uint64_t iters) {
                 for (std::uint64_t i = 0; i < iters; ++i) {
-                  // Reset the buffer so the probe measures serialization,
-                  // not unbounded string growth across iterations.
-                  trace_buffer.str(std::string());
+                  // Rewind (rather than reset) the buffer so the probe
+                  // measures serialization: a fresh str() would make the
+                  // stream re-grow its buffer every iteration, charging
+                  // allocator churn a real file run never pays.
+                  trace_buffer.seekp(0);
                   spec.options.seed = 1 + i;
                   spec.obs = &jsonl_obs;
                   auto protocols =
@@ -474,13 +557,30 @@ void BenchTracingOverhead(double min_ms, std::vector<BenchEntry>* out) {
                 }
               });
 
+  // The shipping pipeline (binary encoding into pages, drained by a
+  // writer thread into an in-memory stream so the probe measures the
+  // pipeline, not this machine's disk) was measured in the alternating
+  // rounds above.
+  if (!binary_sink.ok()) {
+    std::cerr << "binary trace pipeline failed: " << binary_sink.error()
+              << "\n";
+    std::exit(1);
+  }
+  BenchEntry binary;
+  binary.name = "experiment_year_trace_binary_async";
+  binary.ops = round_iters * kRounds;
+  binary.ns_per_op = best(binary_ns);
+
   ring.baseline = "trace-off";
   ring.baseline_ns_per_op = off.ns_per_op;
   jsonl.baseline = "trace-off";
   jsonl.baseline_ns_per_op = off.ns_per_op;
+  binary.baseline = "trace-off";
+  binary.baseline_ns_per_op = off.ns_per_op;
   out->push_back(off);
   out->push_back(ring);
   out->push_back(jsonl);
+  out->push_back(binary);
 }
 
 // ---------------------------------------------------------------------

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/binary_trace.h"
+
 namespace dynvote {
 namespace {
 
@@ -97,17 +99,24 @@ void ConsistencyProtocol::EmitCacheHitSlow(std::uint64_t group_mask,
                                            AccessType type,
                                            bool granted) const {
   if (obs_->sink != nullptr) {
-    TraceEvent event;
-    event.type = TraceEventType::kQuorum;
-    event.t = obs_->now;
-    event.replication = obs_->replication;
-    event.seq = obs_->seq;
-    event.protocol = name();
-    event.write = type == AccessType::kWrite;
-    event.granted = granted;
-    event.reason = QuorumReason::kCacheHit;
-    event.group = group_mask;
-    obs_->sink->Write(event);
+    TraceSink* sink = obs_->sink;
+    QuorumSetMasks sets;
+    sets.group = group_mask;
+    // Devirtualized fast path (see TraceSink::fast_path): cache hits are
+    // the highest-rate event in the simulation; the direct encoder call
+    // folds the binary cache-hit special case away and skips the virtual
+    // name() lookup — the cached label already names the protocol.
+    if (trace_label_.BinaryHit(sink)) {
+      static_cast<BinaryTraceSink*>(sink)->EncodeQuorum(
+          obs_->now, obs_->seq, obs_->replication, trace_label_.id,
+          type == AccessType::kWrite, granted, QuorumReason::kCacheHit, sets);
+    } else {
+      const std::string& proto = name();
+      sink->WriteQuorum(obs_->now, obs_->seq, obs_->replication, proto,
+                        trace_label_.Resolve(sink, proto),
+                        type == AccessType::kWrite, granted,
+                        QuorumReason::kCacheHit, sets);
+    }
   }
   if (obs_->metrics != nullptr) {
     obs_->metrics->Add(ProtocolKey("quorum_cache_hits", name()));
@@ -117,23 +126,27 @@ void ConsistencyProtocol::EmitCacheHitSlow(std::uint64_t group_mask,
 void ConsistencyProtocol::EmitQuorumDecisionSlow(
     std::uint64_t group_mask, const QuorumDecision& decision) const {
   if (obs_->sink != nullptr) {
-    TraceEvent event;
-    event.type = TraceEventType::kQuorum;
-    event.t = obs_->now;
-    event.replication = obs_->replication;
-    event.seq = obs_->seq;
-    event.protocol = name();
+    TraceSink* sink = obs_->sink;
+    QuorumSetMasks sets;
+    sets.group = group_mask;
+    sets.r = decision.reachable_copies.mask();
+    sets.q = decision.quorum_set.mask();
+    sets.s = decision.current_set.mask();
+    sets.t = decision.counted_set.mask();
+    sets.pm = decision.prev_partition.mask();
     // The dynamic-voting quorum test is access-type independent; quorum
     // events carry write=false uniformly.
-    event.granted = decision.granted;
-    event.reason = decision.reason;
-    event.group = group_mask;
-    event.set_r = decision.reachable_copies.mask();
-    event.set_q = decision.quorum_set.mask();
-    event.set_s = decision.current_set.mask();
-    event.set_t = decision.counted_set.mask();
-    event.set_pm = decision.prev_partition.mask();
-    obs_->sink->Write(event);
+    if (trace_label_.BinaryHit(sink)) {
+      static_cast<BinaryTraceSink*>(sink)->EncodeQuorum(
+          obs_->now, obs_->seq, obs_->replication, trace_label_.id,
+          /*write=*/false, decision.granted, decision.reason, sets);
+    } else {
+      const std::string& proto = name();
+      sink->WriteQuorum(obs_->now, obs_->seq, obs_->replication, proto,
+                        trace_label_.Resolve(sink, proto),
+                        /*write=*/false, decision.granted, decision.reason,
+                        sets);
+    }
   }
   if (obs_->metrics != nullptr) {
     obs_->metrics->Add(ReasonKey("quorum_evaluations", name(),
@@ -152,17 +165,17 @@ void ConsistencyProtocol::EmitUserAccessAsSlow(AccessType type, bool granted,
                                                SiteId origin,
                                                QuorumReason reason) const {
   if (obs_->sink != nullptr) {
-    TraceEvent event;
-    event.type = TraceEventType::kAccess;
-    event.t = obs_->now;
-    event.replication = obs_->replication;
-    event.seq = obs_->seq;
-    event.protocol = name();
-    event.write = type == AccessType::kWrite;
-    event.origin = origin;
-    event.granted = granted;
-    event.reason = reason;
-    obs_->sink->Write(event);
+    TraceSink* sink = obs_->sink;
+    if (trace_label_.BinaryHit(sink)) {
+      static_cast<BinaryTraceSink*>(sink)->EncodeAccess(
+          obs_->now, obs_->seq, obs_->replication, trace_label_.id,
+          type == AccessType::kWrite, granted, reason, origin);
+    } else {
+      const std::string& proto = name();
+      sink->WriteAccess(obs_->now, obs_->seq, obs_->replication, proto,
+                        trace_label_.Resolve(sink, proto),
+                        type == AccessType::kWrite, granted, reason, origin);
+    }
   }
   if (obs_->metrics != nullptr) {
     obs_->metrics->Add(ProtocolKey("accesses_attempted", name()));

@@ -278,6 +278,10 @@ class ConsistencyProtocol {
   ObsContext* obs_ = nullptr;
   bool quorum_cache_enabled_ = true;
   mutable QuorumCache quorum_cache_;
+  /// The sink's RegisterLabel() token for name(), re-registered whenever
+  /// the sink changes; lets the typed trace writes skip per-event string
+  /// interning.
+  mutable TraceLabelCache trace_label_;
 };
 
 }  // namespace dynvote

@@ -6,6 +6,8 @@
 
 #include "core/registry.h"
 #include "model/failure_model.h"
+#include "obs/async_writer.h"
+#include "obs/binary_trace.h"
 #include "obs/context.h"
 #include "obs/trace_sink.h"
 #include "util/logging.h"
@@ -44,11 +46,19 @@ ReplicationSlot RunOneReplication(const ExperimentSpec& base,
   ExperimentSpec spec = base;  // private copy; only options.seed differs
   spec.options.seed = seed;
 
+  // Both sinks write to the worker-private buffer; which one the context
+  // points at is the only format difference, so binary collection keeps
+  // the same confinement (and thus the same determinism contract).
   std::ostringstream trace_out;
-  JsonlTraceSink trace_sink(&trace_out);
+  JsonlTraceSink jsonl_sink(&trace_out);
+  StreamPageSink trace_pages(&trace_out);
+  BinaryTraceSink binary_sink(&trace_pages);
+  TraceSink* trace_sink = options.trace_format == TraceFormat::kBinary
+                              ? static_cast<TraceSink*>(&binary_sink)
+                              : &jsonl_sink;
   ObsContext ctx;
   ctx.replication = replication;
-  if (options.collect_traces) ctx.sink = &trace_sink;
+  if (options.collect_traces) ctx.sink = trace_sink;
   if (options.collect_metrics) ctx.metrics = &slot.metrics;
   spec.obs = options.collect_traces || options.collect_metrics ? &ctx
                                                                : nullptr;
@@ -59,7 +69,15 @@ ReplicationSlot RunOneReplication(const ExperimentSpec& base,
     return slot;
   }
   slot.rows = rows.MoveValue();
-  if (options.collect_traces) slot.trace = trace_out.str();
+  if (options.collect_traces) {
+    trace_sink->Flush();  // binary: hand off the final partial page
+    if (!trace_sink->ok()) {
+      slot.status = Status::Internal("trace collection failed: " +
+                                     trace_sink->error());
+      return slot;
+    }
+    slot.trace = trace_out.str();
+  }
   return slot;
 }
 

@@ -34,6 +34,12 @@
 
 namespace dynvote {
 
+/// Wire format for collected traces.
+enum class TraceFormat {
+  kJsonl,   ///< dynvote-trace-v1 JSONL lines
+  kBinary,  ///< dynvote-btrace-v1 length-prefixed binary records
+};
+
 /// How many replications to run and how wide to fan out.
 struct ReplicationOptions {
   /// Number of independent replications (>= 1).
@@ -41,11 +47,13 @@ struct ReplicationOptions {
   /// Worker threads; 1 = run inline on the calling thread, 0 = one per
   /// hardware thread. Never affects results, only wall-clock time.
   int jobs = 1;
-  /// Collect a JSONL trace per replication into ReplicatedResults::traces.
+  /// Collect a trace per replication into ReplicatedResults::traces.
   /// Each worker writes into its own buffer (never a shared sink), so
   /// traces are bit-identical for any `jobs` value — as are the
   /// statistical outputs, which tracing never perturbs.
   bool collect_traces = false;
+  /// Encoding of the collected trace bodies.
+  TraceFormat trace_format = TraceFormat::kJsonl;
   /// Collect metrics into per-replication shards, merged in replication
   /// order into ReplicatedResults::metrics at join.
   bool collect_metrics = false;
@@ -84,8 +92,11 @@ struct ReplicatedResults {
   std::vector<AggregatePolicyResult> aggregate;
   /// The seed each replication ran with (seeds[0] == the master seed).
   std::vector<std::uint64_t> seeds;
-  /// traces[r]: replication r's JSONL event stream (rep-tagged lines,
-  /// no header). Empty unless ReplicationOptions::collect_traces.
+  /// traces[r]: replication r's rep-tagged event stream, headerless, in
+  /// ReplicationOptions::trace_format (JSONL lines, or binary records
+  /// whose string tables restart per body — concatenating bodies behind
+  /// one BinaryTraceHeader yields a valid file). Empty unless
+  /// ReplicationOptions::collect_traces.
   std::vector<std::string> traces;
   /// All replications' metrics, merged in replication order. Empty unless
   /// ReplicationOptions::collect_metrics.

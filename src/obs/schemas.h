@@ -4,8 +4,9 @@
 
 #pragma once
 
-#include "obs/metrics.h"      // kMetricsSchema
-#include "obs/trace_event.h"  // kTraceSchema
+#include "obs/binary_trace.h"  // kBinaryTraceSchema
+#include "obs/metrics.h"       // kMetricsSchema
+#include "obs/trace_event.h"   // kTraceSchema
 
 namespace dynvote {
 

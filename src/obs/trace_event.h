@@ -94,4 +94,17 @@ struct TraceEvent {
   bool available = false;
 };
 
+/// The site-set masks of one quorum evaluation, bundled so the typed
+/// TraceSink::WriteQuorum fast path stays a readable signature. Masks a
+/// decision did not populate stay zero (a cache hit carries only
+/// `group`).
+struct QuorumSetMasks {
+  std::uint64_t group = 0;
+  std::uint64_t r = 0;
+  std::uint64_t q = 0;
+  std::uint64_t s = 0;
+  std::uint64_t t = 0;
+  std::uint64_t pm = 0;
+};
+
 }  // namespace dynvote

@@ -4,8 +4,23 @@
 #include <cstdio>
 #include <istream>
 
+#include "obs/binary_trace.h"
+#include "obs/trace_event.h"
+
 namespace dynvote {
 namespace {
+
+// Renders a ratio as a percentage, or "-" when the denominator is zero
+// (header-only traces, protocols that never saw an access). Guarding here
+// keeps trace-summary from printing nan/inf on degenerate inputs.
+std::string Percent(std::uint64_t numerator, std::uint64_t denominator) {
+  if (denominator == 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%",
+                100.0 * static_cast<double>(numerator) /
+                    static_cast<double>(denominator));
+  return buf;
+}
 
 void SkipSpaces(std::string_view line, std::size_t* pos) {
   while (*pos < line.size() &&
@@ -107,7 +122,75 @@ bool ParseTraceLine(std::string_view line,
   }
 }
 
+void FoldTraceEvent(const TraceEvent& event, TraceSummary* summary) {
+  switch (event.type) {
+    case TraceEventType::kNet:
+      ++summary->net_events;
+      return;
+    case TraceEventType::kSim:
+      ++summary->sim_events;
+      return;
+    case TraceEventType::kAvail:
+      ++summary->per_protocol[event.protocol].availability_transitions;
+      return;
+    case TraceEventType::kQuorum: {
+      ProtocolTraceSummary& proto = summary->per_protocol[event.protocol];
+      if (event.reason == QuorumReason::kCacheHit) {
+        ++proto.cache_hits;
+      } else {
+        ++proto.quorum_evaluations;
+        ++proto.quorum_reasons[std::string(QuorumReasonName(event.reason))];
+      }
+      return;
+    }
+    case TraceEventType::kAccess: {
+      ProtocolTraceSummary& proto = summary->per_protocol[event.protocol];
+      ++proto.accesses;
+      if (event.granted) {
+        ++proto.granted;
+      } else {
+        ++proto.denied;
+      }
+      ++proto.access_reasons[std::string(QuorumReasonName(event.reason))];
+      return;
+    }
+  }
+}
+
+namespace {
+
+TraceSummary SummarizeBinaryTrace(std::istream& in) {
+  TraceSummary summary;
+  BinaryTraceReader reader(&in);
+  Status header = reader.ReadHeader();
+  if (!header.ok()) {
+    ++summary.total_lines;
+    ++summary.malformed_lines;
+    summary.decode_error = header.ToString();
+    return summary;
+  }
+  summary.schema = reader.schema();
+  ++summary.total_lines;  // the header, mirroring the JSONL header line
+  TraceEvent event;
+  for (;;) {
+    auto more = reader.Next(&event);
+    if (!more.ok()) {
+      ++summary.total_lines;
+      ++summary.malformed_lines;
+      summary.decode_error = more.status().ToString();
+      break;
+    }
+    if (!*more) break;
+    ++summary.total_lines;
+    FoldTraceEvent(event, &summary);
+  }
+  return summary;
+}
+
+}  // namespace
+
 TraceSummary SummarizeTrace(std::istream& in) {
+  if (LooksLikeBinaryTrace(in)) return SummarizeBinaryTrace(in);
   TraceSummary summary;
   std::string line;
   std::map<std::string, std::string> fields;
@@ -176,6 +259,11 @@ std::string TraceSummary::ToString() const {
                 schema.empty() ? "(none)" : schema.c_str(), total_lines,
                 malformed_lines, net_events, sim_events);
   out.append(buf);
+  if (!decode_error.empty()) {
+    out.append("warning: trace truncated: ");
+    out.append(decode_error);
+    out.push_back('\n');
+  }
   for (const auto& [name, proto] : per_protocol) {
     std::snprintf(buf, sizeof(buf),
                   "\n%s: accesses=%" PRIu64 " granted=%" PRIu64
@@ -184,6 +272,14 @@ std::string TraceSummary::ToString() const {
                   name.c_str(), proto.accesses, proto.granted, proto.denied,
                   proto.quorum_evaluations, proto.cache_hits,
                   proto.availability_transitions);
+    out.append(buf);
+    // Rates are "-" when the denominator is zero, never nan/inf.
+    std::snprintf(buf, sizeof(buf),
+                  "  grant_rate=%s cache_hit_rate=%s\n",
+                  Percent(proto.granted, proto.accesses).c_str(),
+                  Percent(proto.cache_hits,
+                          proto.quorum_evaluations + proto.cache_hits)
+                      .c_str());
     out.append(buf);
     if (!proto.access_reasons.empty()) {
       out.append("  access reasons:\n");

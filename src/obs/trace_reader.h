@@ -1,8 +1,9 @@
-// Reads dynvote-trace-v1 JSONL back in and aggregates it into the
+// Reads a trace back in — dynvote-trace-v1 JSONL or dynvote-btrace-v1
+// binary, auto-detected from the first byte — and aggregates it into the
 // per-protocol why-unavailable breakdown the `trace-summary` CLI prints.
-// The parser handles exactly the flat subset our sinks emit (string,
-// number, bool, and flat-array values) — it is a schema reader, not a
-// general JSON library.
+// The JSONL parser handles exactly the flat subset our sinks emit
+// (string, number, bool, and flat-array values) — it is a schema reader,
+// not a general JSON library.
 
 #pragma once
 
@@ -13,6 +14,8 @@
 #include <string_view>
 
 namespace dynvote {
+
+struct TraceEvent;
 
 /// One parsed trace line as a flat field map; array values are kept as
 /// raw text ("[1,2]"). Returns false on lines that are not JSON objects.
@@ -33,19 +36,28 @@ struct ProtocolTraceSummary {
 };
 
 struct TraceSummary {
-  /// Schema string from the header line ("" if the trace had none).
+  /// Schema string from the header ("" if the trace had none).
   std::string schema;
+  /// JSONL: physical lines. Binary: header plus decoded event records.
   std::uint64_t total_lines = 0;
   std::uint64_t malformed_lines = 0;
   std::uint64_t net_events = 0;
   std::uint64_t sim_events = 0;
   std::map<std::string, ProtocolTraceSummary> per_protocol;
+  /// Decoder error for a binary trace that ended mid-record ("" if the
+  /// input decoded cleanly). The partial summary above is still valid.
+  std::string decode_error;
 
   /// Human-readable rendering for the trace-summary subcommand.
   std::string ToString() const;
 };
 
-/// Streams a JSONL trace and folds it into a TraceSummary.
+/// Folds one decoded event into a summary — the binary-side counterpart
+/// of the per-line JSONL fold, so both formats aggregate identically.
+void FoldTraceEvent(const TraceEvent& event, TraceSummary* summary);
+
+/// Streams a trace — JSONL or binary, auto-detected — and folds it into
+/// a TraceSummary.
 TraceSummary SummarizeTrace(std::istream& in);
 
 }  // namespace dynvote

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/binary_trace.h"
+
 #include "util/logging.h"
 
 namespace dynvote {
@@ -45,13 +47,15 @@ void Simulator::EmitDispatch() {
   obs_->now = now_;
   obs_->seq = events_run_;
   if (obs_->sink != nullptr) {
-    TraceEvent event;
-    event.type = TraceEventType::kSim;
-    event.t = now_;
-    event.replication = obs_->replication;
-    event.seq = events_run_;
-    event.op = "dispatch";
-    obs_->sink->Write(event);
+    TraceSink* sink = obs_->sink;
+    // Devirtualized fast path, as in the protocol emitters.
+    if (dispatch_label_.BinaryHit(sink)) {
+      static_cast<BinaryTraceSink*>(sink)->EncodeSim(
+          now_, events_run_, obs_->replication, dispatch_label_.id);
+    } else {
+      sink->WriteSim(now_, events_run_, obs_->replication, "dispatch",
+                     dispatch_label_.Resolve(sink, "dispatch"));
+    }
   }
   if (obs_->metrics != nullptr) obs_->metrics->Add("sim_events");
 }

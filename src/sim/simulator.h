@@ -71,6 +71,7 @@ class Simulator {
   SimTime now_ = 0.0;
   std::uint64_t events_run_ = 0;
   ObsContext* obs_ = nullptr;
+  TraceLabelCache dispatch_label_;  // the sink's token for "dispatch"
 };
 
 }  // namespace dynvote

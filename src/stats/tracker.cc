@@ -64,14 +64,9 @@ void AvailabilityTracker::Update(SimTime now, bool available) {
 
 void AvailabilityTracker::EmitTransition(SimTime now, bool available) {
   if (obs_->sink != nullptr) {
-    TraceEvent event;
-    event.type = TraceEventType::kAvail;
-    event.t = now;
-    event.replication = obs_->replication;
-    event.seq = obs_->seq;
-    event.protocol = protocol_;
-    event.available = available;
-    obs_->sink->Write(event);
+    TraceSink* sink = obs_->sink;
+    sink->WriteAvail(now, obs_->seq, obs_->replication, protocol_,
+                     trace_label_.Resolve(sink, protocol_), available);
   }
   if (obs_->metrics != nullptr) {
     std::string key = "avail_transitions{protocol=" + protocol_ + "}";

@@ -95,6 +95,7 @@ class AvailabilityTracker {
 
   ObsContext* obs_ = nullptr;
   std::string protocol_;
+  TraceLabelCache trace_label_;  // the sink's token for protocol_
   SimTime status_since_ = 0.0;  // when last_status_ was entered
 };
 

@@ -11,6 +11,7 @@
 #include "core/registry.h"
 #include "model/export.h"
 #include "model/replicated_experiment.h"
+#include "obs/binary_trace.h"
 #include "obs/trace_reader.h"
 
 namespace dynvote {
@@ -99,6 +100,47 @@ TEST(TraceDeterminismTest, EventsCarryTheirReplicationIndex) {
           << "replication " << r << " line: " << line;
     }
   }
+}
+
+TEST(TraceDeterminismTest, BinaryTracesAreIdenticalForAnyJobCount) {
+  ReplicationOptions serial_opts = Reps(3, 1, /*collect=*/true);
+  serial_opts.trace_format = TraceFormat::kBinary;
+  ReplicationOptions parallel_opts = Reps(3, 3, /*collect=*/true);
+  parallel_opts.trace_format = TraceFormat::kBinary;
+  auto serial = RunConfigB(serial_opts);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  auto parallel = RunConfigB(parallel_opts);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  ASSERT_EQ(serial->traces.size(), 3u);
+  for (std::size_t r = 0; r < serial->traces.size(); ++r) {
+    EXPECT_EQ(serial->traces[r], parallel->traces[r]) << "replication " << r;
+  }
+  EXPECT_EQ(ReplicatedResultsToJson("config-B", *serial),
+            ReplicatedResultsToJson("config-B", *parallel));
+}
+
+TEST(TraceDeterminismTest, BinaryTraceConvertsToTheExactJsonlRun) {
+  // The end-to-end byte-identity contract behind `dynvote trace-convert`:
+  // a binary collection of the same seed, decoded to JSONL, matches the
+  // JSONL collection byte for byte — header line included.
+  ReplicationOptions jsonl_opts = Reps(2, 2, /*collect=*/true);
+  auto jsonl = RunConfigB(jsonl_opts);
+  ASSERT_TRUE(jsonl.ok()) << jsonl.status();
+  ReplicationOptions binary_opts = Reps(2, 2, /*collect=*/true);
+  binary_opts.trace_format = TraceFormat::kBinary;
+  auto binary = RunConfigB(binary_opts);
+  ASSERT_TRUE(binary.ok()) << binary.status();
+
+  const std::uint64_t seed = ShortOptions().seed;
+  std::istringstream binary_file(BinaryTraceHeader(seed) +
+                                 JoinTraces(*binary));
+  std::ostringstream converted;
+  auto events = ConvertBinaryTraceToJsonl(binary_file, converted);
+  ASSERT_TRUE(events.ok()) << events.status();
+  EXPECT_GT(*events, 0u);
+
+  std::string direct = TraceHeaderLine(seed) + "\n" + JoinTraces(*jsonl);
+  EXPECT_EQ(converted.str(), direct);
 }
 
 TEST(TraceDeterminismTest, TraceAccessCountsReconcileWithResults) {

@@ -4,17 +4,46 @@
 // be created. None of these may crash, and failures must surface as
 // counted malformed lines or a clean Status — never as an exception.
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
+#include <streambuf>
 
 #include <gtest/gtest.h>
 
 #include "model/export.h"
+#include "obs/async_writer.h"
+#include "obs/binary_trace.h"
 #include "obs/trace_reader.h"
 #include "obs/trace_sink.h"
 
 namespace dynvote {
 namespace {
+
+/// A streambuf that accepts `limit` bytes and then fails every write —
+/// the unit-test stand-in for a disk filling up mid-trace.
+class FailingStreambuf : public std::streambuf {
+ public:
+  explicit FailingStreambuf(std::size_t limit) : limit_(limit) {}
+
+ protected:
+  int overflow(int ch) override {
+    if (written_ >= limit_) return traits_type::eof();
+    ++written_;
+    return ch;
+  }
+  std::streamsize xsputn(const char* /*s*/, std::streamsize n) override {
+    std::streamsize room =
+        static_cast<std::streamsize>(limit_ - written_);
+    std::streamsize accepted = std::min(n, room);
+    written_ += static_cast<std::size_t>(accepted);
+    return accepted;  // a short write makes the ostream set badbit
+  }
+
+ private:
+  std::size_t limit_;
+  std::size_t written_ = 0;
+};
 
 TEST(TraceReaderErrorTest, GarbageLinesAreCountedNotFatal) {
   std::istringstream in(
@@ -76,6 +105,107 @@ TEST(JsonlTraceSinkErrorTest, FailedStreamDoesNotCrashAndKeepsCounting) {
   }
   EXPECT_EQ(sink.total_events(), 100u);
   EXPECT_FALSE(out.good());
+  // The failure is no longer silent: error state is set and the
+  // written count exposes that nothing landed.
+  EXPECT_FALSE(sink.ok());
+  EXPECT_FALSE(sink.error().empty());
+  EXPECT_EQ(sink.events_written(), 0u);
+}
+
+TEST(JsonlTraceSinkErrorTest, MidStreamFailureSurfacesAndReconciles) {
+  // Regression: the sink used to ignore stream state entirely, so a
+  // disk filling up mid-run silently truncated the trace while
+  // total_events() kept climbing. Now the first failed line sets sticky
+  // error state and events_written() stops, so the CLI can report
+  // "M of N events written".
+  FailingStreambuf buf(150);  // room for a couple of lines, then ENOSPC
+  std::ostream out(&buf);
+  JsonlTraceSink sink(&out);
+  TraceEvent e;
+  e.type = TraceEventType::kSim;
+  e.op = "site_fail";
+  for (int i = 0; i < 50; ++i) {
+    e.seq = static_cast<std::uint64_t>(i);
+    sink.Write(e);
+  }
+  EXPECT_EQ(sink.total_events(), 50u);
+  EXPECT_FALSE(sink.ok());
+  EXPECT_FALSE(sink.error().empty());
+  EXPECT_GE(sink.events_written(), 1u);  // the lines that fit
+  EXPECT_LT(sink.events_written(), 50u);
+  // Flush on a failed sink stays failed and must not clear the error.
+  sink.Flush();
+  EXPECT_FALSE(sink.ok());
+}
+
+TEST(JsonlTraceSinkErrorTest, FlushDetectsDeferredFailure) {
+  std::ostringstream out;
+  JsonlTraceSink sink(&out);
+  TraceEvent e;
+  e.type = TraceEventType::kSim;
+  e.op = "x";
+  sink.Write(e);
+  EXPECT_TRUE(sink.ok());
+  out.setstate(std::ios::badbit);  // failure lands between write and flush
+  sink.Flush();
+  EXPECT_FALSE(sink.ok());
+}
+
+TEST(TraceSummaryRatesTest, ZeroDenominatorsRenderDashNotNan) {
+  // A protocol with availability transitions but no accesses and no
+  // quorum evaluations: every rate denominator is zero.
+  std::istringstream in(
+      "{\"schema\":\"dynvote-trace-v1\",\"seed\":1}\n"
+      "{\"ev\":\"avail\",\"t\":1,\"seq\":0,\"protocol\":\"DV\","
+      "\"available\":false}\n");
+  TraceSummary summary = SummarizeTrace(in);
+  std::string text = summary.ToString();
+  EXPECT_NE(text.find("grant_rate=- cache_hit_rate=-"), std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+  EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+}
+
+TEST(TraceSummaryRatesTest, HeaderOnlyTracesAreSafeInBothFormats) {
+  std::istringstream jsonl("{\"schema\":\"dynvote-trace-v1\",\"seed\":3}\n");
+  TraceSummary js = SummarizeTrace(jsonl);
+  EXPECT_EQ(js.schema, "dynvote-trace-v1");
+  EXPECT_EQ(js.malformed_lines, 0u);
+  EXPECT_FALSE(js.ToString().empty());
+
+  std::istringstream binary(BinaryTraceHeader(3));
+  TraceSummary bs = SummarizeTrace(binary);
+  EXPECT_EQ(bs.schema, kBinaryTraceSchema);
+  EXPECT_EQ(bs.total_lines, 1u);
+  EXPECT_EQ(bs.malformed_lines, 0u);
+  EXPECT_TRUE(bs.decode_error.empty());
+  EXPECT_FALSE(bs.ToString().empty());
+}
+
+TEST(TraceSummaryRatesTest, TruncatedBinaryTraceSummarizesThePrefix) {
+  std::ostringstream encoded;
+  encoded << BinaryTraceHeader(9);
+  StreamPageSink pages(&encoded);
+  BinaryTraceSink sink(&pages);
+  TraceEvent e;
+  e.type = TraceEventType::kSim;
+  e.op = "site_fail";
+  for (int i = 0; i < 10; ++i) {
+    e.seq = static_cast<std::uint64_t>(i);
+    sink.Write(e);
+  }
+  sink.Flush();
+  std::string file = encoded.str();
+  std::istringstream in(file.substr(0, file.size() - 4));
+  TraceSummary summary = SummarizeTrace(in);
+  EXPECT_EQ(summary.schema, kBinaryTraceSchema);
+  EXPECT_GE(summary.sim_events, 1u);
+  EXPECT_EQ(summary.malformed_lines, 1u);
+  EXPECT_FALSE(summary.decode_error.empty());
+  std::string text = summary.ToString();
+  EXPECT_NE(text.find("malformed=1"), std::string::npos) << text;
+  EXPECT_NE(text.find("warning: trace truncated"), std::string::npos)
+      << text;
 }
 
 TEST(WriteFileErrorTest, UnwritablePathReturnsCleanStatus) {

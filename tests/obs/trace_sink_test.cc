@@ -44,6 +44,32 @@ TEST(RingTraceSinkTest, ClearDropsEventsButNotTheCount) {
   EXPECT_EQ(sink.total_events(), 1u);
 }
 
+TEST(RingTraceSinkTest, WrapsManyTimesWithoutLosingOrder) {
+  // The ring now reuses preallocated slots instead of deep-copying each
+  // event into a fresh deque node; wrapping several times over must
+  // still yield the newest events, oldest first.
+  RingTraceSink sink(4);
+  TraceEvent net;
+  net.type = TraceEventType::kNet;
+  net.components = {0x1, 0x2, 0x3};  // per-slot vector storage is reused
+  for (int i = 0; i < 103; ++i) {
+    net.seq = static_cast<std::uint64_t>(i);
+    sink.Write(net);
+  }
+  EXPECT_EQ(sink.total_events(), 103u);
+  std::vector<TraceEvent> events = sink.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, static_cast<std::uint64_t>(99 + i));
+    EXPECT_EQ(events[i].components.size(), 3u);
+  }
+  sink.Clear();
+  EXPECT_EQ(sink.capacity(), 4u);
+  sink.Write(SimEvent(1.0, 7));
+  ASSERT_EQ(sink.events().size(), 1u);
+  EXPECT_EQ(sink.events().front().seq, 7u);
+}
+
 TEST(JsonlTest, SimEventRendersCompactly) {
   std::string line;
   AppendTraceEventJson(SimEvent(2.5, 7), &line);

@@ -4,14 +4,17 @@
 //   dynvote analyze  [--network=FILE] --sites=a,b,c
 //   dynvote simulate [--network=FILE] --sites=a,b,c [--policies=...]
 //                    [--years=N] [--rate=R] [--seed=N] [--csv=PATH]
-//                    [--trace-out=FILE.jsonl] [--metrics-out=FILE.json]
+//                    [--trace-out=FILE.{jsonl,btrace}]
+//                    [--metrics-out=FILE.json]
 //   dynvote repeat   [--network=FILE] --sites=a,b,c [--policies=...]
 //                    [--years=N] [--rate=R] [--seed=N] [--reps=N]
 //                    [--jobs=M] [--json=PATH]
-//                    [--trace-out=FILE.jsonl] [--metrics-out=FILE.json]
+//                    [--trace-out=FILE.{jsonl,btrace}]
+//                    [--metrics-out=FILE.json]
 //   dynvote scenario [--network=FILE] --sites=a,b,c [--protocol=LDV]
 //                    <script.dvs>
-//   dynvote trace-summary <trace.jsonl>
+//   dynvote trace-summary <trace.jsonl|trace.btrace>
+//   dynvote trace-convert <trace.btrace> [--out=FILE.jsonl]
 //   dynvote check    [--protocol=ODV] [--topology=single3] [--depth=5]
 //                    [--mode=exhaustive|swarm] [--seed=N] [--schedules=N]
 //                    [--swarm-depth=N] [--oracle=NAME] [--weaken-mutex]
@@ -28,11 +31,15 @@
 // runs the discrete-event model; `repeat` runs R independent
 // replications of it in parallel and reports cross-replication means
 // with 95 % confidence intervals; `scenario` executes a fault script
-// against a replicated KV store; `trace-summary` aggregates a
-// dynvote-trace-v1 JSONL file into per-protocol grant/denial attribution
-// (see docs/observability.md). Tracing never changes statistical
-// results: traced and untraced runs of the same seed produce identical
-// tables, CSV and JSON. `check` model-checks a protocol's safety
+// against a replicated KV store; `trace-summary` aggregates a trace file
+// (dynvote-trace-v1 JSONL, or dynvote-btrace-v1 binary — a `--trace-out`
+// path ending in .btrace selects the compact binary format, written
+// through a background writer thread) into per-protocol grant/denial
+// attribution, and `trace-convert` decodes a binary trace to JSONL that
+// is byte-identical to what a direct JSONL run would have produced (see
+// docs/observability.md). Tracing never changes statistical results:
+// traced and untraced runs of the same seed produce identical tables,
+// CSV and JSON. `check` model-checks a protocol's safety
 // invariants over small fault/access schedules, shrinks any violation to
 // a minimal reproducer and replays exported counterexamples (see
 // docs/model_checking.md).
@@ -40,8 +47,10 @@
 #include <cctype>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "check/checker.h"
@@ -56,6 +65,8 @@
 #include "model/replicated_experiment.h"
 #include "model/site_profile.h"
 #include "net/partition_analysis.h"
+#include "obs/async_writer.h"
+#include "obs/binary_trace.h"
 #include "obs/context.h"
 #include "obs/schemas.h"
 #include "obs/trace_reader.h"
@@ -107,13 +118,14 @@ constexpr int kExitUsage = 2;
 constexpr int kExitUnknownCommand = 3;
 
 constexpr const char kSubcommands[] =
-    "print analyze simulate repeat scenario trace-summary check";
+    "print analyze simulate repeat scenario trace-summary trace-convert "
+    "check";
 
 int Usage() {
   std::cerr <<
       "usage: dynvote "
-      "<print|analyze|simulate|repeat|scenario|trace-summary|check> "
-      "[options]\n"
+      "<print|analyze|simulate|repeat|scenario|trace-summary|trace-convert|"
+      "check> [options]\n"
       "       dynvote --version\n"
       "(flags accept --flag=value and --flag value)\n"
       "  --network=FILE   network description (default: the paper's)\n"
@@ -127,6 +139,10 @@ int Usage() {
       "  --json=PATH      repeat: write per-replication + aggregate JSON\n"
       "  --trace-out=F    simulate/repeat: write " << kTraceSchema
       << " JSONL events\n"
+      "                   (a .btrace path writes " << kBinaryTraceSchema
+      << " binary instead)\n"
+      "  --out=F          trace-convert: JSONL destination (default: "
+      "stdout)\n"
       "  --metrics-out=F  simulate/repeat: write " << kMetricsSchema
       << " JSON metrics\n"
       "  --no-quorum-cache  simulate/repeat: disable grant-decision\n"
@@ -160,6 +176,7 @@ int Version() {
   std::cout << "dynvote schemas:\n"
             << "  bench           " << kHotpathBenchSchema << "\n"
             << "  trace           " << kTraceSchema << "\n"
+            << "  binary trace    " << kBinaryTraceSchema << "\n"
             << "  metrics         " << kMetricsSchema << "\n"
             << "  counterexample  " << check::kCounterExampleSchema << "\n";
   return 0;
@@ -387,14 +404,38 @@ int Analyze(const Options& opt) {
   return 0;
 }
 
-/// Writes --trace-out (schema header line + pre-rendered JSONL body)
-/// and/or --metrics-out after a run. Returns 0, or 1 with the error
-/// already printed.
+/// A `--trace-out` path ending in .btrace selects the binary format.
+bool WantsBinaryTrace(const std::string& path) {
+  constexpr std::string_view kExt = ".btrace";
+  return path.size() >= kExt.size() &&
+         path.compare(path.size() - kExt.size(), kExt.size(), kExt) == 0;
+}
+
+/// Reports a trace sink that lost events (failed stream, failed page
+/// pipeline) and returns 1; returns 0 when every event reached the sink.
+/// The written-vs-offered reconciliation makes silent truncation — the
+/// old failure mode — impossible to miss in scripts.
+int CheckTraceSink(const TraceSink& sink, const std::string& path) {
+  if (sink.ok()) return 0;
+  std::cerr << "trace-out failed: " << sink.error() << " ("
+            << sink.events_written() << " of " << sink.total_events()
+            << " events reached " << path << ")\n";
+  return 1;
+}
+
+/// Writes --trace-out (schema header + pre-rendered body, JSONL or
+/// binary by extension) and/or --metrics-out after a run. Returns 0, or
+/// 1 with the error already printed.
 int WriteObsOutputs(const Options& opt, const std::string& trace_body,
                     const MetricsShard& metrics) {
   if (!opt.trace_out_path.empty()) {
-    std::string contents = TraceHeaderLine(opt.seed);
-    contents.push_back('\n');
+    std::string contents;
+    if (WantsBinaryTrace(opt.trace_out_path)) {
+      contents = BinaryTraceHeader(opt.seed);
+    } else {
+      contents = TraceHeaderLine(opt.seed);
+      contents.push_back('\n');
+    }
     contents += trace_body;
     Status st = WriteFile(opt.trace_out_path, contents);
     if (!st.ok()) {
@@ -439,11 +480,38 @@ int Simulate(const Options& opt) {
 
   // Observability is opt-in per flag; with neither flag spec.obs stays
   // null and instrumentation costs one never-taken branch per site.
+  // JSONL buffers in memory and lands via WriteObsOutputs; binary
+  // streams pages straight to the file through a background writer
+  // thread, so the simulation never waits on disk.
+  const bool binary_trace = WantsBinaryTrace(opt.trace_out_path);
   std::ostringstream trace_out;
-  JsonlTraceSink trace_sink(&trace_out);
+  JsonlTraceSink jsonl_sink(&trace_out);
+  std::ofstream btrace_out;
+  std::optional<StreamPageSink> btrace_pages;
+  std::optional<AsyncTraceSink> btrace_async;
+  std::optional<BinaryTraceSink> btrace_sink;
   MetricsShard metrics;
   ObsContext obs;
-  if (!opt.trace_out_path.empty()) obs.sink = &trace_sink;
+  if (!opt.trace_out_path.empty()) {
+    if (binary_trace) {
+      btrace_out.open(opt.trace_out_path,
+                      std::ios::binary | std::ios::trunc);
+      if (!btrace_out) {
+        std::cerr << "cannot open '" << opt.trace_out_path
+                  << "' for write\n";
+        return 1;
+      }
+      std::string header = BinaryTraceHeader(opt.seed);
+      btrace_out.write(header.data(),
+                       static_cast<std::streamsize>(header.size()));
+      btrace_pages.emplace(&btrace_out);
+      btrace_async.emplace(&*btrace_pages);
+      btrace_sink.emplace(&*btrace_async);
+      obs.sink = &*btrace_sink;
+    } else {
+      obs.sink = &jsonl_sink;
+    }
+  }
   if (!opt.metrics_out_path.empty()) obs.metrics = &metrics;
   if (obs.sink != nullptr || obs.metrics != nullptr) spec.obs = &obs;
 
@@ -488,7 +556,25 @@ int Simulate(const Options& opt) {
     }
     std::cout << "wrote " << opt.csv_path << "\n";
   }
-  return WriteObsOutputs(opt, trace_out.str(), metrics);
+  if (obs.sink != nullptr) {
+    // Drain the async writer / flush the stream, then reconcile events
+    // offered against events written — a failed sink is a hard error.
+    obs.sink->Flush();
+    if (int rc = CheckTraceSink(*obs.sink, opt.trace_out_path); rc != 0) {
+      return rc;
+    }
+  }
+  if (binary_trace) {
+    btrace_out.close();
+    if (!btrace_out) {
+      std::cerr << "short write to '" << opt.trace_out_path << "'\n";
+      return 1;
+    }
+    std::cout << "wrote " << opt.trace_out_path << "\n";
+  }
+  Options remaining = opt;
+  if (binary_trace) remaining.trace_out_path.clear();  // already on disk
+  return WriteObsOutputs(remaining, trace_out.str(), metrics);
 }
 
 int Repeat(const Options& opt) {
@@ -520,6 +606,9 @@ int Repeat(const Options& opt) {
   replication.replications = opt.reps >= 1 ? opt.reps : network->replications;
   replication.jobs = opt.jobs >= 0 ? opt.jobs : network->jobs;
   replication.collect_traces = !opt.trace_out_path.empty();
+  replication.trace_format = WantsBinaryTrace(opt.trace_out_path)
+                                 ? TraceFormat::kBinary
+                                 : TraceFormat::kJsonl;
   replication.collect_metrics = !opt.metrics_out_path.empty();
 
   std::vector<std::string> policies;
@@ -630,22 +719,62 @@ int TraceSummaryCommand(const Options& opt) {
     std::cerr << "trace-summary needs a trace file path\n";
     return 1;
   }
-  std::ifstream in(opt.positional);
+  std::ifstream in(opt.positional, std::ios::binary);
   if (!in) {
     std::cerr << "cannot read " << opt.positional << "\n";
     return 1;
   }
   TraceSummary summary = SummarizeTrace(in);
-  if (!summary.schema.empty() && summary.schema != kTraceSchema) {
+  if (!summary.schema.empty() && summary.schema != kTraceSchema &&
+      summary.schema != kBinaryTraceSchema) {
     std::cerr << "unsupported trace schema '" << summary.schema
-              << "' (expected " << kTraceSchema << ")\n";
+              << "' (expected " << kTraceSchema << " or "
+              << kBinaryTraceSchema << ")\n";
     return 1;
   }
-  if (summary.schema.empty()) {
+  if (summary.schema.empty() && summary.decode_error.empty()) {
     std::cerr << "warning: no schema header line; assuming " << kTraceSchema
               << "\n";
   }
   std::cout << summary.ToString();
+  return 0;
+}
+
+/// Decodes a dynvote-btrace-v1 file to dynvote-trace-v1 JSONL,
+/// byte-identical to a direct JSONL run of the same events.
+int TraceConvertCommand(const Options& opt) {
+  if (opt.positional.empty()) {
+    std::cerr << "trace-convert needs a binary trace file path\n";
+    return 1;
+  }
+  std::ifstream in(opt.positional, std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot read " << opt.positional << "\n";
+    return 1;
+  }
+  std::ofstream file_out;
+  if (!opt.out_path.empty()) {
+    file_out.open(opt.out_path, std::ios::binary | std::ios::trunc);
+    if (!file_out) {
+      std::cerr << "cannot open '" << opt.out_path << "' for write\n";
+      return 1;
+    }
+  }
+  std::ostream& out = opt.out_path.empty() ? std::cout : file_out;
+  auto events = ConvertBinaryTraceToJsonl(in, out);
+  if (!events.ok()) {
+    std::cerr << events.status() << "\n";
+    return 1;
+  }
+  if (!opt.out_path.empty()) {
+    file_out.close();
+    if (!file_out) {
+      std::cerr << "short write to '" << opt.out_path << "'\n";
+      return 1;
+    }
+    std::cout << "wrote " << opt.out_path << " (" << *events
+              << " events)\n";
+  }
   return 0;
 }
 
@@ -797,6 +926,7 @@ int Main(int argc, char** argv) {
   if (opt->command == "repeat") return Repeat(*opt);
   if (opt->command == "scenario") return RunScenario(*opt);
   if (opt->command == "trace-summary") return TraceSummaryCommand(*opt);
+  if (opt->command == "trace-convert") return TraceConvertCommand(*opt);
   if (opt->command == "check") return Check(*opt);
   return UnknownCommand(opt->command);
 }
