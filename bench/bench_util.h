@@ -5,15 +5,107 @@
 
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "model/experiment.h"
 
 namespace dynvote {
 namespace bench {
+
+// ---------------------------------------------------------------------
+// Minimum-of-rounds microbenchmark estimator.
+//
+// On a shared machine a single long timed run folds whatever load
+// coincided with it straight into the reported number — and into any
+// ratio a CI gate checks. Instead: calibrate a round length once (double
+// the iteration count until a round takes >= min_ms / 4), run a fixed
+// number of rounds, and report the fastest round's ns/op. The minimum is
+// the standard least-interference estimator for benchmarks whose true
+// cost is a lower bound plus nonnegative noise (medians still carry
+// whatever load coincided with most rounds). The paired variant
+// alternates the two sides inside every round, swapping the order round
+// by round, so slow drift cancels out of the ratio instead of biasing
+// one side.
+// ---------------------------------------------------------------------
+
+/// One estimator result: best-round ns per iteration, total iterations.
+struct RoundsResult {
+  double ns_per_op = 0.0;
+  std::uint64_t ops = 0;
+};
+
+/// Rounds per measurement. Odd, so the paired variant runs both
+/// orderings an almost-equal number of times.
+inline constexpr int kBenchRounds = 7;
+
+namespace internal {
+template <typename Body>
+double TimeOnceMs(Body&& body, std::uint64_t iters) {
+  auto t0 = std::chrono::steady_clock::now();
+  body(iters);
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+}  // namespace internal
+
+/// Doubles the iteration count until one body(iters) call takes at least
+/// min_ms / 4 (so kBenchRounds rounds cost a small multiple of min_ms).
+/// The calibration runs double as cache/branch-predictor warmup.
+template <typename Body>
+std::uint64_t CalibrateRoundIters(double min_ms, Body&& body) {
+  std::uint64_t iters = 1;
+  for (;;) {
+    double ms = internal::TimeOnceMs(body, iters);
+    if (ms >= min_ms / 4.0 || iters >= (std::uint64_t{1} << 32)) {
+      return iters;
+    }
+    iters *= (ms <= min_ms / 64.0) ? 8 : 2;
+  }
+}
+
+/// Min-of-rounds measurement of one body.
+template <typename Body>
+RoundsResult MeasureMinOfRounds(double min_ms, Body&& body) {
+  const std::uint64_t iters = CalibrateRoundIters(min_ms, body);
+  double best_ms = internal::TimeOnceMs(body, iters);
+  for (int r = 1; r < kBenchRounds; ++r) {
+    best_ms = std::min(best_ms, internal::TimeOnceMs(body, iters));
+  }
+  return {best_ms * 1e6 / static_cast<double>(iters), iters * kBenchRounds};
+}
+
+/// Paired min-of-rounds: measures `a` and `b` in alternating order
+/// within each round. Calibrates the round length on `a`; both sides run
+/// the same iteration count, so their ns/op are directly comparable.
+template <typename BodyA, typename BodyB>
+std::pair<RoundsResult, RoundsResult> MeasurePairedMinOfRounds(
+    double min_ms, BodyA&& a, BodyB&& b) {
+  const std::uint64_t iters = CalibrateRoundIters(min_ms, a);
+  double best_a = -1.0;
+  double best_b = -1.0;
+  for (int r = 0; r < kBenchRounds; ++r) {
+    double ms_a;
+    double ms_b;
+    if (r % 2 == 0) {
+      ms_a = internal::TimeOnceMs(a, iters);
+      ms_b = internal::TimeOnceMs(b, iters);
+    } else {
+      ms_b = internal::TimeOnceMs(b, iters);
+      ms_a = internal::TimeOnceMs(a, iters);
+    }
+    best_a = best_a < 0.0 ? ms_a : std::min(best_a, ms_a);
+    best_b = best_b < 0.0 ? ms_b : std::min(best_b, ms_b);
+  }
+  const double scale = 1e6 / static_cast<double>(iters);
+  const std::uint64_t ops = iters * kBenchRounds;
+  return {{best_a * scale, ops}, {best_b * scale, ops}};
+}
 
 /// Run-length knobs shared by every bench binary.
 struct BenchArgs {

@@ -16,7 +16,7 @@
 //     "unit": "ns_per_op",
 //     "benchmarks": [
 //       {"name": "...", "ns_per_op": N, "ops": N,
-//        "baseline": "legacy" | "no-cache" | "trace-off",
+//        "baseline": "legacy" | "no-cache" | "trace-off" | "solo-seq",
 //        "baseline_ns_per_op": N, "speedup": N},
 //       ...
 //     ]
@@ -25,9 +25,12 @@
 // Every entry carries ns_per_op; paired entries also carry their
 // baseline's ns_per_op and the speedup ratio. New benchmarks may be
 // appended, but existing names and fields must keep their meaning.
+//
+// All measurements use the min-of-rounds estimator from bench_util.h;
+// entries whose speedup a CI gate checks measure both sides in
+// alternating paired rounds so scheduling drift cancels out of the
+// ratio.
 
-#include <algorithm>
-#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -36,8 +39,10 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/quorum.h"
 #include "core/registry.h"
+#include "model/batched_experiment.h"
 #include "model/experiment.h"
 #include "model/site_profile.h"
 #include "net/network_state.h"
@@ -174,27 +179,33 @@ struct BenchEntry {
   double baseline_ns_per_op = 0.0;
 };
 
-/// Runs `body(iters)` with doubling iteration counts until the run takes
-/// at least `min_ms`, then reports ns per iteration of the final run.
+/// Min-of-rounds measurement of a standalone body (bench_util.h).
 template <typename Body>
 BenchEntry Measure(const std::string& name, double min_ms, Body&& body) {
-  using Clock = std::chrono::steady_clock;
-  std::uint64_t iters = 64;
-  for (;;) {
-    auto t0 = Clock::now();
-    body(iters);
-    auto t1 = Clock::now();
-    double ms =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
-    if (ms >= min_ms || iters >= (std::uint64_t{1} << 32)) {
-      BenchEntry entry;
-      entry.name = name;
-      entry.ops = iters;
-      entry.ns_per_op = ms * 1e6 / static_cast<double>(iters);
-      return entry;
-    }
-    iters *= (ms <= min_ms / 16.0) ? 8 : 2;
-  }
+  bench::RoundsResult r = bench::MeasureMinOfRounds(min_ms, body);
+  BenchEntry entry;
+  entry.name = name;
+  entry.ops = r.ops;
+  entry.ns_per_op = r.ns_per_op;
+  return entry;
+}
+
+/// Paired min-of-rounds measurement: `body` against the baseline it is
+/// compared to, alternating within every round so the speedup the JSON
+/// reports (and CI gates) is immune to slow machine drift.
+template <typename Body, typename Baseline>
+BenchEntry MeasurePaired(const std::string& name,
+                         const std::string& baseline_name, double min_ms,
+                         Body&& body, Baseline&& baseline) {
+  auto [main_r, base_r] =
+      bench::MeasurePairedMinOfRounds(min_ms, body, baseline);
+  BenchEntry entry;
+  entry.name = name;
+  entry.ops = main_r.ops;
+  entry.ns_per_op = main_r.ns_per_op;
+  entry.baseline = baseline_name;
+  entry.baseline_ns_per_op = base_r.ns_per_op;
+  return entry;
 }
 
 /// The paper network with a five-copy placement (paper sites 1, 2, 4, 6,
@@ -247,54 +258,47 @@ void BenchComponents(double min_ms, std::vector<BenchEntry>* out) {
   const int num_sites = paper->topology->num_sites();
 
   NetworkState net(paper->topology);
+  LegacyNetworkState legacy(paper->topology);
   std::uint64_t side_effect = 0;
-  BenchEntry current =
-      Measure("components_after_flip", min_ms, [&](std::uint64_t iters) {
+  out->push_back(MeasurePaired(
+      "components_after_flip", "legacy", min_ms,
+      [&](std::uint64_t iters) {
         Rng rng(44);
         for (std::uint64_t i = 0; i < iters; ++i) {
           SiteId s = static_cast<SiteId>(rng.NextBounded(num_sites));
           net.SetSiteUp(s, !net.IsSiteUp(s));
           side_effect += net.Components().size();
         }
-      });
-
-  LegacyNetworkState legacy(paper->topology);
-  BenchEntry baseline = Measure(
-      "legacy_components_after_flip", min_ms, [&](std::uint64_t iters) {
+      },
+      [&](std::uint64_t iters) {
         Rng rng(44);
         for (std::uint64_t i = 0; i < iters; ++i) {
           SiteId s = static_cast<SiteId>(rng.NextBounded(num_sites));
           legacy.SetSiteUp(s, !legacy.IsSiteUp(s));
           side_effect += legacy.Components().size();
         }
-      });
-  current.baseline = "legacy";
-  current.baseline_ns_per_op = baseline.ns_per_op;
-  out->push_back(current);
+      }));
 
   // Query-only ComponentOf: the WouldGrant inner loop between events.
   net.AllUp();
   net.SetSiteUp(2, false);
   net.SetSiteUp(4, false);
-  BenchEntry query =
-      Measure("component_of_query", min_ms, [&](std::uint64_t iters) {
-        for (std::uint64_t i = 0; i < iters; ++i) {
-          side_effect += net.ComponentOf(static_cast<SiteId>(i % 2)).Size();
-        }
-      });
   for (SiteId s = 0; s < num_sites; ++s) {
     legacy.SetSiteUp(s, s != 2 && s != 4);  // mirror: 2 and 4 down
   }
-  BenchEntry query_baseline = Measure(
-      "legacy_component_of_query", min_ms, [&](std::uint64_t iters) {
+  out->push_back(MeasurePaired(
+      "component_of_query", "legacy", min_ms,
+      [&](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          side_effect += net.ComponentOf(static_cast<SiteId>(i % 2)).Size();
+        }
+      },
+      [&](std::uint64_t iters) {
         for (std::uint64_t i = 0; i < iters; ++i) {
           side_effect +=
               legacy.ComponentOf(static_cast<SiteId>(i % 2)).Size();
         }
-      });
-  query.baseline = "legacy";
-  query.baseline_ns_per_op = query_baseline.ns_per_op;
-  out->push_back(query);
+      }));
   if (side_effect == 0xDEAD) std::cerr << "";  // keep side_effect live
 }
 
@@ -307,8 +311,11 @@ void BenchQuorum(double min_ms, std::vector<BenchEntry>* out) {
   const SiteSet reachable{0, 1, 2, 3, 4};
   std::int64_t side_effect = 0;
 
-  BenchEntry current =
-      Measure("quorum_topological", min_ms, [&](std::uint64_t iters) {
+  // Legacy side: same evaluation with the closure recomputed by the pair
+  // loop (the rest of the decision is shared, so the delta isolates it).
+  out->push_back(MeasurePaired(
+      "quorum_topological", "legacy", min_ms,
+      [&](std::uint64_t iters) {
         for (std::uint64_t i = 0; i < iters; ++i) {
           QuorumDecision d =
               EvaluateDynamicQuorum(store, reachable,
@@ -316,12 +323,8 @@ void BenchQuorum(double min_ms, std::vector<BenchEntry>* out) {
                                     paper->topology.get());
           side_effect += d.granted + d.counted_set.Size();
         }
-      });
-
-  // Legacy: same evaluation with the closure recomputed by the pair loop
-  // (the rest of the decision is shared, so the delta isolates the loop).
-  BenchEntry baseline = Measure(
-      "legacy_quorum_topological", min_ms, [&](std::uint64_t iters) {
+      },
+      [&](std::uint64_t iters) {
         for (std::uint64_t i = 0; i < iters; ++i) {
           QuorumDecision d = EvaluateDynamicQuorum(
               store, reachable, TieBreak::kLexicographic, nullptr);
@@ -329,10 +332,7 @@ void BenchQuorum(double min_ms, std::vector<BenchEntry>* out) {
               *paper->topology, d.prev_partition, d.reachable_copies);
           side_effect += d.granted + d.counted_set.Size();
         }
-      });
-  current.baseline = "legacy";
-  current.baseline_ns_per_op = baseline.ns_per_op;
-  out->push_back(current);
+      }));
   if (side_effect == -1) std::cerr << "";
 }
 
@@ -364,15 +364,10 @@ void BenchSampleLoop(double min_ms, std::vector<BenchEntry>* out) {
     }
   };
 
-  BenchEntry cached =
-      Measure("sample_quorum_loop", min_ms,
-              [&](std::uint64_t iters) { run(true, iters); });
-  BenchEntry uncached =
-      Measure("sample_quorum_loop_nocache", min_ms,
-              [&](std::uint64_t iters) { run(false, iters); });
-  cached.baseline = "no-cache";
-  cached.baseline_ns_per_op = uncached.ns_per_op;
-  out->push_back(cached);
+  out->push_back(MeasurePaired(
+      "sample_quorum_loop", "no-cache", min_ms,
+      [&](std::uint64_t iters) { run(true, iters); },
+      [&](std::uint64_t iters) { run(false, iters); }));
   if (side_effect == -1) std::cerr << "";
 }
 
@@ -403,15 +398,70 @@ void BenchExperimentYear(double min_ms, std::vector<BenchEntry>* out) {
     }
   };
 
-  BenchEntry cached =
-      Measure("experiment_year_5copies", min_ms,
-              [&](std::uint64_t iters) { run(true, iters); });
-  BenchEntry uncached =
-      Measure("experiment_year_5copies_nocache", min_ms,
-              [&](std::uint64_t iters) { run(false, iters); });
-  cached.baseline = "no-cache";
-  cached.baseline_ns_per_op = uncached.ns_per_op;
-  out->push_back(cached);
+  out->push_back(MeasurePaired(
+      "experiment_year_5copies", "no-cache", min_ms,
+      [&](std::uint64_t iters) { run(true, iters); },
+      [&](std::uint64_t iters) { run(false, iters); }));
+}
+
+/// The batched multi-object engine's amortization claim: aggregate ns
+/// per object-year running N=64 objects through one calendar-queue event
+/// loop, against the same 64 seeds run sequentially through the solo
+/// engine ("solo-seq"). The bit-identity contract makes the two sides
+/// produce identical statistics, so the ratio is pure engine overhead;
+/// CI gates it at >= 3.0x.
+void BenchBatchedEngine(double min_ms, std::vector<BenchEntry>* out) {
+  auto paper = MakePaperNetwork();
+  ExperimentSpec spec;
+  spec.topology = paper->topology;
+  spec.profiles = paper->profiles;
+  spec.options.warmup = Days(0);
+  spec.options.num_batches = 1;
+  spec.options.batch_length = Years(1);
+
+  constexpr int kObjects = 64;
+  BatchedProtocolSpec batched_spec{PaperProtocolNames(), kFiveCopyPlacement};
+
+  auto run_batched = [&](std::uint64_t iters) {
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      std::vector<std::uint64_t> seeds;
+      seeds.reserve(kObjects);
+      for (int k = 0; k < kObjects; ++k) {
+        seeds.push_back(1 + i * kObjects + static_cast<std::uint64_t>(k));
+      }
+      auto results = RunBatchedAvailabilityExperiment(spec, batched_spec,
+                                                      seeds);
+      if (!results.ok()) {
+        std::cerr << results.status() << "\n";
+        std::exit(1);
+      }
+    }
+  };
+  auto run_solo = [&](std::uint64_t iters) {
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      for (int k = 0; k < kObjects; ++k) {
+        spec.options.seed = 1 + i * kObjects + static_cast<std::uint64_t>(k);
+        auto protocols =
+            MakePaperProtocols(paper->topology, kFiveCopyPlacement);
+        auto results = RunAvailabilityExperiment(spec, std::move(protocols));
+        if (!results.ok()) {
+          std::cerr << results.status() << "\n";
+          std::exit(1);
+        }
+      }
+    }
+  };
+
+  auto [batched, solo] =
+      bench::MeasurePairedMinOfRounds(min_ms, run_batched, run_solo);
+  BenchEntry entry;
+  entry.name = "engine_batched_n64";
+  // Normalize both sides to ns per object-year (one iteration = 64).
+  entry.ops = batched.ops * kObjects;
+  entry.ns_per_op = batched.ns_per_op / kObjects;
+  entry.baseline = "solo-seq";
+  entry.baseline_ns_per_op = solo.ns_per_op / kObjects;
+  out->push_back(entry);
 }
 
 /// Tracing overhead on the same experiment-year unit: observability
@@ -445,12 +495,8 @@ void BenchTracingOverhead(double min_ms, std::vector<BenchEntry>* out) {
   };
 
   // The gated pair — trace-off and the shipping binary pipeline — is
-  // measured in alternating rounds with the minimum taken per side: on
-  // a shared machine, measuring each side once back to back folds
-  // scheduling drift straight into the ratio the CI gate checks, and
-  // the per-round minimum is the standard least-interference estimator
-  // there (medians still carry whatever load coincided with most
-  // rounds).
+  // measured with the paired alternating-rounds estimator (bench_util.h)
+  // so scheduling drift cancels out of the ratio the CI gate checks.
   std::ostringstream binary_buffer;
   StreamPageSink page_sink(&binary_buffer);
   AsyncTraceSink async_sink(&page_sink);
@@ -481,48 +527,13 @@ void BenchTracingOverhead(double min_ms, std::vector<BenchEntry>* out) {
     binary_sink.Flush();
   };
 
-  using Clock = std::chrono::steady_clock;
-  auto timed = [](auto&& body, std::uint64_t iters) {
-    auto t0 = Clock::now();
-    body(iters);
-    auto t1 = Clock::now();
-    return std::chrono::duration<double, std::nano>(t1 - t0).count() /
-           static_cast<double>(iters);
-  };
-
-  // Calibrate a round length on the cheap side, then alternate rounds.
-  std::uint64_t round_iters = 1;
-  for (;;) {
-    auto t0 = Clock::now();
-    run(nullptr, round_iters);
-    auto t1 = Clock::now();
-    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-    if (ms >= min_ms / 4.0) break;
-    round_iters *= 2;
-  }
-  constexpr int kRounds = 7;
-  std::vector<double> off_ns, binary_ns;
-  for (int r = 0; r < kRounds; ++r) {
-    // Swap the order every round so slow drift cancels instead of
-    // biasing one side.
-    if (r % 2 == 0) {
-      off_ns.push_back(
-          timed([&](std::uint64_t n) { run(nullptr, n); }, round_iters));
-      binary_ns.push_back(timed(run_binary, round_iters));
-    } else {
-      binary_ns.push_back(timed(run_binary, round_iters));
-      off_ns.push_back(
-          timed([&](std::uint64_t n) { run(nullptr, n); }, round_iters));
-    }
-  }
-  auto best = [](const std::vector<double>& v) {
-    return *std::min_element(v.begin(), v.end());
-  };
+  auto [off_r, binary_r] = bench::MeasurePairedMinOfRounds(
+      min_ms, [&](std::uint64_t n) { run(nullptr, n); }, run_binary);
 
   BenchEntry off;
   off.name = "experiment_year_trace_off";
-  off.ops = round_iters * kRounds;
-  off.ns_per_op = best(off_ns);
+  off.ops = off_r.ops;
+  off.ns_per_op = off_r.ns_per_op;
 
   RingTraceSink ring_sink;
   ObsContext ring_obs;
@@ -568,8 +579,8 @@ void BenchTracingOverhead(double min_ms, std::vector<BenchEntry>* out) {
   }
   BenchEntry binary;
   binary.name = "experiment_year_trace_binary_async";
-  binary.ops = round_iters * kRounds;
-  binary.ns_per_op = best(binary_ns);
+  binary.ops = binary_r.ops;
+  binary.ns_per_op = binary_r.ns_per_op;
 
   ring.baseline = "trace-off";
   ring.baseline_ns_per_op = off.ns_per_op;
@@ -631,6 +642,7 @@ int Main(int argc, char** argv) {
   BenchQuorum(min_ms, &entries);
   BenchSampleLoop(min_ms, &entries);
   BenchExperimentYear(min_ms, &entries);
+  BenchBatchedEngine(min_ms, &entries);
   BenchTracingOverhead(min_ms, &entries);
 
   std::cout << "hotpath microbenchmarks (ns/op, baseline, speedup):\n";

@@ -1,0 +1,1239 @@
+#include "model/batched_experiment.h"
+
+#include <bit>
+#include <string>
+#include <vector>
+
+#include "core/quorum.h"
+#include "net/network_state.h"
+#include "repl/message_bus.h"
+#include "repl/replica_store.h"
+#include "sim/calendar_queue.h"
+#include "stats/tracker.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dynvote {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Protocol plans
+// ---------------------------------------------------------------------------
+
+/// The engine's protocol bitmasks are 32 bits wide.
+constexpr int kMaxBatchedProtocols = 32;
+
+enum class BatchedKind { kMcv, kDynamic };
+
+/// A protocol reduced to the handful of flags the batched fast paths
+/// need — the same flags the registry bakes into the real protocol
+/// objects (see core/registry.cc).
+struct ProtocolPlan {
+  std::string name;
+  BatchedKind kind = BatchedKind::kDynamic;
+  TieBreak tie_break = TieBreak::kLexicographic;
+  bool topological = false;
+  bool optimistic = false;
+
+  /// Mirrors ConsistencyProtocol::partition_safe(): the topological
+  /// variants knowingly risk dual majorities, everything else must
+  /// never produce one.
+  bool partition_safe() const {
+    return kind == BatchedKind::kMcv || !topological;
+  }
+};
+
+bool PlanFor(const std::string& name, ProtocolPlan* plan) {
+  plan->name = name;
+  if (name == "MCV") {
+    plan->kind = BatchedKind::kMcv;
+    return true;
+  }
+  plan->kind = BatchedKind::kDynamic;
+  if (name == "DV") {
+    plan->tie_break = TieBreak::kNone;
+    return true;
+  }
+  if (name == "LDV") return true;
+  if (name == "ODV") {
+    plan->optimistic = true;
+    return true;
+  }
+  if (name == "TDV") {
+    plan->topological = true;
+    return true;
+  }
+  if (name == "OTDV") {
+    plan->topological = true;
+    plan->optimistic = true;
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Event payload packing
+// ---------------------------------------------------------------------------
+
+/// Payload layout: kind(3) | entity(8) | object(21) | generation(32).
+enum class EventKind : std::uint64_t {
+  kSiteFailure = 0,
+  kSiteRepair = 1,
+  kMaintenanceStart = 2,
+  kMaintenanceEnd = 3,
+  kRepeaterFailure = 4,
+  kRepeaterRepair = 5,
+  kAccess = 6,
+};
+
+constexpr std::uint64_t Pack(EventKind kind, int entity, std::size_t object,
+                             std::uint32_t generation) {
+  return static_cast<std::uint64_t>(kind) |
+         (static_cast<std::uint64_t>(entity) << 3) |
+         (static_cast<std::uint64_t>(object) << 11) |
+         (static_cast<std::uint64_t>(generation) << 32);
+}
+
+constexpr EventKind KindOf(std::uint64_t payload) {
+  return static_cast<EventKind>(payload & 0x7);
+}
+constexpr int EntityOf(std::uint64_t payload) {
+  return static_cast<int>((payload >> 3) & 0xFF);
+}
+constexpr std::size_t ObjectOf(std::uint64_t payload) {
+  return static_cast<std::size_t>((payload >> 11) & 0x1FFFFF);
+}
+constexpr std::uint32_t GenerationOf(std::uint64_t payload) {
+  return static_cast<std::uint32_t>(payload >> 32);
+}
+
+constexpr std::size_t kMaxBatchedObjects = std::size_t{1} << 21;
+
+// ---------------------------------------------------------------------------
+// Struct-of-arrays state
+// ---------------------------------------------------------------------------
+
+/// Failure-process state of one (object, site), the SoA analogue of
+/// NetworkProcessModel::SiteRuntime. The solo model cancels the pending
+/// failure event at maintenance start; here cancellation is a generation
+/// bump — a SiteFailure event whose generation no longer matches is
+/// stale and dropped at dispatch.
+struct SiteSlot {
+  Rng rng{0};
+  std::uint32_t failure_generation = 0;
+  bool failed = false;
+  bool in_maintenance = false;
+
+  bool EffectiveUp() const { return !failed && !in_maintenance; }
+};
+
+/// Dynamic-voting state of one (object, protocol).
+///
+/// Steady state is "uniform": every copy holds the same (o, v, P)
+/// ensemble, so the whole store collapses to three scalars and the
+/// quorum test to popcount arithmetic. The real ReplicaStore is kept
+/// alongside and re-materialized from the scalars the moment a commit
+/// fails to cover the placement; from then on the exact
+/// EvaluateDynamicQuorum path runs until a covering commit restores
+/// uniformity. Decisions are identical in both modes — uniform mode is
+/// the algebraic special case of the paper's rule when Q = S = R and
+/// P_m is the full placement.
+struct DvSlot {
+  explicit DvSlot(ReplicaStore s) : store(std::move(s)) {}
+
+  bool uniform = true;
+  OpNumber u_op = 1;
+  VersionNumber u_version = 1;
+  SiteSet u_partition;          // == placement while uniform (invariant)
+  ReplicaStore store;           // authoritative only while !uniform
+
+  /// Monotonic count of decision-relevant state changes (commits that
+  /// alter the store or the uniform partition set). Absolute op/version
+  /// values never affect a quorum decision, so uniform-to-uniform
+  /// commits deliberately do not bump it.
+  std::uint64_t commit_stamp = 0;
+
+  /// Divergent-mode analogue of the uniform invariant: after a commit
+  /// with P = participants = all-copies(participants), every member of
+  /// `local_set` carries identical (o, v, P = local_set) state. A later
+  /// evaluation over exactly that group is then an unconditional grant
+  /// with Q = S = R = P_m — the steady state of the majority side during
+  /// a long partition — and reintegration over it is a no-op. Any commit
+  /// rewrites these fields, so they can never go stale.
+  bool local_valid = false;
+  SiteSet local_set;
+  OpNumber local_op = 0;
+  VersionNumber local_version = 0;
+
+  /// True when the authoritative (o, v) of local_set's members live in
+  /// the scalars above and the store rows are stale: a repeat commit of
+  /// the same locally uniform group changes nothing any evaluation can
+  /// observe, so it only bumps the scalars. The rows are rewritten
+  /// (EnsureMaterialized) before any code path reads the store again.
+  bool local_dirty = false;
+};
+
+/// Flushes deferred scalar commits back into the store rows. Must run
+/// before any store read (scan, state lookup, or a real Commit) while
+/// local_dirty is set.
+void EnsureMaterialized(DvSlot& slot) {
+  if (!slot.local_dirty) return;
+  for (SiteId s : slot.local_set) {
+    ReplicaState* state = slot.store.mutable_state(s);
+    state->op_number = slot.local_op;
+    state->version = slot.local_version;
+    state->partition_set = slot.local_set;
+  }
+  slot.local_dirty = false;
+}
+
+/// Availability/traffic accounting of one (object, protocol).
+struct ObservedSlot {
+  explicit ObservedSlot(AvailabilityTracker t) : tracker(std::move(t)) {}
+
+  AvailabilityTracker tracker;
+  MessageCounter counter;
+  std::uint64_t attempted = 0;
+  std::uint64_t granted = 0;
+  std::uint64_t dual_majority_instants = 0;
+
+  /// Shadow of the tracker's last status. An available-while-available
+  /// update only rewrites the tracker's last-update time, which no
+  /// statistic depends on, so those calls are skipped. Unavailable
+  /// updates always go through: the tracker accumulates outage time
+  /// span-by-span and merging spans would change the floating-point
+  /// sums.
+  bool last_available = true;
+};
+
+/// One slot of the per-object sample memo: grant decisions for a copies
+/// mask, one validity/decision bit per protocol. The equivalent of the
+/// solo CachedWouldGrant ring, shared by all protocols of the object.
+struct GroupMemoSlot {
+  std::uint64_t mask = 0;
+  std::uint32_t valid = 0;
+  std::uint32_t granted = 0;
+};
+
+constexpr int kGroupMemoSlots = 8;
+
+/// Outcome of one quorum evaluation, either mode. `quorum` and `current`
+/// double as handles to the extremal replica states: every member of Q
+/// carries MaxOp(R) and every member of S carries MaxVersion(R), so a
+/// caller reads those maxima with one state lookup instead of a store
+/// scan.
+struct EvalResult {
+  bool granted = false;
+  SiteSet reachable;  // R ∩ placement
+  SiteSet quorum;     // Q: reachable copies with the maximal op number
+  SiteSet current;    // S
+  SiteSet prev;       // P_m
+  OpNumber max_op = 0;          // MaxOp(R), undefined if R is empty
+  VersionNumber max_version = 0;  // MaxVersion(R), undefined if R is empty
+};
+
+/// Per-(object, protocol) evaluation memo. A quorum decision is a pure
+/// function of (replica state, reachable-copies mask), and between
+/// commits the same (state, mask) pair is evaluated repeatedly — user
+/// access, the availability sample and the instantaneous refresh all ask
+/// the same question. Two entries cover the common partitioned case of
+/// one group per side. Validity is (mask, commit_stamp) equality, so a
+/// commit or a membership change is an automatic miss.
+struct DvEvalMemo {
+  struct Entry {
+    std::uint64_t mask = 0;
+    std::uint64_t stamp = ~std::uint64_t{0};  // never matches a live slot
+    EvalResult result;
+  };
+  Entry entries[2];
+  int cursor = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+class BatchedEngine {
+ public:
+  BatchedEngine(const ExperimentSpec& spec, SiteSet placement,
+                std::vector<ProtocolPlan> plans,
+                const std::vector<std::uint64_t>& seeds)
+      : spec_(spec),
+        placement_(placement),
+        plans_(std::move(plans)),
+        seeds_(seeds),
+        num_objects_(seeds.size()),
+        num_protocols_(static_cast<int>(plans_.size())),
+        start_(spec.options.warmup),
+        horizon_(spec.options.warmup +
+                 spec.options.batch_length * spec.options.num_batches) {}
+
+  Result<std::vector<std::vector<PolicyResult>>> Run();
+
+ private:
+  // --- indexing ----------------------------------------------------------
+  SiteSlot& site_slot(std::size_t obj, SiteId s) {
+    return sites_[obj * static_cast<std::size_t>(num_sites_) +
+                  static_cast<std::size_t>(s)];
+  }
+  ObservedSlot& observed(std::size_t obj, int p) {
+    return observed_[obj * static_cast<std::size_t>(num_protocols_) +
+                     static_cast<std::size_t>(p)];
+  }
+  DvSlot& dv(std::size_t obj, int p) {
+    return dv_[obj * static_cast<std::size_t>(num_protocols_) +
+               static_cast<std::size_t>(p)];
+  }
+
+  // --- setup -------------------------------------------------------------
+  void InitObject(std::size_t obj);
+
+  // --- failure/access processes (exact ports of model/failure_model.cc
+  // and model/access_model.cc handlers) -----------------------------------
+  void Dispatch(std::uint64_t payload);
+  void ScheduleSiteFailure(std::size_t obj, SiteId s);
+  void PublishSite(std::size_t obj, SiteId s);
+  void NotifyNetworkEvent(std::size_t obj);
+  void OnSiteFailure(std::size_t obj, SiteId s);
+  void OnSiteRepair(std::size_t obj, SiteId s);
+  void OnMaintenanceStart(std::size_t obj, SiteId s);
+  void OnMaintenanceEnd(std::size_t obj, SiteId s);
+  void ScheduleRepeaterFailure(std::size_t obj, int r);
+  void OnRepeaterFailure(std::size_t obj, int r);
+  void OnRepeaterRepair(std::size_t obj, int r);
+  void OnAccess(std::size_t obj);
+
+  // --- protocol fast paths (exact ports of core/mcv.cc and
+  // core/dynamic_voting.cc over the SoA state) -----------------------------
+  bool McvGranted(SiteSet copies) const;
+  bool McvUserAccess(std::size_t obj, int p, AccessType type);
+  EvalResult DvEvaluate(std::size_t obj, int p, SiteSet copies);
+  void DvCommit(std::size_t obj, int p, SiteSet participants, OpNumber op,
+                VersionNumber version, SiteSet partition);
+  bool DvUserAccess(std::size_t obj, int p, AccessType type);
+  bool DvRecover(std::size_t obj, int p, SiteId site);
+  void DvReintegrateGroup(std::size_t obj, int p, SiteSet group);
+  void DvOnNetworkEvent(std::size_t obj, int p);
+
+  // --- sampling ----------------------------------------------------------
+  GroupMemoSlot* MemoSlotFor(std::size_t obj, std::uint64_t mask);
+  void InvalidateMemo(std::size_t obj, int p, std::uint64_t touched_mask);
+  void Sample(std::size_t obj);
+
+  /// True iff the object is in the all-fast steady state: every dynamic
+  /// slot uniform and every copy in one communicating group. In that
+  /// state each protocol's response to an access or a network event is a
+  /// fixed pattern and the per-protocol evaluate/commit machinery can be
+  /// skipped wholesale.
+  bool Steady(std::size_t obj) {
+    return divergent_counts_[obj] == 0 &&
+           nets_[obj].FullyConnected(placement_);
+  }
+
+  /// Brings every tracker of the object to "available". A no-op when the
+  /// previous sample already reported all-available — an
+  /// available→available Update only rewrites the tracker's last-update
+  /// time, which no statistic depends on.
+  void MarkAllAvailable(std::size_t obj) {
+    if (all_available_[obj]) return;
+    for (int p = 0; p < num_protocols_; ++p) {
+      ObservedSlot& obs = observed(obj, p);
+      if (!obs.last_available) {
+        obs.tracker.Update(now_, true);
+        obs.last_available = true;
+      }
+    }
+    all_available_[obj] = 1;
+  }
+
+  const ExperimentSpec& spec_;
+  const SiteSet placement_;
+  const std::vector<ProtocolPlan> plans_;
+  const std::vector<std::uint64_t>& seeds_;
+  const std::size_t num_objects_;
+  const int num_protocols_;
+  const SimTime start_;
+  const SimTime horizon_;
+
+  int num_sites_ = 0;
+  int num_repeaters_ = 0;
+  bool any_topological_ = false;
+  bool any_non_optimistic_dv_ = false;
+
+  CalendarQueue queue_;
+  SimTime now_ = 0.0;
+
+  // Per object.
+  std::vector<NetworkState> nets_;
+  std::vector<Rng> access_rngs_;
+  std::vector<GroupMemoSlot> memo_;
+  std::vector<int> memo_cursor_;
+  /// Number of this object's dynamic slots currently out of uniform
+  /// mode; 0 is a precondition of the steady-state fast path.
+  std::vector<int> divergent_counts_;
+  /// True while every tracker of the object last reported "available":
+  /// steady-state events may then skip the tracker updates entirely
+  /// (an available→available Update only rewrites the last-update time,
+  /// which no statistic depends on).
+  std::vector<std::uint8_t> all_available_;
+  /// Steady-state event tallies, materialized into the message counters
+  /// and access totals once at the end of the run — the per-event
+  /// deltas of a steady access/notify are fixed patterns, and counter
+  /// addition commutes with the slow paths' direct increments.
+  std::vector<std::uint64_t> steady_reads_;
+  std::vector<std::uint64_t> steady_writes_;
+  std::vector<std::uint64_t> steady_notifies_;
+
+  // Per (object, site) / (object, repeater) / (object, protocol).
+  std::vector<SiteSlot> sites_;
+  std::vector<Rng> repeater_rngs_;
+  std::vector<ObservedSlot> observed_;
+  std::vector<DvSlot> dv_;
+  std::vector<DvEvalMemo> eval_memo_;  // indexed like dv_
+
+  /// Per-site topological closure: all sites sharing the site's segment.
+  std::vector<std::uint64_t> segment_mask_;
+};
+
+void BatchedEngine::InitObject(std::size_t obj) {
+  // RNG fan-out in exactly the solo order: NetworkProcessModel::Make
+  // splits one master stream to sites then repeaters; AccessProcess owns
+  // an independent stream at seed ^ 0x5DEECE66D.
+  Rng master(seeds_[obj]);
+  for (SiteId s = 0; s < num_sites_; ++s) site_slot(obj, s).rng = master.Split();
+  for (int r = 0; r < num_repeaters_; ++r) {
+    repeater_rngs_[obj * static_cast<std::size_t>(num_repeaters_) +
+                   static_cast<std::size_t>(r)] = master.Split();
+  }
+  access_rngs_[obj] = Rng(seeds_[obj] ^ 0x5DEECE66DULL);
+
+  // NetworkProcessModel::Start(): per site, the first failure draw and
+  // the maintenance phase draw; then per repeater, the first failure.
+  for (SiteId s = 0; s < num_sites_; ++s) {
+    ScheduleSiteFailure(obj, s);
+    const SiteProfile& prof = spec_.profiles[static_cast<std::size_t>(s)];
+    if (prof.maintenance_interval_days > 0.0 && prof.maintenance_hours > 0.0) {
+      double phase =
+          site_slot(obj, s).rng.NextDouble() * prof.maintenance_interval_days;
+      queue_.Schedule(Days(phase),
+                      Pack(EventKind::kMaintenanceStart, s, obj, 0));
+    }
+  }
+  for (int r = 0; r < num_repeaters_; ++r) ScheduleRepeaterFailure(obj, r);
+
+  // AccessProcess::Start().
+  if (spec_.options.access.enabled) {
+    const AccessOptions& a = spec_.options.access;
+    double gap = a.deterministic
+                     ? 1.0 / a.rate_per_day
+                     : access_rngs_[obj].NextExponential(1.0 / a.rate_per_day);
+    queue_.Schedule(now_ + gap, Pack(EventKind::kAccess, 0, obj, 0));
+  }
+}
+
+// --- failure/access processes ---------------------------------------------
+
+void BatchedEngine::ScheduleSiteFailure(std::size_t obj, SiteId s) {
+  SiteSlot& slot = site_slot(obj, s);
+  double ttf = slot.rng.NextExponential(
+      spec_.profiles[static_cast<std::size_t>(s)].mttf_days);
+  std::uint32_t gen = ++slot.failure_generation;
+  queue_.Schedule(now_ + ttf, Pack(EventKind::kSiteFailure, s, obj, gen));
+}
+
+void BatchedEngine::PublishSite(std::size_t obj, SiteId s) {
+  // The solo model notifies on every publish, even when the effective
+  // up/down state did not flip (e.g. failure during maintenance).
+  nets_[obj].SetSiteUp(s, site_slot(obj, s).EffectiveUp());
+  NotifyNetworkEvent(obj);
+}
+
+void BatchedEngine::NotifyNetworkEvent(std::size_t obj) {
+  // experiment.cc on_change: every protocol's OnNetworkEvent (a no-op
+  // for MCV and the optimistic variants), then one sample.
+  if (Steady(obj)) {
+    // All copies in one group, every slot uniform: each instantaneous
+    // protocol refreshes its (single) group and concludes membership is
+    // current; the sample finds exactly one granted group per protocol.
+    // The refresh traffic is a fixed pattern tallied for the end of the
+    // run, and when every tracker already reads "available" the sample
+    // would not change any of them.
+    ++steady_notifies_[obj];
+    MarkAllAvailable(obj);
+    return;
+  }
+  if (any_non_optimistic_dv_) {
+    for (int p = 0; p < num_protocols_; ++p) {
+      const ProtocolPlan& plan = plans_[static_cast<std::size_t>(p)];
+      if (plan.kind == BatchedKind::kDynamic && !plan.optimistic) {
+        DvOnNetworkEvent(obj, p);
+      }
+    }
+  }
+  Sample(obj);
+}
+
+void BatchedEngine::OnSiteFailure(std::size_t obj, SiteId s) {
+  SiteSlot& slot = site_slot(obj, s);
+  slot.failed = true;
+  PublishSite(obj, s);
+
+  const SiteProfile& prof = spec_.profiles[static_cast<std::size_t>(s)];
+  SimTime repair;
+  if (slot.rng.NextBernoulli(prof.hardware_fraction)) {
+    repair = Hours(prof.hw_repair_const_hours);
+    if (prof.hw_repair_exp_hours > 0.0) {
+      repair += Hours(slot.rng.NextExponential(prof.hw_repair_exp_hours));
+    }
+  } else {
+    repair = Minutes(prof.restart_minutes);
+  }
+  queue_.Schedule(now_ + repair, Pack(EventKind::kSiteRepair, s, obj, 0));
+}
+
+void BatchedEngine::OnSiteRepair(std::size_t obj, SiteId s) {
+  SiteSlot& slot = site_slot(obj, s);
+  slot.failed = false;
+  PublishSite(obj, s);
+  if (slot.EffectiveUp()) ScheduleSiteFailure(obj, s);
+}
+
+void BatchedEngine::OnMaintenanceStart(std::size_t obj, SiteId s) {
+  SiteSlot& slot = site_slot(obj, s);
+  slot.in_maintenance = true;
+  // Cancel the pending failure (solo: queue Cancel; here: stale the
+  // generation so the event is dropped at dispatch).
+  ++slot.failure_generation;
+  PublishSite(obj, s);
+  const SiteProfile& prof = spec_.profiles[static_cast<std::size_t>(s)];
+  queue_.Schedule(now_ + Hours(prof.maintenance_hours),
+                  Pack(EventKind::kMaintenanceEnd, s, obj, 0));
+}
+
+void BatchedEngine::OnMaintenanceEnd(std::size_t obj, SiteId s) {
+  SiteSlot& slot = site_slot(obj, s);
+  slot.in_maintenance = false;
+  PublishSite(obj, s);
+  if (slot.EffectiveUp()) ScheduleSiteFailure(obj, s);
+  const SiteProfile& prof = spec_.profiles[static_cast<std::size_t>(s)];
+  queue_.Schedule(now_ + Days(prof.maintenance_interval_days) -
+                      Hours(prof.maintenance_hours),
+                  Pack(EventKind::kMaintenanceStart, s, obj, 0));
+}
+
+void BatchedEngine::ScheduleRepeaterFailure(std::size_t obj, int r) {
+  Rng& rng = repeater_rngs_[obj * static_cast<std::size_t>(num_repeaters_) +
+                            static_cast<std::size_t>(r)];
+  double ttf = rng.NextExponential(
+      spec_.repeater_profiles[static_cast<std::size_t>(r)].mttf_days);
+  queue_.Schedule(now_ + ttf, Pack(EventKind::kRepeaterFailure, r, obj, 0));
+}
+
+void BatchedEngine::OnRepeaterFailure(std::size_t obj, int r) {
+  nets_[obj].SetRepeaterUp(r, false);
+  NotifyNetworkEvent(obj);
+  Rng& rng = repeater_rngs_[obj * static_cast<std::size_t>(num_repeaters_) +
+                            static_cast<std::size_t>(r)];
+  const RepeaterProfile& prof =
+      spec_.repeater_profiles[static_cast<std::size_t>(r)];
+  SimTime repair = Hours(prof.repair_const_hours);
+  if (prof.repair_exp_hours > 0.0) {
+    repair += Hours(rng.NextExponential(prof.repair_exp_hours));
+  }
+  queue_.Schedule(now_ + repair, Pack(EventKind::kRepeaterRepair, r, obj, 0));
+}
+
+void BatchedEngine::OnRepeaterRepair(std::size_t obj, int r) {
+  nets_[obj].SetRepeaterUp(r, true);
+  NotifyNetworkEvent(obj);
+  ScheduleRepeaterFailure(obj, r);
+}
+
+void BatchedEngine::OnAccess(std::size_t obj) {
+  Rng& rng = access_rngs_[obj];
+  const AccessOptions& a = spec_.options.access;
+  // AccessProcess::Fire draw order: access type, then the callback, then
+  // the next arrival gap.
+  AccessType type =
+      rng.NextBernoulli(a.write_fraction) ? AccessType::kWrite
+                                          : AccessType::kRead;
+  if (Steady(obj)) {
+    // Every protocol grants in its one full group: MCV has its static
+    // majority, each dynamic variant finds Q = S = R = P_m. The message
+    // pattern and access totals are fixed and tallied for the end of
+    // the run; only the dynamic scalars must stay current (slow paths
+    // read them), and covering commits keep the sample memo valid.
+    const bool write = type == AccessType::kWrite;
+    if (write) {
+      ++steady_writes_[obj];
+    } else {
+      ++steady_reads_[obj];
+    }
+    for (int p = 0; p < num_protocols_; ++p) {
+      if (plans_[static_cast<std::size_t>(p)].kind == BatchedKind::kMcv) {
+        continue;
+      }
+      DvSlot& slot = dv(obj, p);
+      slot.u_op += 1;
+      if (write) slot.u_version += 1;
+    }
+    MarkAllAvailable(obj);
+  } else {
+    for (int p = 0; p < num_protocols_; ++p) {
+      ObservedSlot& obs = observed(obj, p);
+      ++obs.attempted;
+      bool granted =
+          plans_[static_cast<std::size_t>(p)].kind == BatchedKind::kMcv
+              ? McvUserAccess(obj, p, type)
+              : DvUserAccess(obj, p, type);
+      if (granted) ++obs.granted;
+    }
+    Sample(obj);
+  }
+  double gap = a.deterministic ? 1.0 / a.rate_per_day
+                               : rng.NextExponential(1.0 / a.rate_per_day);
+  queue_.Schedule(now_ + gap, Pack(EventKind::kAccess, 0, obj, 0));
+}
+
+void BatchedEngine::Dispatch(std::uint64_t payload) {
+  const std::size_t obj = ObjectOf(payload);
+  const int entity = EntityOf(payload);
+  switch (KindOf(payload)) {
+    case EventKind::kSiteFailure:
+      // Stale generation == the solo model's cancelled pending failure.
+      if (GenerationOf(payload) !=
+          site_slot(obj, entity).failure_generation) {
+        return;
+      }
+      OnSiteFailure(obj, entity);
+      return;
+    case EventKind::kSiteRepair:
+      OnSiteRepair(obj, entity);
+      return;
+    case EventKind::kMaintenanceStart:
+      OnMaintenanceStart(obj, entity);
+      return;
+    case EventKind::kMaintenanceEnd:
+      OnMaintenanceEnd(obj, entity);
+      return;
+    case EventKind::kRepeaterFailure:
+      OnRepeaterFailure(obj, entity);
+      return;
+    case EventKind::kRepeaterRepair:
+      OnRepeaterRepair(obj, entity);
+      return;
+    case EventKind::kAccess:
+      OnAccess(obj);
+      return;
+  }
+  DYNVOTE_CHECK_MSG(false, "unknown batched event kind");
+}
+
+// --- MCV fast path --------------------------------------------------------
+
+bool BatchedEngine::McvGranted(SiteSet copies) const {
+  // MCV::WouldGrant with uniform weights and default quorums
+  // (r = w = total/2 + 1, lexicographic tie-break): the decision is a
+  // pure function of the reachable-copies mask, so it can be memoized
+  // forever — MCV never mutates decision-relevant state.
+  const int total = placement_.Size();
+  const int votes = copies.Size();
+  if (votes >= total / 2 + 1) return true;
+  return 2 * votes == total && copies.Contains(placement_.RankMax());
+}
+
+bool BatchedEngine::McvUserAccess(std::size_t obj, int p, AccessType type) {
+  ObservedSlot& obs = observed(obj, p);
+  for (const SiteSet& group : nets_[obj].Components()) {
+    SiteSet copies = group.Intersect(placement_);
+    if (copies.Empty()) continue;
+    if (!McvGranted(copies)) continue;
+    // MCV::Access: probe the whole replication set, then exchange state
+    // with the reachable copies; writes additionally commit.
+    obs.counter.Add(MessageKind::kProbe, placement_.Size());
+    obs.counter.Add(MessageKind::kProbeReply, copies.Size());
+    obs.counter.Add(MessageKind::kStateRequest, copies.Size());
+    obs.counter.Add(MessageKind::kStateReply, copies.Size());
+    if (type == AccessType::kWrite) {
+      obs.counter.Add(MessageKind::kCommit, copies.Size());
+    }
+    return true;
+  }
+  return false;  // no quorum anywhere: no messages, like the solo path
+}
+
+// --- dynamic-voting fast path ---------------------------------------------
+
+EvalResult BatchedEngine::DvEvaluate(std::size_t obj, int p, SiteSet copies) {
+  const ProtocolPlan& plan = plans_[static_cast<std::size_t>(p)];
+  DvSlot& slot = dv(obj, p);
+  EvalResult r;
+  r.reachable = copies;
+  if (copies.Empty()) return r;
+
+  if (slot.uniform) {
+    // All copies share one ensemble, so Q = S = R and P_m is the stored
+    // partition set (the full placement, by the uniform invariant).
+    // Cheap enough to compute inline; deliberately not memoized — the
+    // memo's stamp does not track the uniform o/v scalars, and a stale
+    // max_op would corrupt the operation-number chain.
+    r.quorum = copies;
+    r.current = copies;
+    r.prev = slot.u_partition;
+    r.max_op = slot.u_op;
+    r.max_version = slot.u_version;
+    SiteSet counted = copies;
+    if (plan.topological) {
+      // Topological closure: members of P_m on a segment that also
+      // carries a reachable member of P_m count as present.
+      SiteSet active = slot.u_partition.Intersect(copies);
+      std::uint64_t segments = 0;
+      for (SiteId s : active) {
+        segments |= segment_mask_[static_cast<std::size_t>(s)];
+      }
+      counted = SiteSet::FromMask(slot.u_partition.mask() & segments);
+    }
+    const int counted_weight = counted.Size();
+    const int block_weight = slot.u_partition.Size();
+    if (2 * counted_weight > block_weight) {
+      r.granted = true;
+    } else if (2 * counted_weight == block_weight) {
+      r.granted = plan.tie_break == TieBreak::kLexicographic &&
+                  !slot.u_partition.Empty() &&
+                  copies.Contains(slot.u_partition.RankMax());
+    }
+    return r;
+  }
+
+  if (slot.local_valid && copies == slot.local_set) {
+    // Locally uniform sub-ensemble: every reachable copy carries the
+    // maximal (o, v) and P_m = local_set = R, so Q = S = R = P_m and the
+    // majority test is 2|P_m| > |P_m| — granted without touching the
+    // store. This is the hot state of the majority side between
+    // consecutive accesses during a partition.
+    r.granted = true;
+    r.quorum = copies;
+    r.current = copies;
+    r.prev = copies;
+    r.max_op = slot.local_op;
+    r.max_version = slot.local_version;
+    return r;
+  }
+
+  DvEvalMemo& memo = eval_memo_[obj * static_cast<std::size_t>(num_protocols_) +
+                                static_cast<std::size_t>(p)];
+  for (const DvEvalMemo::Entry& e : memo.entries) {
+    if (e.mask == copies.mask() && e.stamp == slot.commit_stamp) {
+      return e.result;
+    }
+  }
+
+  EnsureMaterialized(slot);
+  QuorumDecision d = EvaluateDynamicQuorum(
+      slot.store, copies, plan.tie_break,
+      plan.topological ? spec_.topology.get() : nullptr);
+  r.granted = d.granted;
+  r.quorum = d.quorum_set;
+  r.current = d.current_set;
+  r.prev = d.prev_partition;
+  r.max_op = slot.store.state(d.quorum_set.RankMax()).op_number;
+  r.max_version = slot.store.state(d.current_set.RankMax()).version;
+
+  DvEvalMemo::Entry& victim = memo.entries[memo.cursor];
+  memo.cursor ^= 1;
+  victim.mask = copies.mask();
+  victim.stamp = slot.commit_stamp;
+  victim.result = r;
+  return r;
+}
+
+void BatchedEngine::DvCommit(std::size_t obj, int p, SiteSet participants,
+                             OpNumber op, VersionNumber version,
+                             SiteSet partition) {
+  DvSlot& slot = dv(obj, p);
+  const bool covers = placement_.IsSubsetOf(participants);
+  if (slot.uniform) {
+    if (covers) {
+      // Uniform stays uniform. The partition set is the placement before
+      // and after (every covering DV commit installs P = participants =
+      // placement), and grant decisions do not depend on the absolute
+      // o/v values — the memo stays valid.
+      slot.u_op = op;
+      slot.u_version = version;
+      if (partition != slot.u_partition) {
+        // Cannot happen for the paper's protocols (covering commits
+        // always install P = placement), but a changed partition set
+        // does change decisions — drop the memos if it ever does.
+        slot.u_partition = partition;
+        ++slot.commit_stamp;
+        InvalidateMemo(obj, p, ~std::uint64_t{0});
+      }
+      return;
+    }
+    // Leaving uniform mode: materialize the store the scalars stand for,
+    // then apply the divergent commit to it.
+    for (SiteId s : placement_) {
+      ReplicaState* state = slot.store.mutable_state(s);
+      state->op_number = slot.u_op;
+      state->version = slot.u_version;
+      state->partition_set = slot.u_partition;
+    }
+    slot.uniform = false;
+    ++divergent_counts_[obj];
+  } else if (slot.local_valid && participants == slot.local_set &&
+             partition == participants) {
+    // Repeat commit of the locally uniform group (consecutive accesses
+    // on the majority side of a partition): the group's members move to
+    // the new (o, v) together and P_m stays local_set, so no evaluation
+    // anywhere can observe a difference — every grant decision depends
+    // on relative order and membership only. Bump the scalars and leave
+    // the store rows stale; they are rewritten before the next store
+    // read. Cached maxima for masks overlapping the group DO go stale,
+    // so those memo entries are dropped (disjoint ones — the other side
+    // of the partition — survive, which is the point).
+    slot.local_op = op;
+    slot.local_version = version;
+    slot.local_dirty = true;
+    DvEvalMemo& memo =
+        eval_memo_[obj * static_cast<std::size_t>(num_protocols_) +
+                   static_cast<std::size_t>(p)];
+    const std::uint64_t local_mask = slot.local_set.mask();
+    for (DvEvalMemo::Entry& e : memo.entries) {
+      if (e.mask & local_mask) e.stamp = ~std::uint64_t{0};
+    }
+    return;
+  }
+  EnsureMaterialized(slot);
+  slot.store.Commit(participants, op, version, partition);
+  if (covers) {
+    // Back to uniform: the covering commit overwrote every copy.
+    slot.uniform = true;
+    slot.u_op = op;
+    slot.u_version = version;
+    slot.u_partition = partition;
+    slot.local_valid = false;
+    slot.local_dirty = false;
+    --divergent_counts_[obj];
+  } else {
+    slot.local_set = slot.store.CopiesAmong(participants);
+    slot.local_valid =
+        partition == participants && slot.local_set == participants;
+    slot.local_op = op;
+    slot.local_version = version;
+    slot.local_dirty = false;  // the real Commit above wrote the rows
+  }
+
+  // The commit rewrote exactly the participants' states. Memo entries
+  // for disjoint groups (the other side of a partition) survive; their
+  // stamp is refreshed so they remain hits under the new stamp.
+  const std::uint64_t touched = participants.mask();
+  const std::uint64_t old_stamp = slot.commit_stamp++;
+  DvEvalMemo& memo = eval_memo_[obj * static_cast<std::size_t>(num_protocols_) +
+                                static_cast<std::size_t>(p)];
+  for (DvEvalMemo::Entry& e : memo.entries) {
+    if (e.stamp == old_stamp && (e.mask & touched) == 0) {
+      e.stamp = slot.commit_stamp;
+    }
+  }
+  InvalidateMemo(obj, p, touched);
+}
+
+bool BatchedEngine::DvUserAccess(std::size_t obj, int p, AccessType type) {
+  // DynamicVoting::UserAccess + Access, fused: find the first granted
+  // group, charge the Access message pattern, commit, reintegrate.
+  ObservedSlot& obs = observed(obj, p);
+  for (const SiteSet& group : nets_[obj].Components()) {
+    SiteSet copies = group.Intersect(placement_);
+    if (copies.Empty()) continue;
+    EvalResult d = DvEvaluate(obj, p, copies);
+    if (!d.granted) continue;
+
+    obs.counter.Add(MessageKind::kProbe, placement_.Size());
+    obs.counter.Add(MessageKind::kProbeReply, copies.Size());
+    obs.counter.Add(MessageKind::kStateRequest, copies.Size());
+    obs.counter.Add(MessageKind::kStateReply, copies.Size());
+
+    const OpNumber op = d.max_op + 1;
+    const VersionNumber version =
+        d.max_version + (type == AccessType::kWrite ? 1 : 0);
+    DvCommit(obj, p, d.current, op, version, d.current);
+    obs.counter.Add(MessageKind::kCommit, d.current.Size());
+    DvReintegrateGroup(obj, p, copies);
+    return true;
+  }
+  return false;  // NoQuorum: no messages
+}
+
+bool BatchedEngine::DvRecover(std::size_t obj, int p, SiteId site) {
+  ObservedSlot& obs = observed(obj, p);
+  SiteSet copies = nets_[obj].ComponentOf(site).Intersect(placement_);
+  EvalResult d = DvEvaluate(obj, p, copies);
+  if (!d.granted) {
+    obs.counter.Add(MessageKind::kAbort, d.reachable.Size());
+    return false;
+  }
+  DvSlot& slot = dv(obj, p);
+  const OpNumber op = d.max_op + 1;
+  const VersionNumber version = d.max_version;
+  // While uniform, the site's row logically carries the uniform scalars.
+  // While locally dirty the stale rows are exactly local_set's — whose
+  // members all carry the maximal op and are never the recovery target —
+  // so the direct read is safe either way.
+  const VersionNumber site_version =
+      slot.uniform ? slot.u_version : slot.store.state(site).version;
+  if (site_version < version) obs.counter.Add(MessageKind::kFileCopy, 1);
+  SiteSet participants = d.current.Union(SiteSet{site});
+  DvCommit(obj, p, participants, op, version, participants);
+  obs.counter.Add(MessageKind::kCommit, participants.Size());
+  return true;
+}
+
+void BatchedEngine::DvReintegrateGroup(std::size_t obj, int p, SiteSet group) {
+  DvSlot& slot = dv(obj, p);
+  // In uniform mode every copy already carries the maximal operation
+  // number — reintegration is a no-op by definition.
+  if (slot.uniform) return;
+  SiteSet copies = slot.store.CopiesAmong(group);
+  // Locally uniform group: every copy already carries the maximal op
+  // number (the definition of local_set), so the scan below would find
+  // nothing to recover.
+  if (slot.local_valid && copies == slot.local_set) return;
+  EnsureMaterialized(slot);
+  // MaxOp over the group only moves when a recover commits (it can raise
+  // the bar for the rest, exactly as in DynamicVoting); between recovers
+  // the cached value is exact.
+  OpNumber max_op = slot.store.MaxOp(copies);
+  for (SiteId s : copies) {
+    if (slot.store.state(s).op_number < max_op) {
+      bool ok = DvRecover(obj, p, s);
+      DYNVOTE_CHECK_MSG(ok,
+                        "reintegration inside a granted group must succeed");
+      if (slot.uniform) return;  // a covering recover re-uniformized
+      max_op = slot.store.MaxOp(copies);
+    }
+  }
+}
+
+void BatchedEngine::DvOnNetworkEvent(std::size_t obj, int p) {
+  // The instantaneous variants refresh state in every group on every
+  // network event (the paper's "connection vector" cost).
+  ObservedSlot& obs = observed(obj, p);
+  for (const SiteSet& group : nets_[obj].Components()) {
+    SiteSet copies = group.Intersect(placement_);
+    if (copies.Empty()) continue;
+    obs.counter.Add(MessageKind::kInstantRefresh, 2 * copies.Size());
+    DvSlot& slot = dv(obj, p);
+    if (slot.uniform && copies == slot.u_partition) {
+      // Membership is necessarily current: S = R = P_m. Skip the
+      // evaluate; the solo path reaches the same no-op conclusion.
+      continue;
+    }
+    EvalResult d = DvEvaluate(obj, p, copies);
+    if (!d.granted) continue;
+    const bool membership_current = d.current == d.prev && copies == d.current;
+    if (membership_current) continue;
+    DvCommit(obj, p, d.current, d.max_op + 1, d.max_version, d.current);
+    obs.counter.Add(MessageKind::kCommit, d.current.Size());
+    DvReintegrateGroup(obj, p, copies);
+  }
+}
+
+// --- sampling -------------------------------------------------------------
+
+GroupMemoSlot* BatchedEngine::MemoSlotFor(std::size_t obj,
+                                          std::uint64_t mask) {
+  GroupMemoSlot* base = &memo_[obj * kGroupMemoSlots];
+  for (int i = 0; i < kGroupMemoSlots; ++i) {
+    if (base[i].mask == mask) return &base[i];
+  }
+  int victim = memo_cursor_[obj];
+  memo_cursor_[obj] = (victim + 1) % kGroupMemoSlots;
+  base[victim] = GroupMemoSlot{mask, 0, 0};
+  return &base[victim];
+}
+
+void BatchedEngine::InvalidateMemo(std::size_t obj, int p,
+                                   std::uint64_t touched_mask) {
+  // A quorum evaluation over group G reads only the states of G's
+  // members, so a commit invalidates exactly the slots whose group
+  // intersects the committed participants. During a partition the
+  // majority side's commits leave the minority side's cached denial
+  // untouched.
+  const std::uint32_t clear = ~(std::uint32_t{1} << p);
+  GroupMemoSlot* base = &memo_[obj * kGroupMemoSlots];
+  for (int i = 0; i < kGroupMemoSlots; ++i) {
+    if (base[i].mask & touched_mask) base[i].valid &= clear;
+  }
+}
+
+void BatchedEngine::Sample(std::size_t obj) {
+  const std::vector<SiteSet>& groups = nets_[obj].Components();
+  // Per-protocol grant tallies as bitmasks: `once` has protocol p's bit
+  // if any group granted, `twice` if a second group did (the
+  // dual-majority case). Two words replace a zeroed per-protocol array.
+  std::uint32_t once = 0;
+  std::uint32_t twice = 0;
+  for (const SiteSet& group : groups) {
+    SiteSet copies = group.Intersect(placement_);
+    if (copies.Empty()) continue;
+    GroupMemoSlot* slot = MemoSlotFor(obj, copies.mask());
+    std::uint32_t group_granted = slot->granted & slot->valid;
+    std::uint32_t missing = ~slot->valid & ((std::uint32_t{1} << num_protocols_) - 1);
+    while (missing != 0) {
+      const int p = std::countr_zero(missing);
+      const std::uint32_t bit = std::uint32_t{1} << p;
+      missing &= missing - 1;
+      const bool granted =
+          plans_[static_cast<std::size_t>(p)].kind == BatchedKind::kMcv
+              ? McvGranted(copies)
+              : DvEvaluate(obj, p, copies).granted;
+      slot->valid |= bit;
+      if (granted) {
+        slot->granted |= bit;
+        group_granted |= bit;
+      } else {
+        slot->granted &= ~bit;
+      }
+    }
+    twice |= once & group_granted;
+    once |= group_granted;
+  }
+  bool all_available = true;
+  for (int p = 0; p < num_protocols_; ++p) {
+    ObservedSlot& obs = observed(obj, p);
+    const std::uint32_t bit = std::uint32_t{1} << p;
+    if (twice & bit) {
+      ++obs.dual_majority_instants;
+      if (spec_.options.check_mutual_exclusion &&
+          plans_[static_cast<std::size_t>(p)].partition_safe()) {
+        DYNVOTE_CHECK_MSG(
+            (twice & bit) == 0,
+            "two disjoint majority partitions (batched engine): " +
+                plans_[static_cast<std::size_t>(p)].name + " at t=" +
+                std::to_string(now_));
+      }
+    }
+    const bool available = (once & bit) != 0;
+    // Available-while-available updates only rewrite the tracker's
+    // last-update time; skip them. Unavailable spans must still be fed
+    // update-by-update so the outage accumulation sums in the same
+    // floating-point order as the solo engine.
+    if (!(available && obs.last_available)) {
+      obs.tracker.Update(now_, available);
+      obs.last_available = available;
+    }
+    all_available = all_available && available;
+  }
+  all_available_[obj] = all_available ? 1 : 0;
+}
+
+// --- top level ------------------------------------------------------------
+
+Result<std::vector<std::vector<PolicyResult>>> BatchedEngine::Run() {
+  num_sites_ = spec_.topology->num_sites();
+  num_repeaters_ = spec_.topology->num_repeaters();
+  for (const ProtocolPlan& plan : plans_) {
+    if (plan.topological) any_topological_ = true;
+    if (plan.kind == BatchedKind::kDynamic && !plan.optimistic) {
+      any_non_optimistic_dv_ = true;
+    }
+  }
+
+  segment_mask_.resize(static_cast<std::size_t>(num_sites_));
+  for (SiteId s = 0; s < num_sites_; ++s) {
+    segment_mask_[static_cast<std::size_t>(s)] =
+        spec_.topology->SitesOnSegment(spec_.topology->SegmentOf(s)).mask();
+  }
+
+  nets_.reserve(num_objects_);
+  access_rngs_.resize(num_objects_);
+  memo_.resize(num_objects_ * kGroupMemoSlots);
+  memo_cursor_.assign(num_objects_, 0);
+  divergent_counts_.assign(num_objects_, 0);
+  all_available_.assign(num_objects_, 1);
+  steady_reads_.assign(num_objects_, 0);
+  steady_writes_.assign(num_objects_, 0);
+  steady_notifies_.assign(num_objects_, 0);
+  sites_.resize(num_objects_ * static_cast<std::size_t>(num_sites_));
+  repeater_rngs_.resize(num_objects_ *
+                        static_cast<std::size_t>(num_repeaters_));
+  observed_.reserve(num_objects_ * static_cast<std::size_t>(num_protocols_));
+  dv_.reserve(num_objects_ * static_cast<std::size_t>(num_protocols_));
+  eval_memo_.assign(num_objects_ * static_cast<std::size_t>(num_protocols_),
+                    DvEvalMemo{});
+  for (std::size_t obj = 0; obj < num_objects_; ++obj) {
+    nets_.emplace_back(spec_.topology);
+    for (int p = 0; p < num_protocols_; ++p) {
+      observed_.emplace_back(AvailabilityTracker(
+          start_, spec_.options.batch_length, spec_.options.num_batches));
+      auto store = ReplicaStore::Make(placement_);
+      if (!store.ok()) return store.status();
+      dv_.emplace_back(store.MoveValue());
+      dv_.back().u_partition = placement_;
+    }
+  }
+
+  for (std::size_t obj = 0; obj < num_objects_; ++obj) InitObject(obj);
+
+  // The fused event loop: one calendar queue over every object's events,
+  // popped in (time, schedule-seq) order — the same order in which N
+  // solo EventQueues would have dispatched them per object.
+  // Popping the first beyond-horizon event (instead of peeking first)
+  // avoids locating the minimum twice per step; the queue is discarded
+  // when the loop ends, so the extra pop is unobservable.
+  while (!queue_.Empty()) {
+    CalendarEvent event = queue_.PopNext();
+    if (event.when > horizon_) break;
+    now_ = event.when;
+    Dispatch(event.payload);
+  }
+  now_ = horizon_;
+
+  std::vector<std::vector<PolicyResult>> results;
+  results.reserve(num_objects_);
+  for (std::size_t obj = 0; obj < num_objects_; ++obj) {
+    // Materialize the steady-state tallies: every steady access charged
+    // each protocol the full-group message pattern and counted as a
+    // granted attempt; every steady network event charged each
+    // instantaneous protocol one full-group refresh.
+    const std::uint64_t total = static_cast<std::uint64_t>(placement_.Size());
+    const std::uint64_t reads = steady_reads_[obj];
+    const std::uint64_t writes = steady_writes_[obj];
+    const std::uint64_t accesses = reads + writes;
+    for (int p = 0; p < num_protocols_; ++p) {
+      ObservedSlot& obs = observed(obj, p);
+      const ProtocolPlan& plan = plans_[static_cast<std::size_t>(p)];
+      obs.attempted += accesses;
+      obs.granted += accesses;
+      obs.counter.Add(MessageKind::kProbe, total * accesses);
+      obs.counter.Add(MessageKind::kProbeReply, total * accesses);
+      obs.counter.Add(MessageKind::kStateRequest, total * accesses);
+      obs.counter.Add(MessageKind::kStateReply, total * accesses);
+      if (plan.kind == BatchedKind::kMcv) {
+        obs.counter.Add(MessageKind::kCommit, total * writes);
+      } else {
+        obs.counter.Add(MessageKind::kCommit, total * accesses);
+        if (!plan.optimistic) {
+          obs.counter.Add(MessageKind::kInstantRefresh,
+                          2 * total * steady_notifies_[obj]);
+        }
+      }
+    }
+    std::vector<PolicyResult> rows;
+    rows.reserve(static_cast<std::size_t>(num_protocols_));
+    for (int p = 0; p < num_protocols_; ++p) {
+      ObservedSlot& obs = observed(obj, p);
+      obs.tracker.Finish(horizon_);
+      PolicyResult r;
+      r.name = plans_[static_cast<std::size_t>(p)].name;
+      r.unavailability = obs.tracker.Unavailability();
+      r.stats = obs.tracker.Stats();
+      r.mean_unavailable_duration = obs.tracker.MeanUnavailableDuration();
+      r.num_unavailable_periods = obs.tracker.NumUnavailablePeriods();
+      r.accesses_attempted = obs.attempted;
+      r.accesses_granted = obs.granted;
+      r.messages = obs.counter;
+      r.measured_time = obs.tracker.TotalTime();
+      r.dual_majority_instants = obs.dual_majority_instants;
+      r.time_to_first_outage = obs.tracker.TimeToFirstOutage();
+      rows.push_back(std::move(r));
+    }
+    results.push_back(std::move(rows));
+  }
+  return results;
+}
+
+}  // namespace
+
+bool BatchedEngineSupports(const std::vector<std::string>& policies) {
+  if (policies.empty() ||
+      policies.size() > static_cast<std::size_t>(kMaxBatchedProtocols)) {
+    return false;
+  }
+  ProtocolPlan plan;
+  for (const std::string& name : policies) {
+    if (!PlanFor(name, &plan)) return false;
+  }
+  return true;
+}
+
+Result<std::vector<std::vector<PolicyResult>>>
+RunBatchedAvailabilityExperiment(const ExperimentSpec& spec,
+                                 const BatchedProtocolSpec& protocols,
+                                 const std::vector<std::uint64_t>& seeds) {
+  // Mirror the validation of RunAvailabilityExperiment and the process
+  // factories it calls, so the batched and per-replication paths reject
+  // the same inputs.
+  if (spec.topology == nullptr) {
+    return Status::InvalidArgument("experiment needs a topology");
+  }
+  if (spec.obs != nullptr) {
+    return Status::InvalidArgument(
+        "the batched engine is observability-free; route traced runs "
+        "through the per-replication path");
+  }
+  if (protocols.policies.empty()) {
+    return Status::InvalidArgument("experiment needs at least one protocol");
+  }
+  if (!BatchedEngineSupports(protocols.policies)) {
+    return Status::InvalidArgument(
+        "policy set not supported by the batched engine");
+  }
+  if (spec.options.num_batches < 1 || spec.options.batch_length <= 0.0 ||
+      spec.options.warmup < 0.0) {
+    return Status::InvalidArgument("bad measurement window");
+  }
+  if (protocols.placement.Empty() ||
+      !protocols.placement.IsSubsetOf(spec.topology->AllSites())) {
+    return Status::InvalidArgument(
+        "placement must be a non-empty subset of the topology's sites");
+  }
+  if (static_cast<int>(spec.profiles.size()) != spec.topology->num_sites()) {
+    return Status::InvalidArgument("need one SiteProfile per site");
+  }
+  if (static_cast<int>(spec.repeater_profiles.size()) !=
+      spec.topology->num_repeaters()) {
+    return Status::InvalidArgument("need one RepeaterProfile per repeater");
+  }
+  for (const SiteProfile& p : spec.profiles) {
+    if (p.mttf_days <= 0.0) {
+      return Status::InvalidArgument("site MTTF must be > 0");
+    }
+    if (p.hardware_fraction < 0.0 || p.hardware_fraction > 1.0) {
+      return Status::InvalidArgument("hardware fraction outside [0, 1]");
+    }
+  }
+  for (const RepeaterProfile& p : spec.repeater_profiles) {
+    if (p.mttf_days <= 0.0) {
+      return Status::InvalidArgument("repeater MTTF must be > 0");
+    }
+  }
+  if (spec.options.access.enabled) {
+    if (spec.options.access.rate_per_day <= 0.0) {
+      return Status::InvalidArgument("access rate must be > 0");
+    }
+    if (spec.options.access.write_fraction < 0.0 ||
+        spec.options.access.write_fraction > 1.0) {
+      return Status::InvalidArgument("write fraction outside [0, 1]");
+    }
+  }
+  if (seeds.empty()) {
+    return Status::InvalidArgument("batched run needs at least one seed");
+  }
+  if (seeds.size() > kMaxBatchedObjects) {
+    return Status::InvalidArgument("too many objects for one batch");
+  }
+
+  std::vector<ProtocolPlan> plans(protocols.policies.size());
+  for (std::size_t i = 0; i < protocols.policies.size(); ++i) {
+    if (!PlanFor(protocols.policies[i], &plans[i])) {
+      return Status::InvalidArgument("policy set not supported");
+    }
+  }
+
+  BatchedEngine engine(spec, protocols.placement, std::move(plans), seeds);
+  return engine.Run();
+}
+
+}  // namespace dynvote

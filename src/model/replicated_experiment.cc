@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/registry.h"
+#include "model/batched_experiment.h"
 #include "model/failure_model.h"
 #include "obs/async_writer.h"
 #include "obs/binary_trace.h"
@@ -94,12 +95,16 @@ std::uint64_t ReplicationSeed(std::uint64_t master_seed, int replication) {
 
 Result<ReplicatedResults> RunReplicatedExperiment(
     const ExperimentSpec& spec, const ProtocolSetFactory& factory,
-    const ReplicationOptions& options) {
+    const ReplicationOptions& options,
+    const BatchedProtocolSpec* batched) {
   if (options.replications < 1) {
     return Status::InvalidArgument("replications must be >= 1");
   }
   if (options.jobs < 0) {
     return Status::InvalidArgument("jobs must be >= 0 (0 = all cores)");
+  }
+  if (options.objects < 1) {
+    return Status::InvalidArgument("objects must be >= 1");
   }
   if (!factory) {
     return Status::InvalidArgument("replicated experiment needs a factory");
@@ -115,8 +120,48 @@ Result<ReplicatedResults> RunReplicatedExperiment(
     out.seeds.push_back(ReplicationSeed(spec.options.seed, r));
   }
 
+  // The batched engine handles only plain statistical runs: tracing and
+  // metrics need the per-replication instrumented path, and unsupported
+  // policies need real protocol objects. Grouping replications changes
+  // nothing observable — each group's rows are bit-identical to solo
+  // runs with the same seeds — so the gate is purely a dispatch choice.
+  const bool use_batched = batched != nullptr && options.objects > 1 &&
+                           !options.collect_traces &&
+                           !options.collect_metrics && spec.obs == nullptr &&
+                           BatchedEngineSupports(batched->policies);
+
   std::vector<ReplicationSlot> slots(static_cast<std::size_t>(reps));
-  if (jobs <= 1) {
+  if (use_batched) {
+    const int group_size = options.objects;
+    const int num_groups = (reps + group_size - 1) / group_size;
+    // One task per group; each group writes only its own replications'
+    // slots, preserving the fixed-slot determinism contract.
+    auto run_group = [&spec, batched, &out, &slots, reps, group_size](int g) {
+      const int lo = g * group_size;
+      const int hi = std::min(reps, lo + group_size);
+      std::vector<std::uint64_t> seeds(out.seeds.begin() + lo,
+                                       out.seeds.begin() + hi);
+      auto rows = RunBatchedAvailabilityExperiment(spec, *batched, seeds);
+      if (!rows.ok()) {
+        for (int r = lo; r < hi; ++r) slots[r].status = rows.status();
+        return;
+      }
+      std::vector<std::vector<PolicyResult>> group_rows = rows.MoveValue();
+      for (int r = lo; r < hi; ++r) {
+        slots[r].rows = std::move(group_rows[static_cast<std::size_t>(r - lo)]);
+      }
+    };
+    const int group_jobs = std::min(jobs, num_groups);
+    if (group_jobs <= 1) {
+      for (int g = 0; g < num_groups; ++g) run_group(g);
+    } else {
+      ThreadPool pool(group_jobs);
+      for (int g = 0; g < num_groups; ++g) {
+        pool.Submit([&run_group, g] { run_group(g); });
+      }
+      pool.Wait();
+    }
+  } else if (jobs <= 1) {
     for (int r = 0; r < reps; ++r) {
       slots[r] = RunOneReplication(spec, factory, out.seeds[r], r, options);
     }
@@ -233,7 +278,11 @@ Result<ReplicatedResults> RunReplicatedPaperExperiment(
   spec.topology = network->topology;
   spec.profiles = network->profiles;
   spec.options = options;
-  return RunReplicatedExperiment(spec, factory, replication);
+  // Offer the batched engine the same protocol set the factory builds;
+  // RunReplicatedExperiment falls back to per-replication protocol
+  // objects whenever the batched gate does not apply.
+  BatchedProtocolSpec batched{policies, placement};
+  return RunReplicatedExperiment(spec, factory, replication, &batched);
 }
 
 std::vector<PolicyResult> MeanPolicyResults(const ReplicatedResults& results) {

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "model/batched_experiment.h"
 #include "model/experiment.h"
 #include "obs/metrics.h"
 #include "repl/message_bus.h"
@@ -57,6 +58,14 @@ struct ReplicationOptions {
   /// Collect metrics into per-replication shards, merged in replication
   /// order into ReplicatedResults::metrics at join.
   bool collect_metrics = false;
+  /// Objects per batched-engine event loop. When > 1 and a batched
+  /// protocol spec is supplied (and the run is untraced/unmetered),
+  /// replications are grouped into consecutive runs of this size and each
+  /// group executes through model/batched_experiment.h instead of one
+  /// Simulator per replication. Never affects results — the batched
+  /// engine's bit-identity contract makes every grouping produce the same
+  /// bytes as objects = 1 — only wall-clock time.
+  int objects = 1;
 };
 
 /// Cross-replication aggregate for one protocol.
@@ -120,9 +129,18 @@ using ProtocolSetFactory = std::function<
 /// RunAvailabilityExperiment(spec, factory()) over `options.jobs` worker
 /// threads and aggregates. `spec.options.seed` is the master seed; each
 /// replication runs with ReplicationSeed(master, r).
+///
+/// When `batched` is non-null, `options.objects` > 1, the run collects
+/// neither traces nor metrics, spec.obs is null, and every policy has a
+/// batched implementation (BatchedEngineSupports), replications execute
+/// in groups of `options.objects` through the batched multi-object
+/// engine. The engine's bit-identity contract guarantees the output is
+/// byte-identical either way; `batched` must name the same protocol set
+/// (same order) the factory builds.
 Result<ReplicatedResults> RunReplicatedExperiment(
     const ExperimentSpec& spec, const ProtocolSetFactory& factory,
-    const ReplicationOptions& options);
+    const ReplicationOptions& options,
+    const BatchedProtocolSpec* batched = nullptr);
 
 /// Replicated analogue of RunPaperExperiment: paper network, placement
 /// per configuration `config_label`, the named policies.

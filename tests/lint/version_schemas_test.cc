@@ -1,0 +1,105 @@
+// Cross-checks the `dynvote --version` schema registry
+// (tools/version_schemas.h) against the source tree: every
+// dynvote-*-vN token the lint scanner finds under src/, bench/ and
+// tools/ must be registered, and every registered token must still
+// exist in the tree. Adding a seventh schema without touching the
+// registry — the bug --version shipped with when the lint schema
+// landed — fails here, not in code review.
+
+#include "version_schemas.h"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "lint/lint.h"
+
+namespace dynvote {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFileOrDie(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool IsSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+/// Every schema token in the repo's emitting directories. Tests are
+/// deliberately excluded: a test may mention a hypothetical token
+/// without emitting it.
+std::set<std::string> TreeSchemaTokens() {
+  const fs::path root(DYNVOTE_REPO_ROOT);
+  std::set<std::string> tokens;
+  for (const char* dir : {"src", "bench", "tools"}) {
+    for (const fs::directory_entry& entry :
+         fs::recursive_directory_iterator(root / dir)) {
+      if (!entry.is_regular_file() || !IsSourceFile(entry.path())) continue;
+      for (std::string& token :
+           lint::CollectSchemaTokens(ReadFileOrDie(entry.path()))) {
+        tokens.insert(std::move(token));
+      }
+    }
+  }
+  return tokens;
+}
+
+std::set<std::string> RegisteredTokens() {
+  std::set<std::string> tokens;
+  for (const VersionedSchema& schema : kAllSchemas) {
+    tokens.insert(schema.token);
+  }
+  return tokens;
+}
+
+TEST(VersionSchemasTest, RegistryEntriesAreUniqueAndLabeled) {
+  EXPECT_EQ(RegisteredTokens().size(), kAllSchemas.size())
+      << "duplicate token in kAllSchemas";
+  std::set<std::string> labels;
+  for (const VersionedSchema& schema : kAllSchemas) {
+    EXPECT_FALSE(std::string(schema.label).empty());
+    EXPECT_TRUE(labels.insert(schema.label).second)
+        << "duplicate label " << schema.label;
+  }
+}
+
+TEST(VersionSchemasTest, RegistryMatchesSourceTreeExactly) {
+  const std::set<std::string> in_tree = TreeSchemaTokens();
+  const std::set<std::string> registered = RegisteredTokens();
+
+  for (const std::string& token : in_tree) {
+    EXPECT_TRUE(registered.count(token))
+        << "schema `" << token << "` appears in src/bench/tools but is "
+        << "missing from tools/version_schemas.h (--version would omit it)";
+  }
+  for (const std::string& token : registered) {
+    EXPECT_TRUE(in_tree.count(token))
+        << "schema `" << token << "` is registered for --version but no "
+        << "longer appears anywhere in src/bench/tools (stale registry?)";
+  }
+}
+
+TEST(VersionSchemasTest, CollectorSeesKnownShapes) {
+  // The collector must match the same grammar the schema-docs lint rule
+  // uses: multi-word tokens, single occurrences, and dedup.
+  auto tokens = lint::CollectSchemaTokens(
+      "a dynvote-trace-v1 b dynvote-hotpath-bench-v1 dynvote-trace-v1");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "dynvote-trace-v1");
+  EXPECT_EQ(tokens[1], "dynvote-hotpath-bench-v1");
+  EXPECT_TRUE(lint::CollectSchemaTokens("no schemas here").empty());
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -1,0 +1,232 @@
+#include "model/batched_experiment.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "model/export.h"
+#include "model/replicated_experiment.h"
+#include "model/site_profile.h"
+
+namespace dynvote {
+namespace {
+
+// The paper's five-copy placement (configuration B): csvax, beowulf,
+// wizard, gremlin, mangle — spans all three segments, so partitions and
+// divergent replica states occur routinely.
+constexpr SiteSet kFiveCopyPlacement{0, 1, 3, 5, 7};
+
+ExperimentSpec PaperSpec(bool quorum_cache = true) {
+  auto network = MakePaperNetwork();
+  EXPECT_TRUE(network.ok()) << network.status();
+  ExperimentSpec spec;
+  spec.topology = network->topology;
+  spec.profiles = network->profiles;
+  spec.options.warmup = Days(90);
+  spec.options.num_batches = 3;
+  spec.options.batch_length = Years(1);
+  spec.options.quorum_cache = quorum_cache;
+  return spec;
+}
+
+std::vector<std::unique_ptr<ConsistencyProtocol>> MakeProtocols(
+    const ExperimentSpec& spec, const std::vector<std::string>& names) {
+  std::vector<std::unique_ptr<ConsistencyProtocol>> protocols;
+  for (const std::string& name : names) {
+    auto p = MakeProtocolByName(name, spec.topology, kFiveCopyPlacement);
+    EXPECT_TRUE(p.ok()) << p.status();
+    protocols.push_back(p.MoveValue());
+  }
+  return protocols;
+}
+
+/// Asserts object `k` of a batched run reproduces a solo run bit for bit
+/// — every statistic, counter and message tally, not just the headline
+/// unavailability.
+void ExpectBitIdentical(const PolicyResult& batched, const PolicyResult& solo) {
+  EXPECT_EQ(batched.name, solo.name);
+  EXPECT_EQ(batched.unavailability, solo.unavailability);
+  EXPECT_EQ(batched.mean_unavailable_duration, solo.mean_unavailable_duration);
+  EXPECT_EQ(batched.time_to_first_outage, solo.time_to_first_outage);
+  EXPECT_EQ(batched.num_unavailable_periods, solo.num_unavailable_periods);
+  EXPECT_EQ(batched.accesses_attempted, solo.accesses_attempted);
+  EXPECT_EQ(batched.accesses_granted, solo.accesses_granted);
+  EXPECT_EQ(batched.dual_majority_instants, solo.dual_majority_instants);
+  EXPECT_EQ(batched.measured_time, solo.measured_time);
+  EXPECT_EQ(batched.stats.num_batches, solo.stats.num_batches);
+  EXPECT_EQ(batched.stats.mean, solo.stats.mean);
+  EXPECT_EQ(batched.stats.stddev, solo.stats.stddev);
+  EXPECT_EQ(batched.stats.ci95_halfwidth, solo.stats.ci95_halfwidth);
+  for (int k = 0; k < kNumMessageKinds; ++k) {
+    MessageKind kind = static_cast<MessageKind>(k);
+    EXPECT_EQ(batched.messages.count(kind), solo.messages.count(kind))
+        << "message kind " << k;
+  }
+}
+
+TEST(BatchedEngineSupportsTest, PaperSetIsSupported) {
+  EXPECT_TRUE(BatchedEngineSupports(PaperProtocolNames()));
+  EXPECT_TRUE(BatchedEngineSupports({"MCV"}));
+  EXPECT_TRUE(BatchedEngineSupports({"DV", "ODV"}));
+}
+
+TEST(BatchedEngineSupportsTest, RejectsProtocolsWithoutFastPath) {
+  EXPECT_FALSE(BatchedEngineSupports({"AC"}));
+  EXPECT_FALSE(BatchedEngineSupports({"MCV", "AC"}));
+  EXPECT_FALSE(BatchedEngineSupports({"NOPE"}));
+}
+
+TEST(BatchedExperimentTest, EveryObjectMatchesItsSoloRunBitForBit) {
+  // The engine's hard constraint: object k in a batch of N reproduces a
+  // solo RunAvailabilityExperiment with seed seeds[k] exactly. Five
+  // objects over three years of the partition-prone placement exercise
+  // uniform mode, divergence, reintegration and recovery.
+  ExperimentSpec spec = PaperSpec();
+  const std::vector<std::string>& names = PaperProtocolNames();
+  BatchedProtocolSpec batched_spec{names, kFiveCopyPlacement};
+  std::vector<std::uint64_t> seeds{11, 5150, 77777, 4242424242ull, 90210};
+
+  auto batched = RunBatchedAvailabilityExperiment(spec, batched_spec, seeds);
+  ASSERT_TRUE(batched.ok()) << batched.status();
+  ASSERT_EQ(batched->size(), seeds.size());
+
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    ExperimentSpec solo_spec = spec;
+    solo_spec.options.seed = seeds[k];
+    auto solo = RunAvailabilityExperiment(solo_spec,
+                                          MakeProtocols(spec, names));
+    ASSERT_TRUE(solo.ok()) << solo.status();
+    ASSERT_EQ((*batched)[k].size(), solo->size());
+    for (std::size_t p = 0; p < solo->size(); ++p) {
+      SCOPED_TRACE("seed " + std::to_string(seeds[k]) + " policy " +
+                   (*solo)[p].name);
+      ExpectBitIdentical((*batched)[k][p], (*solo)[p]);
+    }
+  }
+}
+
+TEST(BatchedExperimentTest, QuorumCacheOffStillMatchesSolo) {
+  // --no-quorum-cache disables grant memoization in both engines; the
+  // batched engine must keep bit-identity in that mode too.
+  ExperimentSpec spec = PaperSpec(/*quorum_cache=*/false);
+  const std::vector<std::string>& names = PaperProtocolNames();
+  BatchedProtocolSpec batched_spec{names, kFiveCopyPlacement};
+  std::vector<std::uint64_t> seeds{303, 999983};
+
+  auto batched = RunBatchedAvailabilityExperiment(spec, batched_spec, seeds);
+  ASSERT_TRUE(batched.ok()) << batched.status();
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    ExperimentSpec solo_spec = spec;
+    solo_spec.options.seed = seeds[k];
+    auto solo = RunAvailabilityExperiment(solo_spec,
+                                          MakeProtocols(spec, names));
+    ASSERT_TRUE(solo.ok()) << solo.status();
+    for (std::size_t p = 0; p < solo->size(); ++p) {
+      SCOPED_TRACE("seed " + std::to_string(seeds[k]) + " policy " +
+                   (*solo)[p].name);
+      ExpectBitIdentical((*batched)[k][p], (*solo)[p]);
+    }
+  }
+}
+
+TEST(BatchedExperimentTest, BatchSizeNeverChangesResults) {
+  // Splitting the same seeds across different batch sizes (or running
+  // them solo through a batch of one) is invisible in the output.
+  ExperimentSpec spec = PaperSpec();
+  BatchedProtocolSpec batched_spec{{"MCV", "DV", "TDV"}, kFiveCopyPlacement};
+  std::vector<std::uint64_t> seeds{1, 2, 3, 4, 5, 6};
+
+  auto all = RunBatchedAvailabilityExperiment(spec, batched_spec, seeds);
+  ASSERT_TRUE(all.ok()) << all.status();
+  auto first_half = RunBatchedAvailabilityExperiment(
+      spec, batched_spec,
+      std::vector<std::uint64_t>(seeds.begin(), seeds.begin() + 3));
+  ASSERT_TRUE(first_half.ok()) << first_half.status();
+  auto one = RunBatchedAvailabilityExperiment(spec, batched_spec, {seeds[4]});
+  ASSERT_TRUE(one.ok()) << one.status();
+
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (std::size_t p = 0; p < (*all)[k].size(); ++p) {
+      ExpectBitIdentical((*first_half)[k][p], (*all)[k][p]);
+    }
+  }
+  for (std::size_t p = 0; p < (*all)[4].size(); ++p) {
+    ExpectBitIdentical((*one)[0][p], (*all)[4][p]);
+  }
+}
+
+TEST(BatchedExperimentTest, RejectsUnknownPolicyAndEmptyBatch) {
+  ExperimentSpec spec = PaperSpec();
+  BatchedProtocolSpec bad{{"NOPE"}, kFiveCopyPlacement};
+  EXPECT_FALSE(RunBatchedAvailabilityExperiment(spec, bad, {1}).ok());
+
+  BatchedProtocolSpec ok_spec{{"MCV"}, kFiveCopyPlacement};
+  EXPECT_FALSE(RunBatchedAvailabilityExperiment(spec, ok_spec, {}).ok());
+}
+
+TEST(ReplicatedObjectsTest, ObjectsGroupingIsByteInvisible) {
+  // The integration contract: --objects only changes wall-clock time.
+  // The serialized JSON (the CLI's --json output) must be byte-identical
+  // across objects ∈ {1, 3, N} and jobs ∈ {1, 4}, including a group size
+  // that does not divide the replication count.
+  ExperimentOptions options;
+  options.warmup = Days(90);
+  options.num_batches = 3;
+  options.batch_length = Years(1);
+  options.seed = 20260808;
+
+  auto run = [&](int objects, int jobs) {
+    ReplicationOptions replication;
+    replication.replications = 7;
+    replication.jobs = jobs;
+    replication.objects = objects;
+    auto results = RunReplicatedPaperExperiment('B', PaperProtocolNames(),
+                                                options, replication);
+    EXPECT_TRUE(results.ok()) << results.status();
+    return ReplicatedResultsToJson("B", *results);
+  };
+
+  const std::string baseline = run(1, 1);
+  EXPECT_EQ(run(3, 1), baseline);
+  EXPECT_EQ(run(3, 4), baseline);
+  EXPECT_EQ(run(7, 2), baseline);
+  EXPECT_EQ(run(16, 4), baseline);
+}
+
+TEST(ReplicatedObjectsTest, UnsupportedPolicyFallsBackToProtocolObjects) {
+  // AC has no batched fast path; the gate must silently route through
+  // the per-replication engine and still produce identical bytes.
+  ExperimentOptions options;
+  options.warmup = Days(30);
+  options.num_batches = 2;
+  options.batch_length = Years(1);
+  options.seed = 777;
+
+  auto run = [&](int objects) {
+    ReplicationOptions replication;
+    replication.replications = 3;
+    replication.jobs = 2;
+    replication.objects = objects;
+    auto results = RunReplicatedPaperExperiment('B', {"MCV", "AC"}, options,
+                                                replication);
+    EXPECT_TRUE(results.ok()) << results.status();
+    return ReplicatedResultsToJson("B", *results);
+  };
+  EXPECT_EQ(run(4), run(1));
+}
+
+TEST(ReplicatedObjectsTest, ValidatesObjects) {
+  ExperimentOptions options;
+  ReplicationOptions replication;
+  replication.objects = 0;
+  EXPECT_TRUE(RunReplicatedPaperExperiment('A', {"MCV"}, options, replication)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace dynvote

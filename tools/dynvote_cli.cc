@@ -4,11 +4,12 @@
 //   dynvote analyze  [--network=FILE] --sites=a,b,c
 //   dynvote simulate [--network=FILE] --sites=a,b,c [--policies=...]
 //                    [--years=N] [--rate=R] [--seed=N] [--csv=PATH]
+//                    [--objects=N]
 //                    [--trace-out=FILE.{jsonl,btrace}]
 //                    [--metrics-out=FILE.json]
 //   dynvote repeat   [--network=FILE] --sites=a,b,c [--policies=...]
 //                    [--years=N] [--rate=R] [--seed=N] [--reps=N]
-//                    [--jobs=M] [--json=PATH]
+//                    [--jobs=M] [--objects=N] [--json=PATH]
 //                    [--trace-out=FILE.{jsonl,btrace}]
 //                    [--metrics-out=FILE.json]
 //   dynvote scenario [--network=FILE] --sites=a,b,c [--protocol=LDV]
@@ -59,6 +60,7 @@
 #include "core/registry.h"
 #include "kv/scenario.h"
 #include "model/analytic.h"
+#include "model/batched_experiment.h"
 #include "model/config_parser.h"
 #include "model/experiment.h"
 #include "model/export.h"
@@ -72,6 +74,7 @@
 #include "obs/trace_reader.h"
 #include "obs/trace_sink.h"
 #include "stats/table.h"
+#include "version_schemas.h"
 
 namespace dynvote {
 namespace cli {
@@ -96,6 +99,9 @@ struct Options {
   // declaration (default 1).
   int reps = -1;
   int jobs = -1;
+  // simulate/repeat: replications per batched event loop (1 = the
+  // per-replication engine). Never changes results.
+  int objects = 1;
   // check:
   std::string topology = "single3";
   std::string mode = "exhaustive";
@@ -136,6 +142,9 @@ int Usage() {
       "  --reps=N         repeat: independent replications\n"
       "  --jobs=M         repeat: worker threads (0 = all cores; never "
       "changes results)\n"
+      "  --objects=N      simulate/repeat: objects per batched event loop\n"
+      "                   (runs untraced replications through the batched\n"
+      "                   engine in groups of N; never changes results)\n"
       "  --json=PATH      repeat: write per-replication + aggregate JSON\n"
       "  --trace-out=F    simulate/repeat: write " << kTraceSchema
       << " JSONL events\n"
@@ -173,12 +182,15 @@ int UnknownCommand(const std::string& command) {
 }
 
 int Version() {
-  std::cout << "dynvote schemas:\n"
-            << "  bench           " << kHotpathBenchSchema << "\n"
-            << "  trace           " << kTraceSchema << "\n"
-            << "  binary trace    " << kBinaryTraceSchema << "\n"
-            << "  metrics         " << kMetricsSchema << "\n"
-            << "  counterexample  " << check::kCounterExampleSchema << "\n";
+  // Prints the registry verbatim: tests/lint/version_schemas_test.cc
+  // keeps kAllSchemas equal to the set of schema tokens in the tree, so
+  // this loop cannot silently omit a schema.
+  std::cout << "dynvote schemas:\n";
+  for (const VersionedSchema& schema : kAllSchemas) {
+    std::string label = schema.label;
+    label.resize(15, ' ');
+    std::cout << "  " << label << " " << schema.token << "\n";
+  }
   return 0;
 }
 
@@ -228,6 +240,11 @@ Result<Options> Parse(int argc, char** argv) {
       opt.jobs = std::stoi(value("--jobs="));
       if (opt.jobs < 0) {
         return Status::InvalidArgument("--jobs must be >= 0 (0 = all cores)");
+      }
+    } else if (a.rfind("--objects=", 0) == 0) {
+      opt.objects = std::stoi(value("--objects="));
+      if (opt.objects < 1) {
+        return Status::InvalidArgument("--objects must be >= 1");
       }
     } else if (a.rfind("--years=", 0) == 0) {
       opt.years = std::stod(value("--years="));
@@ -515,20 +532,36 @@ int Simulate(const Options& opt) {
   if (!opt.metrics_out_path.empty()) obs.metrics = &metrics;
   if (obs.sink != nullptr || obs.metrics != nullptr) spec.obs = &obs;
 
-  std::vector<std::unique_ptr<ConsistencyProtocol>> protocols;
+  std::vector<std::string> policy_names;
   std::stringstream ss(opt.policies);
   std::string name;
   while (std::getline(ss, name, ',')) {
-    if (name.empty()) continue;
-    auto p = MakeProtocolByName(name, network->topology, *placement);
-    if (!p.ok()) {
-      std::cerr << p.status() << "\n";
-      return 1;
-    }
-    protocols.push_back(p.MoveValue());
+    if (!name.empty()) policy_names.push_back(name);
   }
 
-  auto results = RunAvailabilityExperiment(spec, std::move(protocols));
+  // --objects routes simulate's single sample path through the batched
+  // multi-object engine (a batch of one): same bytes by the engine's
+  // bit-identity contract, so the flag lets users cross-check the two
+  // engines from the CLI. Traced/metered runs need the instrumented
+  // per-replication path and silently keep it.
+  const bool batch_engine = opt.objects > 1 && spec.obs == nullptr &&
+                            BatchedEngineSupports(policy_names);
+  auto run = [&]() -> Result<std::vector<PolicyResult>> {
+    if (batch_engine) {
+      BatchedProtocolSpec batched{policy_names, *placement};
+      auto rows = RunBatchedAvailabilityExperiment(spec, batched, {opt.seed});
+      if (!rows.ok()) return rows.status();
+      return std::move(rows.MoveValue().front());
+    }
+    std::vector<std::unique_ptr<ConsistencyProtocol>> protocols;
+    for (const std::string& policy : policy_names) {
+      auto p = MakeProtocolByName(policy, network->topology, *placement);
+      if (!p.ok()) return p.status();
+      protocols.push_back(p.MoveValue());
+    }
+    return RunAvailabilityExperiment(spec, std::move(protocols));
+  };
+  auto results = run();
   if (!results.ok()) {
     std::cerr << results.status() << "\n";
     return 1;
@@ -610,6 +643,7 @@ int Repeat(const Options& opt) {
                                  ? TraceFormat::kBinary
                                  : TraceFormat::kJsonl;
   replication.collect_metrics = !opt.metrics_out_path.empty();
+  replication.objects = opt.objects;
 
   std::vector<std::string> policies;
   std::stringstream ss(opt.policies);
@@ -631,7 +665,10 @@ int Repeat(const Options& opt) {
     return protocols;
   };
 
-  auto results = RunReplicatedExperiment(spec, factory, replication);
+  // Same policy set the factory builds; RunReplicatedExperiment only
+  // takes the batched path when --objects > 1 and the run is untraced.
+  BatchedProtocolSpec batched{policies, sites};
+  auto results = RunReplicatedExperiment(spec, factory, replication, &batched);
   if (!results.ok()) {
     std::cerr << results.status() << "\n";
     return 1;

@@ -349,6 +349,20 @@ void AppendJsonString(std::string_view value, std::string* out) {
 
 }  // namespace
 
+std::vector<std::string> CollectSchemaTokens(const std::string& content) {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const Line& line : SplitLines(content)) {
+    auto begin =
+        std::sregex_iterator(line.raw.begin(), line.raw.end(), kSchemaRe);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      std::string token = it->str();
+      if (seen.insert(token).second) out.push_back(token);
+    }
+  }
+  return out;
+}
+
 RunResult RunLint(const std::vector<FileInput>& files, const Options& opts) {
   RunResult result;
   result.files_scanned = static_cast<int>(files.size());

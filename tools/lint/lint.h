@@ -58,6 +58,12 @@ struct RunResult {
   std::map<std::string, std::string> fixes;
 };
 
+/// All dynvote-*-vN schema tokens appearing in `content`, deduplicated,
+/// in first-sighting order — the exact pattern the schema-docs rule
+/// matches, exposed so release tooling (the `dynvote --version` schema
+/// registry) can be cross-checked against the source tree.
+std::vector<std::string> CollectSchemaTokens(const std::string& content);
+
 /// Runs every rule over `files`. The schema-docs cross-check only runs
 /// when the input contains at least one markdown file and one source
 /// file (linting a lone .cc must not demand the docs be re-passed).
