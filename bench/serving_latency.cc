@@ -1,0 +1,243 @@
+// Serving-model benchmark: runs the open-loop traffic model
+// (docs/serving.md) over the paper's eight placements and emits the
+// per-protocol messages-per-access and latency percentiles to
+// BENCH_serving.json (override with --out=PATH) under the
+// dynvote-serving-v1 schema, so successive PRs can track how protocol
+// message complexity translates into serving latency.
+//
+//   {
+//     "schema": "dynvote-serving-v1",
+//     "unit": "ms",
+//     "configs": [
+//       {"config": "A", "policies": [
+//         {"name": "MCV", "served": N, "rejected": N,
+//          "msgs_per_access": X,
+//          "latency_ms": {"p50": X, "p90": X, "p99": X, "p999": X,
+//                         "max": X}}, ...]},
+//       ...
+//     ],
+//     "overhead": {"name": "serving_metrics_overhead",
+//                  "metrics_on_ns_per_op": N,
+//                  "metrics_off_ns_per_op": N, "ratio": N}
+//   }
+//
+// The overhead entry measures a full serving experiment with metrics
+// collection on vs. off in alternating paired rounds (bench_util.h), so
+// the ratio CI gates (<= 1.3x) is immune to machine drift. The config
+// tables are deterministic — fixed seed, metrics merged in replication
+// order — only the overhead timings vary run to run.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/registry.h"
+#include "model/experiment.h"
+#include "model/open_loop.h"
+#include "model/site_profile.h"
+#include "obs/context.h"
+#include "obs/metrics.h"
+
+namespace dynvote {
+namespace {
+
+/// Serving parameters shared by every measurement in this bench: a rate
+/// high enough for tight tail percentiles over a short horizon.
+ServingOptions BenchServing() {
+  ServingOptions serving;
+  serving.enabled = true;
+  serving.arrival_rate_per_day = 500.0;
+  serving.service_time_ms = 1.0;
+  serving.msg_cost_ms = 0.1;
+  serving.write_fraction = 0.5;
+  return serving;
+}
+
+/// One serving experiment over a paper placement, metrics into `shard`
+/// when non-null. Exits on error: a bench has no caller to report to.
+void RunServing(char config, double measured_days, std::uint64_t seed,
+                MetricsShard* shard) {
+  ExperimentOptions options;
+  options.warmup = Days(90);
+  options.num_batches = 10;
+  options.batch_length = Days(measured_days / 10.0);
+  options.seed = seed;
+  options.serving = BenchServing();
+
+  ObsContext obs;
+  obs.metrics = shard;
+
+  auto network = MakePaperNetwork();
+  const PaperConfiguration* pc = nullptr;
+  for (const auto& c : PaperConfigurations()) {
+    if (c.label == config) pc = &c;
+  }
+  if (pc == nullptr) {
+    std::cerr << "unknown configuration " << config << "\n";
+    std::exit(1);
+  }
+  ExperimentSpec spec;
+  spec.topology = network->topology;
+  spec.profiles = network->profiles;
+  spec.options = options;
+  if (shard != nullptr) spec.obs = &obs;
+
+  std::vector<std::unique_ptr<ConsistencyProtocol>> protocols;
+  for (const std::string& name : PaperProtocolNames()) {
+    auto p = MakeProtocolByName(name, network->topology, pc->placement);
+    if (!p.ok()) {
+      std::cerr << p.status() << "\n";
+      std::exit(1);
+    }
+    protocols.push_back(p.MoveValue());
+  }
+  auto results = RunAvailabilityExperiment(spec, std::move(protocols));
+  if (!results.ok()) {
+    std::cerr << results.status() << "\n";
+    std::exit(1);
+  }
+}
+
+std::uint64_t Counter(const MetricsShard& metrics, const std::string& key) {
+  auto it = metrics.counters().find(key);
+  return it == metrics.counters().end() ? 0 : it->second;
+}
+
+/// Access-phase control messages for one protocol (file copies are data
+/// plane and excluded, matching MessageCounter::ControlTotal).
+std::uint64_t AccessMessages(const MetricsShard& metrics,
+                             const std::string& protocol) {
+  std::uint64_t total = 0;
+  for (int k = 0; k < kNumMessageKinds; ++k) {
+    auto kind = static_cast<MessageKind>(k);
+    if (kind == MessageKind::kFileCopy) continue;
+    total += Counter(metrics,
+                     MetricKey("serving_messages",
+                               "kind=" + MessageKindName(kind) +
+                                   ",phase=access,protocol=" + protocol));
+  }
+  return total;
+}
+
+std::string FormatDouble(double value) {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << value;
+  return os.str();
+}
+
+/// The A-H serving tables: one deterministic run per placement, decoded
+/// from the metrics shard into JSON rows (and a console table).
+std::string ConfigsJson() {
+  std::ostringstream os;
+  os << "  \"configs\": [\n";
+  const std::string configs = "ABCDEFGH";
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const char config = configs[c];
+    MetricsShard shard;
+    RunServing(config, /*measured_days=*/180.0, /*seed=*/20260704, &shard);
+    os << "    {\"config\": \"" << config << "\", \"policies\": [\n";
+    std::cout << "configuration " << config << ":\n";
+    const std::vector<std::string> names = PaperProtocolNames();
+    for (std::size_t p = 0; p < names.size(); ++p) {
+      const std::string& name = names[p];
+      const std::string label = "protocol=" + name;
+      const std::uint64_t arrivals =
+          Counter(shard, MetricKey("serving_arrivals", label));
+      const std::uint64_t rejected =
+          Counter(shard, MetricKey("serving_rejected", label));
+      const std::uint64_t served = arrivals - rejected;
+      HistogramData latency;
+      auto hist =
+          shard.histograms().find(MetricKey("serving_latency_ms", label));
+      if (hist != shard.histograms().end()) latency = hist->second;
+      const double msgs_per_access =
+          served > 0 ? static_cast<double>(AccessMessages(shard, name)) /
+                           static_cast<double>(served)
+                     : 0.0;
+      const double p50 = latency.Quantile(0.50);
+      const double p99 = latency.Quantile(0.99);
+      std::cout << "  " << name << ": " << FormatDouble(msgs_per_access)
+                << " msgs/access, p50 " << FormatDouble(p50) << " ms, p99 "
+                << FormatDouble(p99) << " ms\n";
+      os << "      {\"name\": \"" << name << "\", \"served\": " << served
+         << ", \"rejected\": " << rejected
+         << ", \"msgs_per_access\": " << FormatDouble(msgs_per_access)
+         << ", \"latency_ms\": {\"p50\": " << FormatDouble(p50)
+         << ", \"p90\": " << FormatDouble(latency.Quantile(0.90))
+         << ", \"p99\": " << FormatDouble(p99)
+         << ", \"p999\": " << FormatDouble(latency.Quantile(0.999))
+         << ", \"max\": " << FormatDouble(latency.max) << "}}"
+         << (p + 1 < names.size() ? "," : "") << "\n";
+    }
+    os << "    ]}" << (c + 1 < configs.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  return os.str();
+}
+
+/// The gated pair: a serving experiment with metrics collection on vs.
+/// off, alternating within every round. Metrics batching (ServingStage
+/// accumulates locally and flushes once) is what keeps this ratio small.
+std::string OverheadJson(double min_ms) {
+  auto run = [](bool collect, std::uint64_t iters) {
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      MetricsShard shard;
+      RunServing('B', /*measured_days=*/60.0, /*seed=*/1 + i,
+                 collect ? &shard : nullptr);
+    }
+  };
+  auto [on_r, off_r] = bench::MeasurePairedMinOfRounds(
+      min_ms, [&](std::uint64_t n) { run(true, n); },
+      [&](std::uint64_t n) { run(false, n); });
+  const double ratio = on_r.ns_per_op / off_r.ns_per_op;
+  std::cout << "serving_metrics_overhead: on "
+            << FormatDouble(on_r.ns_per_op / 1e6) << " ms/run, off "
+            << FormatDouble(off_r.ns_per_op / 1e6) << " ms/run, ratio "
+            << FormatDouble(ratio) << "x\n";
+  std::ostringstream os;
+  os << "  \"overhead\": {\"name\": \"serving_metrics_overhead\", "
+     << "\"metrics_on_ns_per_op\": " << FormatDouble(on_r.ns_per_op)
+     << ", \"metrics_off_ns_per_op\": " << FormatDouble(off_r.ns_per_op)
+     << ", \"ratio\": " << FormatDouble(ratio) << "}\n";
+  return os.str();
+}
+
+int Main(int argc, char** argv) {
+  std::string out_path = "BENCH_serving.json";
+  double min_ms = 200.0;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--out=", 0) == 0) {
+      out_path = a.substr(6);
+    } else if (a.rfind("--min-time-ms=", 0) == 0) {
+      min_ms = std::stod(a.substr(14));
+    }
+  }
+
+  std::string json;
+  json += "{\n  \"schema\": \"";
+  json += kServingSchema;
+  json += "\",\n  \"unit\": \"ms\",\n";
+  json += ConfigsJson();
+  json += OverheadJson(min_ms);
+  json += "}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << json;
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace dynvote
+
+int main(int argc, char** argv) { return dynvote::Main(argc, argv); }

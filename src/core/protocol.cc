@@ -28,6 +28,17 @@ std::string ProtocolKey(const char* metric, const std::string& protocol) {
 
 }  // namespace
 
+ConsistencyProtocol::MetricCells& ConsistencyProtocol::CellsFor(
+    MetricsShard* shard) const {
+  if (metric_cells_.shard != shard ||
+      metric_cells_.epoch != shard->cell_epoch()) {
+    metric_cells_ = MetricCells{};
+    metric_cells_.shard = shard;
+    metric_cells_.epoch = shard->cell_epoch();
+  }
+  return metric_cells_;
+}
+
 bool ConsistencyProtocol::CachedWouldGrant(const NetworkState& net,
                                            SiteId origin,
                                            AccessType type) const {
@@ -119,7 +130,12 @@ void ConsistencyProtocol::EmitCacheHitSlow(std::uint64_t group_mask,
     }
   }
   if (obs_->metrics != nullptr) {
-    obs_->metrics->Add(ProtocolKey("quorum_cache_hits", name()));
+    MetricCells& cells = CellsFor(obs_->metrics);
+    if (cells.cache_hits == nullptr) {
+      cells.cache_hits =
+          obs_->metrics->CounterCell(ProtocolKey("quorum_cache_hits", name()));
+    }
+    ++*cells.cache_hits;
   }
 }
 
@@ -149,8 +165,14 @@ void ConsistencyProtocol::EmitQuorumDecisionSlow(
     }
   }
   if (obs_->metrics != nullptr) {
-    obs_->metrics->Add(ReasonKey("quorum_evaluations", name(),
-                                 decision.reason));
+    MetricCells& cells = CellsFor(obs_->metrics);
+    std::uint64_t*& cell =
+        cells.evaluations[static_cast<int>(decision.reason)];
+    if (cell == nullptr) {
+      cell = obs_->metrics->CounterCell(
+          ReasonKey("quorum_evaluations", name(), decision.reason));
+    }
+    ++*cell;
   }
 }
 
@@ -178,9 +200,25 @@ void ConsistencyProtocol::EmitUserAccessAsSlow(AccessType type, bool granted,
     }
   }
   if (obs_->metrics != nullptr) {
-    obs_->metrics->Add(ProtocolKey("accesses_attempted", name()));
-    if (granted) obs_->metrics->Add(ProtocolKey("accesses_granted", name()));
-    obs_->metrics->Add(ReasonKey("access_reason", name(), reason));
+    MetricCells& cells = CellsFor(obs_->metrics);
+    if (cells.attempted == nullptr) {
+      cells.attempted = obs_->metrics->CounterCell(
+          ProtocolKey("accesses_attempted", name()));
+    }
+    ++*cells.attempted;
+    if (granted) {
+      if (cells.granted == nullptr) {
+        cells.granted = obs_->metrics->CounterCell(
+            ProtocolKey("accesses_granted", name()));
+      }
+      ++*cells.granted;
+    }
+    std::uint64_t*& reason_cell = cells.access_reason[static_cast<int>(reason)];
+    if (reason_cell == nullptr) {
+      reason_cell =
+          obs_->metrics->CounterCell(ReasonKey("access_reason", name(), reason));
+    }
+    ++*reason_cell;
   }
 }
 

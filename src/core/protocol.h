@@ -264,6 +264,26 @@ class ConsistencyProtocol {
     QuorumCacheEntry entries[kQuorumCacheSlots];
   };
 
+  /// Stable counter-cell pointers for this protocol's metric keys,
+  /// resolved at most once per key per (shard, cell_epoch) — the serving
+  /// model makes these the highest-rate metric updates in the
+  /// simulation, so the steady-state cost of an emission must be a
+  /// single pointer bump, not a key build plus a map walk. Cells resolve
+  /// lazily at first increment, so no zero-valued counters leak into
+  /// exports.
+  struct MetricCells {
+    MetricsShard* shard = nullptr;
+    std::uint64_t epoch = 0;
+    std::uint64_t* cache_hits = nullptr;
+    std::uint64_t* attempted = nullptr;
+    std::uint64_t* granted = nullptr;
+    std::uint64_t* access_reason[kNumQuorumReasons] = {};
+    std::uint64_t* evaluations[kNumQuorumReasons] = {};
+  };
+  /// Returns metric_cells_ rebound to `shard`, dropping stale pointers
+  /// when the shard or its epoch moved.
+  MetricCells& CellsFor(MetricsShard* shard) const;
+
   void EmitCacheHitSlow(std::uint64_t group_mask, AccessType type,
                         bool granted) const;
   void EmitQuorumDecisionSlow(std::uint64_t group_mask,
@@ -282,6 +302,7 @@ class ConsistencyProtocol {
   /// the sink changes; lets the typed trace writes skip per-event string
   /// interning.
   mutable TraceLabelCache trace_label_;
+  mutable MetricCells metric_cells_;
 };
 
 }  // namespace dynvote

@@ -19,6 +19,8 @@ struct Observed {
   std::uint64_t attempted = 0;
   std::uint64_t granted = 0;
   std::uint64_t dual_majority_instants = 0;
+  /// Serving-model bookkeeping; null unless options.serving.enabled.
+  std::unique_ptr<ServingStage> serving;
 };
 
 }  // namespace
@@ -49,11 +51,33 @@ Result<std::vector<PolicyResult>> RunAvailabilityExperiment(
   if (!model_result.ok()) return model_result.status();
   std::unique_ptr<NetworkProcessModel> model = model_result.MoveValue();
 
-  auto access_result =
-      AccessProcess::Make(&sim, spec.options.access, spec.options.seed ^
-                                                          0x5DEECE66DULL);
-  if (!access_result.ok()) return access_result.status();
-  std::unique_ptr<AccessProcess> access = access_result.MoveValue();
+  // The workload: the paper's closed-loop single accessor, or — when the
+  // serving model is enabled — open-loop Poisson arrivals per replica
+  // (the closed-loop process is then not created at all, so accesses
+  // originate solely from the arrival streams).
+  std::unique_ptr<AccessProcess> access;
+  std::unique_ptr<OpenLoopProcess> open_loop;
+  const bool serving = spec.options.serving.enabled;
+  // Arrivals target every replica any observed protocol placed — for the
+  // paper configurations the protocols share one placement, so this is
+  // simply that placement.
+  SiteSet arrival_sites;
+  for (const auto& p : protocols) {
+    arrival_sites = arrival_sites.Union(p->placement());
+  }
+  if (serving) {
+    auto open_result = OpenLoopProcess::Make(
+        &sim, arrival_sites, spec.options.serving,
+        spec.options.seed ^ 0x6C8E9CF570932BD5ULL);
+    if (!open_result.ok()) return open_result.status();
+    open_loop = open_result.MoveValue();
+  } else {
+    auto access_result =
+        AccessProcess::Make(&sim, spec.options.access, spec.options.seed ^
+                                                            0x5DEECE66DULL);
+    if (!access_result.ok()) return access_result.status();
+    access = access_result.MoveValue();
+  }
 
   const SimTime start = spec.options.warmup;
   const SimTime horizon =
@@ -67,9 +91,17 @@ Result<std::vector<PolicyResult>> RunAvailabilityExperiment(
     observed.push_back(Observed{
         p.get(),
         AvailabilityTracker(start, spec.options.batch_length,
-                            spec.options.num_batches)});
+                            spec.options.num_batches),
+        /*attempted=*/0, /*granted=*/0, /*dual_majority_instants=*/0,
+        /*serving=*/nullptr});
     if (spec.obs != nullptr) {
       observed.back().tracker.set_obs(spec.obs, p->name());
+    }
+    if (serving) {
+      // Queue slots are indexed by raw SiteId; RankMin() is the highest
+      // id in the set (the paper ranks low ids high).
+      observed.back().serving = std::make_unique<ServingStage>(
+          p->name(), spec.options.serving, arrival_sites.RankMin() + 1);
     }
   }
 
@@ -117,26 +149,80 @@ Result<std::vector<PolicyResult>> RunAvailabilityExperiment(
   };
 
   model->set_on_change([&]() {
-    for (Observed& obs : observed) obs.protocol->OnNetworkEvent(net);
-    sample();
-  });
-
-  access->set_callback([&](AccessType type) {
     for (Observed& obs : observed) {
-      ++obs.attempted;
-      Status st = obs.protocol->UserAccess(net, type);
-      if (st.ok()) {
-        ++obs.granted;
-      } else {
-        DYNVOTE_CHECK_MSG(st.IsNoQuorum(),
-                          "unexpected access failure: " + st.ToString());
+      obs.protocol->OnNetworkEvent(net);
+      if (obs.serving != nullptr) {
+        // Connection-vector refresh traffic lands in the refresh phase;
+        // everything counted between arrivals is background cost.
+        obs.serving->AttributeMessages(*obs.protocol->counter(),
+                                       ServingStage::Phase::kRefresh);
       }
     }
     sample();
   });
 
+  if (access != nullptr) {
+    access->set_callback([&](AccessType type) {
+      for (Observed& obs : observed) {
+        ++obs.attempted;
+        Status st = obs.protocol->UserAccess(net, type);
+        if (st.ok()) {
+          ++obs.granted;
+        } else {
+          DYNVOTE_CHECK_MSG(st.IsNoQuorum(),
+                            "unexpected access failure: " + st.ToString());
+        }
+      }
+      sample();
+    });
+  }
+
+  if (open_loop != nullptr) {
+    open_loop->set_callback([&](SiteId origin, AccessType type) {
+      const double now = sim.Now();
+      const bool origin_up = net.IsSiteUp(origin);
+      for (Observed& obs : observed) {
+        ServingStage& stage = *obs.serving;
+        if (!origin_up) {
+          // The user's front-end replica is down: nothing to queue at.
+          stage.OnRejected();
+          continue;
+        }
+        ++obs.attempted;
+        Status st = obs.protocol->UserAccess(net, type);
+        if (st.ok()) {
+          ++obs.granted;
+        } else {
+          DYNVOTE_CHECK_MSG(st.IsNoQuorum(),
+                            "unexpected access failure: " + st.ToString());
+        }
+        const std::uint64_t msgs = stage.AttributeMessages(
+            *obs.protocol->counter(), ServingStage::Phase::kAccess);
+        ServingStage::Outcome outcome =
+            stage.OnArrival(now, origin, msgs, st.ok());
+        if (spec.obs != nullptr && spec.obs->sink != nullptr) {
+          TraceEvent event;
+          event.type = TraceEventType::kServing;
+          event.t = spec.obs->now;
+          event.replication = spec.obs->replication;
+          event.seq = spec.obs->seq;
+          event.protocol = obs.protocol->name();
+          event.write = type == AccessType::kWrite;
+          event.origin = origin;
+          event.granted = st.ok();
+          event.latency_ms = outcome.latency_ms;
+          event.msgs = static_cast<std::uint32_t>(msgs);
+          event.depth = outcome.depth;
+          spec.obs->sink->Write(event);
+        }
+      }
+      sample();
+    });
+  }
+
   model->Start();
-  access->Start();
+  if (access != nullptr) access->Start();
+  if (open_loop != nullptr) open_loop->Start();
   DYNVOTE_RETURN_NOT_OK(sim.RunUntil(horizon));
 
   std::vector<PolicyResult> results;
@@ -155,6 +241,9 @@ Result<std::vector<PolicyResult>> RunAvailabilityExperiment(
     r.measured_time = obs.tracker.TotalTime();
     r.dual_majority_instants = obs.dual_majority_instants;
     r.time_to_first_outage = obs.tracker.TimeToFirstOutage();
+    if (obs.serving != nullptr && spec.obs != nullptr) {
+      obs.serving->Finish(spec.obs->metrics);
+    }
     results.push_back(std::move(r));
   }
   return results;

@@ -12,6 +12,7 @@
 
 #include "core/protocol.h"
 #include "model/access_model.h"
+#include "model/open_loop.h"
 #include "obs/context.h"
 #include "model/site_profile.h"
 #include "net/topology.h"
@@ -32,6 +33,10 @@ struct ExperimentOptions {
   SimTime batch_length = Years(20);
   /// The access workload (one access per day in the paper).
   AccessOptions access;
+  /// The serving model (docs/serving.md). When enabled, the closed-loop
+  /// access workload above is replaced by open-loop Poisson arrivals per
+  /// replica with a queueing stage, and serving_* metrics are emitted.
+  ServingOptions serving;
   /// Master seed; runs with equal seeds are bit-identical.
   std::uint64_t seed = 20260704;
   /// Abort (CHECK) if two disjoint groups are ever simultaneously granted

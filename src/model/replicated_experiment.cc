@@ -120,14 +120,15 @@ Result<ReplicatedResults> RunReplicatedExperiment(
     out.seeds.push_back(ReplicationSeed(spec.options.seed, r));
   }
 
-  // The batched engine handles only plain statistical runs: tracing and
-  // metrics need the per-replication instrumented path, and unsupported
-  // policies need real protocol objects. Grouping replications changes
+  // The batched engine handles only plain statistical runs: tracing,
+  // metrics and the serving model need the per-replication instrumented
+  // path, and unsupported policies need real protocol objects. Grouping replications changes
   // nothing observable — each group's rows are bit-identical to solo
   // runs with the same seeds — so the gate is purely a dispatch choice.
   const bool use_batched = batched != nullptr && options.objects > 1 &&
                            !options.collect_traces &&
                            !options.collect_metrics && spec.obs == nullptr &&
+                           !spec.options.serving.enabled &&
                            BatchedEngineSupports(batched->policies);
 
   std::vector<ReplicationSlot> slots(static_cast<std::size_t>(reps));

@@ -161,6 +161,7 @@ void BinaryTraceSink::Write(const TraceEvent& event) {
     case TraceEventType::kQuorum:
     case TraceEventType::kAccess:
     case TraceEventType::kAvail:
+    case TraceEventType::kServing:
       string_id = InternString(event.protocol);
       break;
     case TraceEventType::kNet:
@@ -190,6 +191,9 @@ void BinaryTraceSink::Write(const TraceEvent& event) {
       break;
     case TraceEventType::kAvail:
       kind = btrace::kRecordAvail;
+      break;
+    case TraceEventType::kServing:
+      kind = btrace::kRecordServing;
       break;
   }
   // Same head logic (and same-instant state) as the typed fast paths, so
@@ -231,6 +235,18 @@ void BinaryTraceSink::Write(const TraceEvent& event) {
     case TraceEventType::kAvail:
       AppendVarint(string_id, &scratch_);
       break;
+    case TraceEventType::kServing: {
+      AppendVarint(string_id, &scratch_);
+      AppendVarint(btrace::ZigZag(event.origin), &scratch_);
+      // Raw IEEE-754 bits, like the timestamp, so conversion to JSONL
+      // reproduces the direct %.17g rendering exactly.
+      char bits[8];
+      btrace::PutDoubleBits(event.latency_ms, bits);
+      scratch_.append(bits, sizeof(bits));
+      AppendVarint(event.msgs, &scratch_);
+      AppendVarint(event.depth, &scratch_);
+      break;
+    }
   }
   AppendFramed(scratch_, /*is_event=*/true);
 }
@@ -474,6 +490,23 @@ Status BinaryTraceReader::DecodePayload(std::string_view payload,
       if (!read_string(&event->protocol, nullptr)) {
         return Corrupt("avail event");
       }
+      break;
+    }
+    case btrace::kRecordServing: {
+      event->type = TraceEventType::kServing;
+      std::int64_t origin = 0;
+      std::uint64_t msgs = 0;
+      std::uint64_t depth = 0;
+      if (!read_string(&event->protocol, nullptr) ||
+          !cur.ReadSigned(&origin) ||
+          !cur.ReadDoubleBits(&event->latency_ms) ||
+          !cur.ReadVarint(&msgs) || msgs > 0xFFFFFFFF ||
+          !cur.ReadVarint(&depth) || depth > 0xFFFFFFFF) {
+        return Corrupt("serving event");
+      }
+      event->origin = static_cast<int>(origin);
+      event->msgs = static_cast<std::uint32_t>(msgs);
+      event->depth = static_cast<std::uint32_t>(depth);
       break;
     }
     default:

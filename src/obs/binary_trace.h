@@ -8,7 +8,7 @@
 //   records = varint payload_len | payload ...
 //
 // where payload[0] is the record kind: 0 = string definition (varint id,
-// varint len, bytes), 1..5 = net/sim/quorum/access/avail events. String
+// varint len, bytes), 1..6 = net/sim/quorum/access/avail/serving events. String
 // ids are assigned sequentially from 0 in first-use order; a definition
 // for an existing id *replaces* it, which is what lets per-replication
 // bodies (each interning from scratch) simply concatenate behind one
@@ -49,6 +49,7 @@ inline constexpr std::uint8_t kRecordSim = 2;
 inline constexpr std::uint8_t kRecordQuorum = 3;
 inline constexpr std::uint8_t kRecordAccess = 4;
 inline constexpr std::uint8_t kRecordAvail = 5;
+inline constexpr std::uint8_t kRecordServing = 6;
 
 // Event flag bits (payload[1] of event records).
 inline constexpr std::uint8_t kFlagRepeater = 1 << 0;

@@ -68,6 +68,40 @@ void HistogramData::Merge(const HistogramData& other) {
   for (const auto& [exponent, n] : other.buckets) buckets[exponent] += n;
 }
 
+double HistogramData::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  // Nearest-rank target with within-bucket linear interpolation: the
+  // k-th smallest observation (1-based) sits at rank k; the bucket
+  // holding rank q*count is located by cumulative counts, then the
+  // position inside it interpolates across the bucket's value range.
+  double rank = q * static_cast<double>(count);
+  if (rank < 1.0) rank = 1.0;
+  std::uint64_t cumulative = 0;
+  bool first_occupied = true;
+  for (const auto& [exponent, n] : buckets) {
+    if (n == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += n;
+    const bool last_occupied = cumulative == count;
+    if (static_cast<double>(cumulative) < rank && !last_occupied) {
+      first_occupied = false;
+      continue;
+    }
+    // The lowest and highest occupied buckets are clamped to the exact
+    // observed extrema; interior buckets use their power-of-two range.
+    double lo = first_occupied ? min : std::ldexp(1.0, exponent);
+    double hi = last_occupied ? max : std::ldexp(1.0, exponent + 1);
+    if (lo > hi) lo = hi;
+    double value = lo + (hi - lo) * ((rank - before) / static_cast<double>(n));
+    if (value < min) value = min;
+    if (value > max) value = max;
+    return value;
+  }
+  return max;
+}
+
 void MetricsShard::Add(std::string_view counter, std::uint64_t delta) {
   auto it = counters_.find(counter);
   if (it == counters_.end()) {
@@ -75,6 +109,14 @@ void MetricsShard::Add(std::string_view counter, std::uint64_t delta) {
   } else {
     it->second += delta;
   }
+}
+
+std::uint64_t* MetricsShard::CounterCell(std::string_view counter) {
+  auto it = counters_.find(counter);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(counter), 0).first;
+  }
+  return &it->second;
 }
 
 void MetricsShard::Set(std::string_view gauge, double value) {
@@ -92,6 +134,15 @@ void MetricsShard::Observe(std::string_view histogram, double value) {
     it = histograms_.emplace(std::string(histogram), HistogramData{}).first;
   }
   it->second.Observe(value);
+}
+
+void MetricsShard::MergeHistogram(std::string_view histogram,
+                                  const HistogramData& data) {
+  auto it = histograms_.find(histogram);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(histogram), HistogramData{}).first;
+  }
+  it->second.Merge(data);
 }
 
 void MetricsShard::Merge(const MetricsShard& other) {
@@ -113,6 +164,7 @@ void MetricsShard::Clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  ++cell_epoch_;  // every CounterCell pointer just died
 }
 
 std::string MetricsShard::ToJson() const {

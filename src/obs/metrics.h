@@ -34,6 +34,13 @@ struct HistogramData {
 
   void Observe(double value);
   void Merge(const HistogramData& other);
+
+  /// Estimates the q-quantile (q in [0, 1]) from the bucket counts with
+  /// linear interpolation inside the covering bucket. The lowest and
+  /// highest occupied buckets are clamped to the exact observed min/max,
+  /// so Quantile(0) == min and Quantile(1) == max; an empty histogram
+  /// returns 0. Error is bounded by the bucket width (a factor of 2).
+  double Quantile(double q) const;
 };
 
 /// Single-writer bundle of metrics. Not thread-safe by design: one shard
@@ -41,8 +48,21 @@ struct HistogramData {
 class MetricsShard {
  public:
   void Add(std::string_view counter, std::uint64_t delta = 1);
+  /// Returns the address of the named counter's value, inserting a zero
+  /// cell if absent. std::map nodes never move, so the pointer stays
+  /// valid until Clear() — the only operation that drops cells — which
+  /// bumps cell_epoch(). Hot emitters resolve a key once per
+  /// (shard, epoch) and then bump the cell directly, skipping the
+  /// per-event key build and map walk.
+  std::uint64_t* CounterCell(std::string_view counter);
+  /// Invalidation token for cached CounterCell pointers.
+  std::uint64_t cell_epoch() const { return cell_epoch_; }
   void Set(std::string_view gauge, double value);
   void Observe(std::string_view histogram, double value);
+  /// Folds a pre-accumulated histogram into the named one — the bulk
+  /// counterpart of Observe for stages that batch locally (ServingStage)
+  /// and flush once.
+  void MergeHistogram(std::string_view histogram, const HistogramData& data);
 
   /// Folds `other` into this shard: counters add, gauges take the
   /// incoming value (last merge wins — deterministic because merges run
@@ -72,6 +92,7 @@ class MetricsShard {
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
   std::map<std::string, HistogramData, std::less<>> histograms_;
+  std::uint64_t cell_epoch_ = 0;
 };
 
 /// Thread-safe facade over a merged shard. Workers never touch it on the

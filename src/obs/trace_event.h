@@ -29,6 +29,10 @@ enum class TraceEventType : std::uint8_t {
   kAccess,
   /// The tracked availability status flipped.
   kAvail,
+  /// An open-loop serving arrival finished its queueing stage: carries
+  /// the arrival-to-completion latency and the per-access message count
+  /// (see model/open_loop.h and docs/serving.md).
+  kServing,
 };
 
 constexpr const char* TraceEventTypeName(TraceEventType type) {
@@ -43,6 +47,8 @@ constexpr const char* TraceEventTypeName(TraceEventType type) {
       return "access";
     case TraceEventType::kAvail:
       return "avail";
+    case TraceEventType::kServing:
+      return "serving";
   }
   return "?";
 }
@@ -92,6 +98,14 @@ struct TraceEvent {
 
   // --- avail ---
   bool available = false;
+
+  // --- serving ---
+  /// Arrival-to-completion latency of the serving stage, milliseconds.
+  double latency_ms = 0.0;
+  /// Control messages the protocol sent for this one access.
+  std::uint32_t msgs = 0;
+  /// Requests already queued at the arrival replica when this one arrived.
+  std::uint32_t depth = 0;
 };
 
 /// The site-set masks of one quorum evaluation, bundled so the typed

@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <istream>
 
 #include "obs/binary_trace.h"
@@ -154,6 +155,13 @@ void FoldTraceEvent(const TraceEvent& event, TraceSummary* summary) {
       ++proto.access_reasons[std::string(QuorumReasonName(event.reason))];
       return;
     }
+    case TraceEventType::kServing: {
+      ProtocolTraceSummary& proto = summary->per_protocol[event.protocol];
+      ++proto.serving_events;
+      proto.serving_messages += event.msgs;
+      proto.serving_latency_ms.Observe(event.latency_ms);
+      return;
+    }
   }
 }
 
@@ -243,6 +251,15 @@ TraceSummary SummarizeTrace(std::istream& in) {
         ++proto.denied;
       }
       ++proto.access_reasons[fields["reason"]];
+    } else if (type == "serving") {
+      ++proto.serving_events;
+      proto.serving_messages +=
+          std::strtoull(fields["msgs"].c_str(), nullptr, 10);
+      // strtod round-trips the sink's %.17g rendering exactly, so this
+      // histogram matches a binary-trace fold (and the run's metrics
+      // shard) bit for bit.
+      proto.serving_latency_ms.Observe(
+          std::strtod(fields["lat_ms"].c_str(), nullptr));
     } else {
       ++summary.malformed_lines;
     }
@@ -281,6 +298,19 @@ std::string TraceSummary::ToString() const {
                           proto.quorum_evaluations + proto.cache_hits)
                       .c_str());
     out.append(buf);
+    if (proto.serving_events > 0) {
+      const HistogramData& lat = proto.serving_latency_ms;
+      std::snprintf(buf, sizeof(buf),
+                    "  serving: events=%" PRIu64
+                    " msgs_per_access=%.2f p50=%.3fms p90=%.3fms "
+                    "p99=%.3fms p999=%.3fms\n",
+                    proto.serving_events,
+                    static_cast<double>(proto.serving_messages) /
+                        static_cast<double>(proto.serving_events),
+                    lat.Quantile(0.50), lat.Quantile(0.90),
+                    lat.Quantile(0.99), lat.Quantile(0.999));
+      out.append(buf);
+    }
     if (!proto.access_reasons.empty()) {
       out.append("  access reasons:\n");
       for (const auto& [reason, count] : proto.access_reasons) {

@@ -13,6 +13,8 @@
 #include <string>
 #include <string_view>
 
+#include "obs/metrics.h"
+
 namespace dynvote {
 
 struct TraceEvent;
@@ -33,6 +35,14 @@ struct ProtocolTraceSummary {
   std::uint64_t quorum_evaluations = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t availability_transitions = 0;
+  /// Serving-stage records (open-loop runs only, see docs/serving.md):
+  /// event count, summed per-access control messages, and the
+  /// arrival-to-completion latency histogram. The histogram is built
+  /// with the same HistogramData the serving run's MetricsShard uses, so
+  /// trace-derived and metrics-derived numbers reconcile exactly.
+  std::uint64_t serving_events = 0;
+  std::uint64_t serving_messages = 0;
+  HistogramData serving_latency_ms;
 };
 
 struct TraceSummary {

@@ -222,6 +222,23 @@ void AppendTraceEventJson(const TraceEvent& event, std::string* out) {
       AppendBool(event.available, out);
       break;
     }
+    case TraceEventType::kServing: {
+      out->append(",\"protocol\":");
+      AppendJsonString(event.protocol, out);
+      out->append(",\"write\":");
+      AppendBool(event.write, out);
+      out->append(",\"origin\":");
+      AppendInt(event.origin, out);
+      out->append(",\"granted\":");
+      AppendBool(event.granted, out);
+      out->append(",\"lat_ms\":");
+      AppendDouble(event.latency_ms, out);
+      out->append(",\"msgs\":");
+      AppendU64(event.msgs, out);
+      out->append(",\"depth\":");
+      AppendU64(event.depth, out);
+      break;
+    }
   }
   out->push_back('}');
 }

@@ -57,7 +57,15 @@ void Simulator::EmitDispatch() {
                      dispatch_label_.Resolve(sink, "dispatch"));
     }
   }
-  if (obs_->metrics != nullptr) obs_->metrics->Add("sim_events");
+  if (obs_->metrics != nullptr) {
+    MetricsShard* shard = obs_->metrics;
+    if (shard != cell_shard_ || cell_epoch_ != shard->cell_epoch()) {
+      cell_shard_ = shard;
+      cell_epoch_ = shard->cell_epoch();
+      sim_events_cell_ = shard->CounterCell("sim_events");
+    }
+    ++*sim_events_cell_;
+  }
 }
 
 }  // namespace dynvote

@@ -72,6 +72,11 @@ class Simulator {
   std::uint64_t events_run_ = 0;
   ObsContext* obs_ = nullptr;
   TraceLabelCache dispatch_label_;  // the sink's token for "dispatch"
+  /// Cached "sim_events" counter cell — one map walk per (shard, epoch)
+  /// instead of one per dispatched event.
+  MetricsShard* cell_shard_ = nullptr;
+  std::uint64_t cell_epoch_ = 0;
+  std::uint64_t* sim_events_cell_ = nullptr;
 };
 
 }  // namespace dynvote

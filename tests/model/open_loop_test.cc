@@ -1,0 +1,194 @@
+// The serving model's building blocks (docs/serving.md): argument
+// validation and arrival determinism of the open-loop traffic source,
+// and ServingStage's Lindley queue arithmetic, message attribution and
+// metrics flush.
+
+#include "model/open_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "repl/message_bus.h"
+#include "sim/simulator.h"
+#include "util/site_set.h"
+
+namespace dynvote {
+namespace {
+
+ServingOptions TestServing() {
+  ServingOptions o;
+  o.enabled = true;
+  o.arrival_rate_per_day = 90.0;
+  o.service_time_ms = 2.0;
+  o.msg_cost_ms = 0.5;
+  o.write_fraction = 0.5;
+  return o;
+}
+
+TEST(OpenLoopProcessTest, MakeRejectsBadArguments) {
+  Simulator sim;
+  const SiteSet sites{0, 1, 2};
+  EXPECT_FALSE(
+      OpenLoopProcess::Make(nullptr, sites, TestServing(), 1).ok());
+  EXPECT_FALSE(
+      OpenLoopProcess::Make(&sim, SiteSet{}, TestServing(), 1).ok());
+  ServingOptions bad_rate = TestServing();
+  bad_rate.arrival_rate_per_day = 0.0;
+  EXPECT_FALSE(OpenLoopProcess::Make(&sim, sites, bad_rate, 1).ok());
+  ServingOptions bad_service = TestServing();
+  bad_service.service_time_ms = -1.0;
+  EXPECT_FALSE(OpenLoopProcess::Make(&sim, sites, bad_service, 1).ok());
+  ServingOptions bad_cost = TestServing();
+  bad_cost.msg_cost_ms = -0.1;
+  EXPECT_FALSE(OpenLoopProcess::Make(&sim, sites, bad_cost, 1).ok());
+  ServingOptions bad_fraction = TestServing();
+  bad_fraction.write_fraction = 1.5;
+  EXPECT_FALSE(OpenLoopProcess::Make(&sim, sites, bad_fraction, 1).ok());
+}
+
+struct Arrival {
+  double t;
+  SiteId site;
+  AccessType type;
+
+  bool operator==(const Arrival&) const = default;
+};
+
+std::vector<Arrival> CollectArrivals(std::uint64_t seed, double horizon) {
+  Simulator sim;
+  auto process =
+      OpenLoopProcess::Make(&sim, SiteSet{1, 3, 5}, TestServing(), seed);
+  EXPECT_TRUE(process.ok()) << process.status();
+  std::vector<Arrival> arrivals;
+  (*process)->set_callback([&](SiteId site, AccessType type) {
+    arrivals.push_back(Arrival{sim.Now(), site, type});
+  });
+  (*process)->Start();
+  EXPECT_TRUE(sim.RunUntil(horizon).ok());
+  EXPECT_EQ((*process)->total_arrivals(), arrivals.size());
+  return arrivals;
+}
+
+TEST(OpenLoopProcessTest, SameSeedReproducesTheArrivalSequence) {
+  const std::vector<Arrival> first = CollectArrivals(42, 20.0);
+  const std::vector<Arrival> second = CollectArrivals(42, 20.0);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, CollectArrivals(43, 20.0));
+}
+
+TEST(OpenLoopProcessTest, SplitsTheAggregateRateAcrossReplicas) {
+  // 90/day over 50 days: expect ~4500 arrivals, ~1500 per site, both
+  // access types drawn. Deterministic, so the loose bands never flake.
+  const std::vector<Arrival> arrivals = CollectArrivals(7, 50.0);
+  EXPECT_GT(arrivals.size(), 3600u);
+  EXPECT_LT(arrivals.size(), 5400u);
+  std::uint64_t per_site[6] = {};
+  std::uint64_t writes = 0;
+  for (const Arrival& a : arrivals) {
+    ASSERT_GE(a.site, 0);
+    ASSERT_LT(a.site, 6);
+    ++per_site[a.site];
+    if (a.type == AccessType::kWrite) ++writes;
+  }
+  EXPECT_EQ(per_site[0] + per_site[2] + per_site[4], 0u);
+  for (SiteId site : {1, 3, 5}) {
+    EXPECT_GT(per_site[site], 1000u) << "site " << site;
+    EXPECT_LT(per_site[site], 2000u) << "site " << site;
+  }
+  EXPECT_GT(writes, arrivals.size() / 3);
+  EXPECT_LT(writes, 2 * arrivals.size() / 3);
+}
+
+TEST(ServingStageTest, FirstArrivalLatencyIsTheServiceTime) {
+  ServingStage stage("ODV", TestServing(), /*num_sites=*/4);
+  // service = 2.0 ms base + 0.5 ms x 4 control messages.
+  const ServingStage::Outcome out =
+      stage.OnArrival(/*now_days=*/10.0, /*origin=*/2, /*msgs=*/4,
+                      /*granted=*/true);
+  EXPECT_NEAR(out.latency_ms, 4.0, 1e-6);
+  EXPECT_EQ(out.depth, 0u);
+  EXPECT_EQ(stage.served(), 1u);
+  EXPECT_EQ(stage.granted(), 1u);
+  EXPECT_EQ(stage.rejected(), 0u);
+}
+
+TEST(ServingStageTest, BackToBackArrivalsQueueLindleyStyle) {
+  ServingStage stage("ODV", TestServing(), 4);
+  const double t = 1.0;
+  const auto first = stage.OnArrival(t, 0, 0, true);  // 2 ms service
+  EXPECT_NEAR(first.latency_ms, 2.0, 1e-6);
+  const auto second = stage.OnArrival(t, 0, 0, false);  // waits for first
+  EXPECT_NEAR(second.latency_ms, 4.0, 1e-6);
+  EXPECT_EQ(second.depth, 1u);
+  // A different replica has its own server.
+  const auto elsewhere = stage.OnArrival(t, 3, 0, true);
+  EXPECT_NEAR(elsewhere.latency_ms, 2.0, 1e-6);
+  EXPECT_EQ(elsewhere.depth, 0u);
+  // Once both completions have passed, the origin queue drains.
+  const auto after = stage.OnArrival(t + 1.0, 0, 0, true);
+  EXPECT_NEAR(after.latency_ms, 2.0, 1e-6);
+  EXPECT_EQ(after.depth, 0u);
+  EXPECT_EQ(stage.served(), 4u);
+  EXPECT_EQ(stage.granted(), 3u);
+}
+
+TEST(ServingStageTest, AttributeMessagesReturnsTheControlDelta) {
+  ServingStage stage("ODV", TestServing(), 2);
+  MessageCounter counter;
+  counter.Add(MessageKind::kProbe, 3);
+  counter.Add(MessageKind::kFileCopy, 2);  // data plane: not control cost
+  EXPECT_EQ(stage.AttributeMessages(counter, ServingStage::Phase::kAccess),
+            3u);
+  counter.Add(MessageKind::kCommit, 1);
+  counter.Add(MessageKind::kInstantRefresh, 4);
+  EXPECT_EQ(stage.AttributeMessages(counter, ServingStage::Phase::kRefresh),
+            5u);
+  // No movement since the last call: zero delta.
+  EXPECT_EQ(stage.AttributeMessages(counter, ServingStage::Phase::kAccess),
+            0u);
+}
+
+TEST(ServingStageTest, FinishFlushesTheServingKeys) {
+  ServingStage stage("ODV", TestServing(), 2);
+  MessageCounter counter;
+  counter.Add(MessageKind::kProbe, 2);
+  counter.Add(MessageKind::kFileCopy, 1);
+  const std::uint64_t msgs =
+      stage.AttributeMessages(counter, ServingStage::Phase::kAccess);
+  EXPECT_EQ(msgs, 2u);
+  stage.OnArrival(0.0, 0, msgs, true);
+  stage.OnArrival(0.0, 0, 0, false);
+  stage.OnRejected();
+  MetricsShard shard;
+  stage.Finish(&shard);
+  EXPECT_EQ(shard.counters().at("serving_arrivals{protocol=ODV}"), 3u);
+  EXPECT_EQ(shard.counters().at("serving_rejected{protocol=ODV}"), 1u);
+  EXPECT_EQ(shard.counters().at("serving_granted{protocol=ODV}"), 1u);
+  EXPECT_EQ(shard.counters().at("serving_denied{protocol=ODV}"), 1u);
+  EXPECT_EQ(shard.counters().at(
+                "serving_messages{kind=probe,phase=access,protocol=ODV}"),
+            2u);
+  EXPECT_EQ(
+      shard.counters().at(
+          "serving_messages{kind=file_copy,phase=access,protocol=ODV}"),
+      1u);
+  // Kinds the protocol never sent are not exported as zero cells.
+  EXPECT_EQ(shard.counters().count(
+                "serving_messages{kind=commit,phase=access,protocol=ODV}"),
+            0u);
+  const HistogramData& lat =
+      shard.histograms().at("serving_latency_ms{protocol=ODV}");
+  EXPECT_EQ(lat.count, 2u);
+  EXPECT_NEAR(lat.min, 3.0, 1e-6);  // 2.0 base + 0.5 x 2 msgs
+  EXPECT_EQ(shard.gauges().at("serving_queue_depth_max{protocol=ODV}"),
+            1.0);
+  stage.Finish(nullptr);  // null shard is a safe no-op
+}
+
+}  // namespace
+}  // namespace dynvote

@@ -19,7 +19,7 @@
 namespace dynvote {
 namespace {
 
-// A randomized event of any of the five types. Cache-hit quorum events
+// A randomized event of any of the six types. Cache-hit quorum events
 // leave the paper sets at zero, matching what the instrumented code
 // emits (and what both wire formats omit).
 TraceEvent RandomEvent(Rng& rng, std::uint64_t seq) {
@@ -31,7 +31,7 @@ TraceEvent RandomEvent(Rng& rng, std::uint64_t seq) {
   if (rng.NextBernoulli(0.5)) {
     e.replication = static_cast<int>(rng.NextBounded(1000));
   }
-  switch (rng.NextBounded(5)) {
+  switch (rng.NextBounded(6)) {
     case 0: {
       e.type = TraceEventType::kNet;
       e.repeater = rng.NextBernoulli(0.3);
@@ -69,6 +69,16 @@ TraceEvent RandomEvent(Rng& rng, std::uint64_t seq) {
       e.origin = static_cast<int>(rng.NextBounded(8));
       e.granted = rng.NextBernoulli(0.5);
       e.reason = static_cast<QuorumReason>(rng.NextBounded(kNumQuorumReasons));
+      break;
+    case 4:
+      e.type = TraceEventType::kServing;
+      e.protocol = kProtocols[rng.NextBounded(4)];
+      e.write = rng.NextBernoulli(0.5);
+      e.origin = static_cast<int>(rng.NextBounded(8));
+      e.granted = rng.NextBernoulli(0.5);
+      e.latency_ms = rng.NextDouble() * 50.0;
+      e.msgs = static_cast<std::uint32_t>(rng.NextBounded(40));
+      e.depth = static_cast<std::uint32_t>(rng.NextBounded(16));
       break;
     default:
       e.type = TraceEventType::kAvail;

@@ -6,9 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "util/rng.h"
 
 namespace dynvote {
 namespace {
@@ -105,6 +110,113 @@ TEST(MetricsShardTest, ClearEmptiesTheShard) {
   EXPECT_FALSE(shard.empty());
   shard.Clear();
   EXPECT_TRUE(shard.empty());
+}
+
+TEST(HistogramQuantileTest, EmptyHistogramReturnsZero) {
+  HistogramData h;
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_EQ(h.Quantile(1.0), 0.0);
+}
+
+TEST(HistogramQuantileTest, EndpointsAreTheExactExtrema) {
+  HistogramData h;
+  for (double v : {3.7, 9.1, 250.0, 0.4}) h.Observe(v);
+  EXPECT_EQ(h.Quantile(0.0), 0.4);
+  EXPECT_EQ(h.Quantile(1.0), 250.0);
+  // Out-of-range q clamps rather than extrapolating.
+  EXPECT_EQ(h.Quantile(-1.0), 0.4);
+  EXPECT_EQ(h.Quantile(2.0), 250.0);
+}
+
+TEST(HistogramQuantileTest, SingleValueHistogramIsFlat) {
+  HistogramData h;
+  h.Observe(42.0);
+  for (double q : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_EQ(h.Quantile(q), 42.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramQuantileTest, EstimatesStayWithinTheBucketWidth) {
+  // The documented error bound: the estimate lands in the same
+  // power-of-two bucket as the exact nearest-rank order statistic, so it
+  // is off by at most a factor of two.
+  Rng rng(20260808);
+  std::vector<double> samples;
+  HistogramData h;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.NextExponential(25.0) + 0.01;
+    samples.push_back(v);
+    h.Observe(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    double rank = q * static_cast<double>(samples.size());
+    if (rank < 1.0) rank = 1.0;
+    const double exact =
+        samples[static_cast<std::size_t>(std::ceil(rank)) - 1];
+    const double estimate = h.Quantile(q);
+    EXPECT_GE(estimate, exact / 2.0) << "q=" << q;
+    EXPECT_LE(estimate, exact * 2.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramQuantileTest, QuantilesAreMonotone) {
+  Rng rng(7);
+  HistogramData h;
+  for (int i = 0; i < 500; ++i) h.Observe(rng.NextDouble() * 100.0 + 0.5);
+  double prev = h.Quantile(0.0);
+  for (int i = 1; i <= 100; ++i) {
+    const double cur = h.Quantile(static_cast<double>(i) / 100.0);
+    EXPECT_GE(cur, prev) << "q=" << i / 100.0;
+    prev = cur;
+  }
+}
+
+TEST(MetricsShardTest, MergeHistogramMatchesIndividualObserves) {
+  // The batched flush path (ServingStage::Finish) must be
+  // indistinguishable from per-value Observe calls.
+  HistogramData local;
+  local.Observe(1.0);
+  local.Observe(6.5);
+  local.Observe(0.125);
+  MetricsShard batched;
+  batched.Observe("lat", 99.0);  // pre-existing data folds, not replaces
+  batched.MergeHistogram("lat", local);
+  MetricsShard individual;
+  individual.Observe("lat", 99.0);
+  individual.Observe("lat", 1.0);
+  individual.Observe("lat", 6.5);
+  individual.Observe("lat", 0.125);
+  EXPECT_EQ(batched.ToJson(), individual.ToJson());
+}
+
+TEST(MetricsShardTest, CounterCellPointerIsStableAcrossInserts) {
+  MetricsShard shard;
+  std::uint64_t* cell = shard.CounterCell("hot");
+  *cell += 5;
+  // Map growth must not move the node the pointer refers to.
+  for (int i = 0; i < 100; ++i) {
+    shard.CounterCell("k" + std::to_string(i));
+  }
+  *cell += 1;
+  EXPECT_EQ(shard.CounterCell("hot"), cell);
+  EXPECT_EQ(shard.counters().at("hot"), 6u);
+  // Add() and the cached cell hit the same storage.
+  shard.Add("hot", 4);
+  EXPECT_EQ(*cell, 10u);
+}
+
+TEST(MetricsShardTest, ClearBumpsTheCellEpoch) {
+  MetricsShard shard;
+  const std::uint64_t before = shard.cell_epoch();
+  *shard.CounterCell("hot") = 3;
+  shard.Clear();
+  // Every cached CounterCell pointer just died; the epoch is the
+  // caller's signal to re-resolve.
+  EXPECT_GT(shard.cell_epoch(), before);
+  EXPECT_TRUE(shard.empty());
+  EXPECT_EQ(*shard.CounterCell("hot"), 0u);
 }
 
 TEST(MetricKeyTest, BuildsLabeledKeys) {

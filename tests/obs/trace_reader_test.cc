@@ -6,10 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "obs/async_writer.h"
+#include "obs/binary_trace.h"
 #include "obs/trace_sink.h"
 
 namespace dynvote {
@@ -146,6 +150,72 @@ TEST(SummarizeTraceTest, EmptyInputIsEmptySummary) {
   EXPECT_EQ(summary.total_lines, 0u);
   EXPECT_TRUE(summary.schema.empty());
   EXPECT_TRUE(summary.per_protocol.empty());
+}
+
+TEST(SummarizeTraceTest, ServingEventsFoldIdenticallyFromBothFormats) {
+  // Serving records reconcile exactly with the serving metrics because
+  // the reader accumulates them into the very same HistogramData the
+  // metrics shard uses — assert that, and that the JSONL and binary
+  // paths (which share FoldTraceEvent) agree field for field.
+  std::vector<TraceEvent> events;
+  HistogramData expected_latency;
+  std::uint64_t expected_msgs = 0;
+  for (int i = 0; i < 6; ++i) {
+    TraceEvent e;
+    e.type = TraceEventType::kServing;
+    e.t = 0.5 * i;
+    e.seq = static_cast<std::uint64_t>(i);
+    e.protocol = "ODV";
+    e.write = (i % 2) == 0;
+    e.origin = i % 3;
+    e.granted = i != 4;
+    e.latency_ms = 1.25 * (i + 1);
+    e.msgs = static_cast<std::uint32_t>(2 * i);
+    e.depth = static_cast<std::uint32_t>(i % 2);
+    events.push_back(e);
+    expected_latency.Observe(e.latency_ms);
+    expected_msgs += e.msgs;
+  }
+
+  std::ostringstream jsonl;
+  jsonl << TraceHeaderLine(11) << "\n";
+  JsonlTraceSink sink(&jsonl);
+  for (const TraceEvent& e : events) sink.Write(e);
+
+  std::istringstream jsonl_in(jsonl.str());
+  TraceSummary from_jsonl = SummarizeTrace(jsonl_in);
+  EXPECT_EQ(from_jsonl.malformed_lines, 0u);
+  ASSERT_EQ(from_jsonl.per_protocol.count("ODV"), 1u);
+  const ProtocolTraceSummary& odv = from_jsonl.per_protocol.at("ODV");
+  EXPECT_EQ(odv.serving_events, events.size());
+  EXPECT_EQ(odv.serving_messages, expected_msgs);
+  EXPECT_EQ(odv.accesses, 0u);  // serving events are not access events
+  EXPECT_EQ(odv.serving_latency_ms.count, expected_latency.count);
+  EXPECT_EQ(odv.serving_latency_ms.sum, expected_latency.sum);
+  EXPECT_EQ(odv.serving_latency_ms.min, expected_latency.min);
+  EXPECT_EQ(odv.serving_latency_ms.max, expected_latency.max);
+  EXPECT_EQ(odv.serving_latency_ms.buckets, expected_latency.buckets);
+
+  std::ostringstream binary;
+  binary << BinaryTraceHeader(11);
+  StreamPageSink pages(&binary);
+  BinaryTraceSink bsink(&pages, 256);
+  for (const TraceEvent& e : events) bsink.Write(e);
+  bsink.Flush();
+  ASSERT_TRUE(bsink.ok()) << bsink.error();
+  std::istringstream binary_in(binary.str());
+  TraceSummary from_binary = SummarizeTrace(binary_in);
+  EXPECT_TRUE(from_binary.decode_error.empty()) << from_binary.decode_error;
+  ASSERT_EQ(from_binary.per_protocol.count("ODV"), 1u);
+  const ProtocolTraceSummary& bodv = from_binary.per_protocol.at("ODV");
+  EXPECT_EQ(bodv.serving_events, odv.serving_events);
+  EXPECT_EQ(bodv.serving_messages, odv.serving_messages);
+  EXPECT_EQ(bodv.serving_latency_ms.sum, odv.serving_latency_ms.sum);
+  EXPECT_EQ(bodv.serving_latency_ms.buckets, odv.serving_latency_ms.buckets);
+
+  EXPECT_NE(from_jsonl.ToString().find("serving: events=6"),
+            std::string::npos)
+      << from_jsonl.ToString();
 }
 
 TEST(SummarizeTraceTest, ToStringNamesEveryProtocolSection) {

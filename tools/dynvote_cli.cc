@@ -12,6 +12,10 @@
 //                    [--jobs=M] [--objects=N] [--json=PATH]
 //                    [--trace-out=FILE.{jsonl,btrace}]
 //                    [--metrics-out=FILE.json]
+//   dynvote serve    [--config=ABCDEFGH] [--policies=...]
+//                    [--arrival-rate=R] [--service-time=MS]
+//                    [--msg-cost=MS] [--write-fraction=F] [--years=N]
+//                    [--reps=N] [--jobs=M] [--seed=N] [--json=PATH]
 //   dynvote scenario [--network=FILE] --sites=a,b,c [--protocol=LDV]
 //                    <script.dvs>
 //   dynvote trace-summary <trace.jsonl|trace.btrace>
@@ -31,7 +35,10 @@
 // patterns and the closed-form static-voting availability; `simulate`
 // runs the discrete-event model; `repeat` runs R independent
 // replications of it in parallel and reports cross-replication means
-// with 95 % confidence intervals; `scenario` executes a fault script
+// with 95 % confidence intervals; `serve` runs the serving model
+// (docs/serving.md) over the paper's placements and reports per-protocol
+// messages-per-access and latency percentiles; `scenario` executes a fault
+// script
 // against a replicated KV store; `trace-summary` aggregates a trace file
 // (dynvote-trace-v1 JSONL, or dynvote-btrace-v1 binary — a `--trace-out`
 // path ending in .btrace selects the compact binary format, written
@@ -46,6 +53,7 @@
 // docs/model_checking.md).
 
 #include <cctype>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -92,7 +100,16 @@ struct Options {
   std::string metrics_out_path;  // simulate/repeat: metrics JSON
   std::string positional;  // scenario script / trace-summary input path
   double years = 100.0;
+  bool years_set = false;  // serve defaults shorter than simulate/repeat
   double rate = 1.0;
+  // Serving model (docs/serving.md). On simulate/repeat the model stays
+  // off until --arrival-rate is given; `serve` turns it on with the
+  // library defaults.
+  std::string config = "ABCDEFGH";  // serve: paper placements to run
+  double arrival_rate = 0.0;        // > 0 enables serving on simulate/repeat
+  double service_time_ms = 1.0;
+  double msg_cost_ms = 0.1;
+  double write_fraction = 0.5;
   std::uint64_t seed = 20260704;
   bool quorum_cache = true;
   // repeat: -1 = take the value from the network file's `experiment`
@@ -124,14 +141,14 @@ constexpr int kExitUsage = 2;
 constexpr int kExitUnknownCommand = 3;
 
 constexpr const char kSubcommands[] =
-    "print analyze simulate repeat scenario trace-summary trace-convert "
-    "check";
+    "print analyze simulate repeat serve scenario trace-summary "
+    "trace-convert check";
 
 int Usage() {
   std::cerr <<
       "usage: dynvote "
-      "<print|analyze|simulate|repeat|scenario|trace-summary|trace-convert|"
-      "check> [options]\n"
+      "<print|analyze|simulate|repeat|serve|scenario|trace-summary|"
+      "trace-convert|check> [options]\n"
       "       dynvote --version\n"
       "(flags accept --flag=value and --flag value)\n"
       "  --network=FILE   network description (default: the paper's)\n"
@@ -157,6 +174,16 @@ int Usage() {
       "  --no-quorum-cache  simulate/repeat: disable grant-decision\n"
       "                   memoization (results are identical either way)\n"
       "  --years=N --rate=R --seed=N --csv=PATH\n"
+      "serving model (docs/serving.md; " << kServingSchema << "):\n"
+      "  --arrival-rate=R simulate/repeat/serve: open-loop Poisson\n"
+      "                   arrivals per day, split across the replicas\n"
+      "                   (replaces the closed-loop accessor)\n"
+      "  --service-time=MS --msg-cost=MS --write-fraction=F\n"
+      "                   per-request base service time, per-control-\n"
+      "                   message cost, and write mix\n"
+      "  --config=A..H    serve: paper placements to report (default all)\n"
+      "  --json=PATH      serve: write the " << kServingSchema
+      << " report\n"
       "check options (see docs/model_checking.md):\n"
       "  --topology=T     check universe (single2..single8, pairs, "
       "section3)\n"
@@ -248,8 +275,31 @@ Result<Options> Parse(int argc, char** argv) {
       }
     } else if (a.rfind("--years=", 0) == 0) {
       opt.years = std::stod(value("--years="));
+      opt.years_set = true;
     } else if (a.rfind("--rate=", 0) == 0) {
       opt.rate = std::stod(value("--rate="));
+    } else if (a.rfind("--config=", 0) == 0) {
+      opt.config = value("--config=");
+    } else if (a.rfind("--arrival-rate=", 0) == 0) {
+      opt.arrival_rate = std::stod(value("--arrival-rate="));
+      if (opt.arrival_rate <= 0.0) {
+        return Status::InvalidArgument("--arrival-rate must be > 0");
+      }
+    } else if (a.rfind("--service-time=", 0) == 0) {
+      opt.service_time_ms = std::stod(value("--service-time="));
+      if (opt.service_time_ms < 0.0) {
+        return Status::InvalidArgument("--service-time must be >= 0");
+      }
+    } else if (a.rfind("--msg-cost=", 0) == 0) {
+      opt.msg_cost_ms = std::stod(value("--msg-cost="));
+      if (opt.msg_cost_ms < 0.0) {
+        return Status::InvalidArgument("--msg-cost must be >= 0");
+      }
+    } else if (a.rfind("--write-fraction=", 0) == 0) {
+      opt.write_fraction = std::stod(value("--write-fraction="));
+      if (opt.write_fraction < 0.0 || opt.write_fraction > 1.0) {
+        return Status::InvalidArgument("--write-fraction must be in [0, 1]");
+      }
     } else if (a.rfind("--seed=", 0) == 0) {
       opt.seed = std::stoull(value("--seed="));
     } else if (a == "--no-quorum-cache") {
@@ -421,6 +471,31 @@ int Analyze(const Options& opt) {
   return 0;
 }
 
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> items;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
+}
+
+/// Copies the serving-model flags into the experiment. On simulate and
+/// repeat the model engages only when --arrival-rate was given; `serve`
+/// forces it on (falling back to the library's default rate).
+void ApplyServingFlags(const Options& opt, bool force,
+                       ExperimentOptions* options) {
+  if (!force && opt.arrival_rate <= 0.0) return;
+  options->serving.enabled = true;
+  if (opt.arrival_rate > 0.0) {
+    options->serving.arrival_rate_per_day = opt.arrival_rate;
+  }
+  options->serving.service_time_ms = opt.service_time_ms;
+  options->serving.msg_cost_ms = opt.msg_cost_ms;
+  options->serving.write_fraction = opt.write_fraction;
+}
+
 /// A `--trace-out` path ending in .btrace selects the binary format.
 bool WantsBinaryTrace(const std::string& path) {
   constexpr std::string_view kExt = ".btrace";
@@ -494,6 +569,7 @@ int Simulate(const Options& opt) {
   spec.options.access.rate_per_day = opt.rate;
   spec.options.seed = opt.seed;
   spec.options.quorum_cache = opt.quorum_cache;
+  ApplyServingFlags(opt, /*force=*/false, &spec.options);
 
   // Observability is opt-in per flag; with neither flag spec.obs stays
   // null and instrumentation costs one never-taken branch per site.
@@ -532,19 +608,16 @@ int Simulate(const Options& opt) {
   if (!opt.metrics_out_path.empty()) obs.metrics = &metrics;
   if (obs.sink != nullptr || obs.metrics != nullptr) spec.obs = &obs;
 
-  std::vector<std::string> policy_names;
-  std::stringstream ss(opt.policies);
-  std::string name;
-  while (std::getline(ss, name, ',')) {
-    if (!name.empty()) policy_names.push_back(name);
-  }
+  std::vector<std::string> policy_names = SplitCsv(opt.policies);
 
   // --objects routes simulate's single sample path through the batched
   // multi-object engine (a batch of one): same bytes by the engine's
   // bit-identity contract, so the flag lets users cross-check the two
-  // engines from the CLI. Traced/metered runs need the instrumented
-  // per-replication path and silently keep it.
+  // engines from the CLI. Traced/metered runs — and the serving model,
+  // which lives only in the instrumented engine — silently keep the
+  // per-replication path.
   const bool batch_engine = opt.objects > 1 && spec.obs == nullptr &&
+                            !spec.options.serving.enabled &&
                             BatchedEngineSupports(policy_names);
   auto run = [&]() -> Result<std::vector<PolicyResult>> {
     if (batch_engine) {
@@ -632,6 +705,7 @@ int Repeat(const Options& opt) {
   spec.options.access.rate_per_day = opt.rate;
   spec.options.seed = opt.seed;
   spec.options.quorum_cache = opt.quorum_cache;
+  ApplyServingFlags(opt, /*force=*/false, &spec.options);
 
   // Command line wins; the network file's `experiment` declaration
   // supplies defaults.
@@ -645,12 +719,7 @@ int Repeat(const Options& opt) {
   replication.collect_metrics = !opt.metrics_out_path.empty();
   replication.objects = opt.objects;
 
-  std::vector<std::string> policies;
-  std::stringstream ss(opt.policies);
-  std::string name;
-  while (std::getline(ss, name, ',')) {
-    if (!name.empty()) policies.push_back(name);
-  }
+  std::vector<std::string> policies = SplitCsv(opt.policies);
   std::shared_ptr<const Topology> topology = network->topology;
   SiteSet sites = *placement;
   ProtocolSetFactory factory =
@@ -704,6 +773,194 @@ int Repeat(const Options& opt) {
   std::string trace_body;
   for (const std::string& body : results->traces) trace_body += body;
   return WriteObsOutputs(opt, trace_body, results->metrics);
+}
+
+/// Counter lookup tolerating the absent-when-zero export convention.
+std::uint64_t ServingCounter(const MetricsShard& metrics,
+                             const std::string& key) {
+  auto it = metrics.counters().find(key);
+  return it == metrics.counters().end() ? 0 : it->second;
+}
+
+/// Sums one phase's control messages for a protocol (file copies are
+/// data plane and excluded, matching MessageCounter::ControlTotal).
+std::uint64_t ServingPhaseMessages(const MetricsShard& metrics,
+                                   const std::string& protocol,
+                                   const char* phase) {
+  std::uint64_t total = 0;
+  for (int k = 0; k < kNumMessageKinds; ++k) {
+    auto kind = static_cast<MessageKind>(k);
+    if (kind == MessageKind::kFileCopy) continue;
+    total += ServingCounter(
+        metrics, MetricKey("serving_messages",
+                           "kind=" + MessageKindName(kind) + ",phase=" +
+                               phase + ",protocol=" + protocol));
+  }
+  return total;
+}
+
+void AppendJsonDouble(double value, std::string* out) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out->append(buf);
+}
+
+/// Runs the serving model (docs/serving.md) over the requested paper
+/// placements and prints a per-protocol messages-per-access and latency-
+/// percentile table per configuration. All figures come from the merged
+/// metrics shard, which folds in replication order — so the report (and
+/// the --json document) is byte-identical for any --jobs value.
+int Serve(const Options& opt) {
+  if (!opt.network_path.empty()) {
+    std::cerr << "serve runs the paper's placements; --network is not "
+                 "supported\n";
+    return kExitUsage;
+  }
+  if (opt.config.empty()) {
+    std::cerr << "--config needs at least one placement letter (A-H)\n";
+    return kExitUsage;
+  }
+  std::vector<std::string> policies = SplitCsv(opt.policies);
+
+  ExperimentOptions options;
+  options.warmup = Days(360);
+  options.num_batches = 20;
+  // The open loop serves ~1000 accesses per simulated day, so a short
+  // horizon already gives tight percentiles; --years overrides.
+  const double years = opt.years_set ? opt.years : 2.0;
+  options.batch_length = Years(years / 20.0);
+  options.seed = opt.seed;
+  options.quorum_cache = opt.quorum_cache;
+  ApplyServingFlags(opt, /*force=*/true, &options);
+
+  ReplicationOptions replication;
+  replication.replications = opt.reps >= 1 ? opt.reps : 1;
+  replication.jobs = opt.jobs >= 0 ? opt.jobs : 1;
+  replication.collect_metrics = true;
+
+  std::string json;
+  json.append("{\n  \"schema\": \"");
+  json.append(kServingSchema);
+  json.append("\",\n  \"arrival_rate_per_day\": ");
+  AppendJsonDouble(options.serving.arrival_rate_per_day, &json);
+  json.append(",\n  \"service_time_ms\": ");
+  AppendJsonDouble(options.serving.service_time_ms, &json);
+  json.append(",\n  \"msg_cost_ms\": ");
+  AppendJsonDouble(options.serving.msg_cost_ms, &json);
+  json.append(",\n  \"write_fraction\": ");
+  AppendJsonDouble(options.serving.write_fraction, &json);
+  json.append(",\n  \"years\": ");
+  AppendJsonDouble(years, &json);
+  json.append(",\n  \"seed\": " + std::to_string(opt.seed));
+  json.append(",\n  \"replications\": " +
+              std::to_string(replication.replications));
+  json.append(",\n  \"configs\": [");
+
+  bool first_config = true;
+  for (char config : opt.config) {
+    auto results =
+        RunReplicatedPaperExperiment(config, policies, options, replication);
+    if (!results.ok()) {
+      std::cerr << results.status() << "\n";
+      return 1;
+    }
+    const MetricsShard& metrics = results->metrics;
+
+    std::cout << "configuration " << config << ": "
+              << TextTable::Fixed(options.serving.arrival_rate_per_day, 0)
+              << " arrivals/day over "
+              << TextTable::Fixed(years * replication.replications, 1)
+              << " measured years\n";
+    TextTable table({"Policy", "Served", "Rejected", "Grant %", "Msg/acc",
+                     "Refresh/acc", "p50 ms", "p99 ms", "p999 ms", "MaxQ"});
+
+    json.append(first_config ? "\n    {" : ",\n    {");
+    first_config = false;
+    json.append("\"config\": \"");
+    json.push_back(config);
+    json.append("\", \"policies\": [");
+
+    bool first_policy = true;
+    for (const std::string& name : policies) {
+      const std::string label = "protocol=" + name;
+      const std::uint64_t arrivals =
+          ServingCounter(metrics, MetricKey("serving_arrivals", label));
+      const std::uint64_t rejected =
+          ServingCounter(metrics, MetricKey("serving_rejected", label));
+      const std::uint64_t granted =
+          ServingCounter(metrics, MetricKey("serving_granted", label));
+      const std::uint64_t served = arrivals - rejected;
+      const std::uint64_t access_msgs =
+          ServingPhaseMessages(metrics, name, "access");
+      const std::uint64_t refresh_msgs =
+          ServingPhaseMessages(metrics, name, "refresh");
+      HistogramData latency;
+      auto hist = metrics.histograms().find(
+          MetricKey("serving_latency_ms", label));
+      if (hist != metrics.histograms().end()) latency = hist->second;
+      double depth = 0.0;
+      auto gauge = metrics.gauges().find(
+          MetricKey("serving_queue_depth_max", label));
+      if (gauge != metrics.gauges().end()) depth = gauge->second;
+
+      const double denom = served > 0 ? static_cast<double>(served) : 1.0;
+      const double msgs_per_access = static_cast<double>(access_msgs) / denom;
+      const double refresh_per_access =
+          static_cast<double>(refresh_msgs) / denom;
+      const double grant_pct =
+          served > 0 ? 100.0 * static_cast<double>(granted) / denom : 0.0;
+      const double p50 = latency.Quantile(0.50);
+      const double p99 = latency.Quantile(0.99);
+      const double p999 = latency.Quantile(0.999);
+
+      table.AddRow({name, std::to_string(served), std::to_string(rejected),
+                    TextTable::Fixed(grant_pct, 2),
+                    TextTable::Fixed(msgs_per_access, 2),
+                    TextTable::Fixed(refresh_per_access, 2),
+                    TextTable::Fixed(p50, 3), TextTable::Fixed(p99, 3),
+                    TextTable::Fixed(p999, 3),
+                    TextTable::Fixed(depth, 0)});
+
+      json.append(first_policy ? "\n      {" : ",\n      {");
+      first_policy = false;
+      json.append("\"name\": \"" + name + "\"");
+      json.append(", \"served\": " + std::to_string(served));
+      json.append(", \"rejected\": " + std::to_string(rejected));
+      json.append(", \"granted\": " + std::to_string(granted));
+      json.append(", \"denied\": " + std::to_string(served - granted));
+      json.append(", \"access_messages\": " + std::to_string(access_msgs));
+      json.append(", \"refresh_messages\": " + std::to_string(refresh_msgs));
+      json.append(", \"msgs_per_access\": ");
+      AppendJsonDouble(msgs_per_access, &json);
+      json.append(", \"latency_ms\": {\"p50\": ");
+      AppendJsonDouble(p50, &json);
+      json.append(", \"p90\": ");
+      AppendJsonDouble(latency.Quantile(0.90), &json);
+      json.append(", \"p99\": ");
+      AppendJsonDouble(p99, &json);
+      json.append(", \"p999\": ");
+      AppendJsonDouble(p999, &json);
+      json.append(", \"max\": ");
+      AppendJsonDouble(latency.max, &json);
+      json.append("}, \"queue_depth_max\": ");
+      AppendJsonDouble(depth, &json);
+      json.append("}");
+    }
+    json.append(first_policy ? "]}" : "\n    ]}");
+    std::cout << table.ToString();
+    if (config != opt.config.back()) std::cout << "\n";
+  }
+  json.append("\n  ]\n}\n");
+
+  if (!opt.json_path.empty()) {
+    Status st = WriteFile(opt.json_path, json);
+    if (!st.ok()) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << opt.json_path << "\n";
+  }
+  return 0;
 }
 
 int RunScenario(const Options& opt) {
@@ -961,6 +1218,7 @@ int Main(int argc, char** argv) {
   if (opt->command == "analyze") return Analyze(*opt);
   if (opt->command == "simulate") return Simulate(*opt);
   if (opt->command == "repeat") return Repeat(*opt);
+  if (opt->command == "serve") return Serve(*opt);
   if (opt->command == "scenario") return RunScenario(*opt);
   if (opt->command == "trace-summary") return TraceSummaryCommand(*opt);
   if (opt->command == "trace-convert") return TraceConvertCommand(*opt);

@@ -16,6 +16,7 @@
 
 #include "check/counterexample.h"  // check::kCounterExampleSchema
 #include "lint/lint.h"             // lint::kLintSchema
+#include "model/open_loop.h"       // kServingSchema
 #include "obs/schemas.h"           // trace / btrace / metrics / bench
 
 namespace dynvote {
@@ -25,11 +26,12 @@ struct VersionedSchema {
   const char* token;
 };
 
-inline constexpr std::array<VersionedSchema, 6> kAllSchemas = {{
+inline constexpr std::array<VersionedSchema, 7> kAllSchemas = {{
     {"bench", kHotpathBenchSchema},
     {"trace", kTraceSchema},
     {"binary trace", kBinaryTraceSchema},
     {"metrics", kMetricsSchema},
+    {"serving", kServingSchema},
     {"counterexample", check::kCounterExampleSchema},
     {"lint", lint::kLintSchema},
 }};
