@@ -61,6 +61,17 @@ std::vector<CheckAction> ActionAlphabet(const Topology& topology) {
   return alphabet;
 }
 
+int ToggleOrderIndex(const CheckAction& action, int num_sites) {
+  switch (action.kind) {
+    case ActionKind::kToggleSite:
+      return action.target;
+    case ActionKind::kToggleRepeater:
+      return num_sites + action.target;
+    default:
+      return -1;
+  }
+}
+
 std::string ScheduleToString(const std::vector<CheckAction>& schedule) {
   std::string out;
   for (const CheckAction& action : schedule) {

@@ -51,6 +51,12 @@ Result<CheckAction> ParseActionToken(const std::string& token);
 /// repeater, plus the three data-plane moves, in that order.
 std::vector<CheckAction> ActionAlphabet(const Topology& topology);
 
+/// Position of a toggle action in the alphabet's toggle prefix (site
+/// toggles 0..S-1, repeater toggles S..S+R-1), or -1 for the data-plane
+/// actions. This is the total order partial-order reduction canonicalizes
+/// adjacent commuting toggles into (ascending runs only).
+int ToggleOrderIndex(const CheckAction& action, int num_sites);
+
 /// Space-separated action tokens.
 std::string ScheduleToString(const std::vector<CheckAction>& schedule);
 

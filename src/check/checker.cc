@@ -1,13 +1,16 @@
 #include "check/checker.h"
 
+#include <algorithm>
+#include <functional>
 #include <memory>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "check/shrink.h"
 #include "check/topologies.h"
+#include "check/visited_set.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace dynvote {
 namespace check {
@@ -19,6 +22,16 @@ struct Exploration {
   std::shared_ptr<const Topology> topology;
   SiteSet placement;
   std::vector<CheckAction> alphabet;
+  /// Alphabet prefix that is toggles (sites then repeaters) — the total
+  /// order POR canonicalizes adjacent commuting toggles into.
+  std::size_t num_toggles = 0;
+  /// POR requested, exhaustive mode, and the harness proved toggles
+  /// commute (CheckHarness::TogglesCommute).
+  bool por_active = false;
+  /// Null when jobs == 1: the fan-out runs inline on the caller thread.
+  /// Either way the algorithm — work-list order, claim tokens, merge —
+  /// is identical, which is what makes reports bit-identical per jobs.
+  ThreadPool* pool = nullptr;
   CheckReport report;
 };
 
@@ -45,7 +58,8 @@ Result<std::optional<Violation>> Replay(
 
 /// Shrinks a failing schedule to 1-minimality (preserving the tripped
 /// invariant), re-runs it to refresh step/detail, and packages the
-/// counterexample.
+/// counterexample. Sequential by design: shrink candidates depend on the
+/// previous candidate's outcome.
 Result<CounterExample> BuildCounterExample(const Exploration& ex,
                                            std::vector<CheckAction> schedule,
                                            const Violation& violation) {
@@ -95,17 +109,80 @@ std::uint64_t UnprunedSequences(std::size_t alphabet, int depth) {
   return total;
 }
 
+/// Runs body(i) for every i in [0, n): inline without a pool, otherwise
+/// fanned out in contiguous chunks over the workers. Bodies must be
+/// independent and write only their own pre-assigned slot — determinism
+/// never depends on completion order.
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& body) {
+  if (pool == nullptr || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // A few chunks per worker so a slow chunk (deep replays) does not
+  // leave the rest of the pool idle at the level barrier.
+  const std::size_t target =
+      static_cast<std::size_t>(pool->num_threads()) * 4;
+  const std::size_t chunk = std::max<std::size_t>(1, (n + target - 1) / target);
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = std::min(n, begin + chunk);
+    pool->Submit([&body, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    });
+  }
+  pool->Wait();
+}
+
+/// One (prefix, action) expansion of the current BFS level: the work-list
+/// entry built deterministically up front, the per-worker replay results
+/// filled in phase A, both consumed by the sequential phase-B merge.
+struct Expansion {
+  std::vector<CheckAction> schedule;  // prefix + appended action
+  /// ToggleOrderIndex of the appended action (-1 for data-plane moves);
+  /// carried into the next frontier for the POR skip decision.
+  int last_toggle = -1;
+  /// Deterministic claim token: the global BFS expansion index. The
+  /// visited set keeps the minimum token per signature, so the merge can
+  /// tell "first schedule to reach this state in BFS order" apart from
+  /// "lost the race to an earlier-ordered expansion".
+  std::uint64_t token = 0;
+
+  // Phase-A results.
+  Status status;  // harness construction / replay configuration errors
+  std::optional<Violation> violation;
+  std::string signature;
+  bool canonical = false;
+  std::uint64_t commits = 0;
+  std::uint64_t reads = 0;
+};
+
+/// One frontier entry: a representative schedule for a distinct reached
+/// state, plus the toggle order of its final action.
+struct FrontierEntry {
+  std::vector<CheckAction> schedule;
+  int last_toggle = -1;
+};
+
 Status RunExhaustive(Exploration* ex) {
   ex->report.unpruned_sequences =
       UnprunedSequences(ex->alphabet.size(), ex->options.depth);
 
-  // BFS by depth layers. The harness has no snapshot, so each expansion
+  // Level-synchronous BFS. The harness has no snapshot, so each expansion
   // replays its prefix from the initial state; the frontier holds one
-  // schedule per distinct reached state.
-  std::unordered_set<std::string> visited;
+  // representative schedule per distinct reached state. Claim tokens grow
+  // monotonically across levels, so a state first reached at an earlier
+  // level always outranks (is smaller than) every current-level claim.
+  ShardedVisitedSet visited;
   bool all_canonical = true;
+  std::uint64_t next_token = 1;
 
-  std::vector<std::vector<CheckAction>> frontier;
+  const bool memoize = ex->options.memoize;
+  auto finish = [ex, &visited, &all_canonical, memoize] {
+    ex->report.memoized = memoize && all_canonical;
+    ex->report.visited_digest = memoize ? visited.Digest() : 0;
+  };
+
+  std::vector<FrontierEntry> frontier;
   {
     std::unique_ptr<CheckHarness> harness;
     DYNVOTE_ASSIGN_OR_RETURN(std::optional<Violation> violation,
@@ -113,77 +190,152 @@ Status RunExhaustive(Exploration* ex) {
     (void)violation;  // empty schedule cannot violate
     std::string signature;
     if (harness->AppendSignature(&signature)) {
-      visited.insert(std::move(signature));
+      visited.InsertMin(signature, 0);
     } else {
       all_canonical = false;
     }
-    frontier.push_back({});
+    frontier.push_back({{}, -1});
     ex->report.states_visited = 1;
   }
 
   for (int d = 0; d < ex->options.depth && !frontier.empty(); ++d) {
-    std::vector<std::vector<CheckAction>> next;
-    for (const std::vector<CheckAction>& prefix : frontier) {
-      for (const CheckAction& action : ex->alphabet) {
-        std::vector<CheckAction> schedule = prefix;
-        schedule.push_back(action);
-        ++ex->report.transitions;
-
-        std::unique_ptr<CheckHarness> harness;
-        DYNVOTE_ASSIGN_OR_RETURN(std::optional<Violation> violation,
-                                 Replay(*ex, schedule, &harness));
-        ex->report.commits += harness->commits();
-        ex->report.reads_checked += harness->reads_checked();
-        if (violation.has_value()) {
-          DYNVOTE_ASSIGN_OR_RETURN(
-              ex->report.counterexample,
-              BuildCounterExample(*ex, std::move(schedule), *violation));
-          ex->report.memoized = ex->options.memoize && all_canonical;
-          return Status::OK();
+    // The level work list, in the exact order a sequential BFS would
+    // expand (frontier order x alphabet order), minus the interleavings
+    // POR canonicalizes away: appending toggle a after toggle b with
+    // order(a) < order(b) is skipped, because a's and b's effects
+    // commute and the ascending twin ...a,b reaches the same state (the
+    // intermediate states are themselves explored as shorter prefixes).
+    std::vector<Expansion> slots;
+    slots.reserve(frontier.size() * ex->alphabet.size());
+    for (const FrontierEntry& entry : frontier) {
+      for (std::size_t ai = 0; ai < ex->alphabet.size(); ++ai) {
+        const int toggle =
+            ai < ex->num_toggles ? static_cast<int>(ai) : -1;
+        if (ex->por_active && toggle >= 0 && entry.last_toggle > toggle) {
+          continue;
         }
+        Expansion e;
+        e.schedule = entry.schedule;
+        e.schedule.push_back(ex->alphabet[ai]);
+        e.last_toggle = toggle;
+        e.token = next_token++;
+        slots.push_back(std::move(e));
+      }
+    }
 
-        std::string signature;
-        bool canonical = harness->AppendSignature(&signature);
-        if (!canonical) all_canonical = false;
-        if (ex->options.memoize && canonical) {
-          if (!visited.insert(std::move(signature)).second) continue;
-        }
-        ++ex->report.states_visited;
-        if (d + 1 < ex->options.depth) next.push_back(std::move(schedule));
+    // Phase A: replay every expansion. Workers fill disjoint slots and
+    // publish canonical signatures into the sharded visited set under
+    // per-shard locks; min-combine makes the set's final contents
+    // independent of the interleaving.
+    ParallelFor(ex->pool, slots.size(), [ex, &slots,
+                                         &visited](std::size_t i) {
+      Expansion& e = slots[i];
+      std::unique_ptr<CheckHarness> harness;
+      auto replayed = Replay(*ex, e.schedule, &harness);
+      if (!replayed.ok()) {
+        e.status = replayed.status();
+        return;
+      }
+      e.violation = *replayed;
+      e.commits = harness->commits();
+      e.reads = harness->reads_checked();
+      if (e.violation.has_value()) return;
+      e.canonical = harness->AppendSignature(&e.signature);
+      if (ex->options.memoize && e.canonical) {
+        visited.InsertMin(e.signature, e.token);
+      }
+    });
+
+    // Phase B: merge in claim-token (= sequential BFS) order. This is
+    // the same discipline MetricsRegistry uses: workers fill
+    // pre-assigned slots, one thread folds them in a fixed order, so
+    // verdicts, counts and the first counterexample are bit-identical
+    // for any job count.
+    std::vector<FrontierEntry> next;
+    for (Expansion& e : slots) {
+      DYNVOTE_RETURN_NOT_OK(e.status);
+      ++ex->report.transitions;
+      ex->report.commits += e.commits;
+      ex->report.reads_checked += e.reads;
+      if (e.violation.has_value()) {
+        DYNVOTE_ASSIGN_OR_RETURN(
+            ex->report.counterexample,
+            BuildCounterExample(*ex, std::move(e.schedule), *e.violation));
+        finish();
+        return Status::OK();
+      }
+      if (!e.canonical) all_canonical = false;
+      if (ex->options.memoize && e.canonical &&
+          visited.MinToken(e.signature) != e.token) {
+        // An expansion earlier in BFS order (previous level, or this
+        // level with a smaller token) already claimed this state.
+        continue;
+      }
+      ++ex->report.states_visited;
+      if (d + 1 < ex->options.depth) {
+        next.push_back({std::move(e.schedule), e.last_toggle});
       }
     }
     frontier = std::move(next);
   }
-  ex->report.memoized = ex->options.memoize && all_canonical;
+  finish();
   return Status::OK();
 }
 
+/// One swarm schedule's pre-assigned result slot.
+struct SwarmSlot {
+  std::vector<CheckAction> schedule;
+  std::uint64_t transitions = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t reads = 0;
+  std::optional<Violation> violation;
+  Status status;
+};
+
 Status RunSwarm(Exploration* ex) {
-  for (int k = 0; k < ex->options.swarm_schedules; ++k) {
-    // Each schedule gets an independent stream derived from (seed, k) so
-    // any single schedule can be re-derived in isolation.
+  const int n = ex->options.swarm_schedules;
+  std::vector<SwarmSlot> slots(static_cast<std::size_t>(std::max(n, 0)));
+
+  // Each schedule gets an independent stream derived from (seed, k), so
+  // any single schedule can be re-derived in isolation — and run on any
+  // worker without coordination.
+  ParallelFor(ex->pool, slots.size(), [ex, &slots](std::size_t k) {
+    SwarmSlot& slot = slots[k];
     Rng rng(SplitMix64(ex->options.seed + static_cast<std::uint64_t>(k))
                 .Next());
-    DYNVOTE_ASSIGN_OR_RETURN(std::unique_ptr<CheckHarness> harness,
-                             FreshHarness(*ex));
-    std::vector<CheckAction> schedule;
-    schedule.reserve(static_cast<std::size_t>(ex->options.swarm_depth));
-    std::optional<Violation> violation;
+    auto harness = FreshHarness(*ex);
+    if (!harness.ok()) {
+      slot.status = harness.status();
+      return;
+    }
+    slot.schedule.reserve(static_cast<std::size_t>(ex->options.swarm_depth));
     for (int step = 0; step < ex->options.swarm_depth; ++step) {
       const CheckAction& action =
           ex->alphabet[rng.NextBounded(ex->alphabet.size())];
-      schedule.push_back(action);
-      ++ex->report.transitions;
-      violation = harness->Apply(action);
-      if (violation.has_value()) break;
+      slot.schedule.push_back(action);
+      ++slot.transitions;
+      slot.violation = (*harness)->Apply(action);
+      if (slot.violation.has_value()) break;
     }
+    slot.commits = (*harness)->commits();
+    slot.reads = (*harness)->reads_checked();
+  });
+
+  // Deterministic merge in schedule order: the first violating schedule
+  // (by index, not by completion time) becomes the counterexample, and
+  // later slots' work is discarded exactly as a sequential loop would
+  // never have run them.
+  for (SwarmSlot& slot : slots) {
+    DYNVOTE_RETURN_NOT_OK(slot.status);
+    ex->report.transitions += slot.transitions;
     ++ex->report.schedules_run;
-    ex->report.commits += harness->commits();
-    ex->report.reads_checked += harness->reads_checked();
-    if (violation.has_value()) {
+    ex->report.commits += slot.commits;
+    ex->report.reads_checked += slot.reads;
+    if (slot.violation.has_value()) {
       DYNVOTE_ASSIGN_OR_RETURN(
           ex->report.counterexample,
-          BuildCounterExample(*ex, std::move(schedule), *violation));
+          BuildCounterExample(*ex, std::move(slot.schedule),
+                              *slot.violation));
       return Status::OK();
     }
   }
@@ -199,15 +351,32 @@ Result<CheckReport> RunCheck(const CheckOptions& options) {
   ex.placement =
       options.placement.Empty() ? ex.topology->AllSites() : options.placement;
   ex.alphabet = ActionAlphabet(*ex.topology);
+  ex.num_toggles = static_cast<std::size_t>(ex.topology->num_sites() +
+                                            ex.topology->num_repeaters());
   if (options.depth < 1 && options.mode == CheckMode::kExhaustive) {
     return Status::InvalidArgument("depth must be at least 1");
   }
+  if (options.jobs < 0) {
+    return Status::InvalidArgument("jobs must be >= 0 (0 = all cores)");
+  }
 
   // Surface configuration errors (unknown protocol, oracle mismatch)
-  // before exploring.
+  // before exploring — and ask the probe whether toggles commute, which
+  // gates partial-order reduction.
   DYNVOTE_ASSIGN_OR_RETURN(std::unique_ptr<CheckHarness> probe,
                            FreshHarness(ex));
+  ex.por_active = options.por && options.mode == CheckMode::kExhaustive &&
+                  probe->TogglesCommute();
+  ex.report.por_active = ex.por_active;
   probe.reset();
+
+  const int jobs =
+      options.jobs == 0 ? ThreadPool::DefaultThreads() : options.jobs;
+  std::unique_ptr<ThreadPool> pool;
+  if (jobs > 1) {
+    pool = std::make_unique<ThreadPool>(jobs);
+    ex.pool = pool.get();
+  }
 
   Status status = options.mode == CheckMode::kExhaustive ? RunExhaustive(&ex)
                                                          : RunSwarm(&ex);

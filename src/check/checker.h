@@ -1,9 +1,14 @@
 // The model-checking engine: explores action schedules against a
-// CheckHarness either bounded-exhaustively (BFS by depth with
+// CheckHarness either bounded-exhaustively (level-synchronous BFS with
 // canonical-state memoization, so equivalent interleavings are expanded
-// once) or as a seeded swarm of random schedules. The first invariant
-// violation is shrunk to a 1-minimal reproducer and returned as a
-// replayable CounterExample.
+// once) or as a seeded swarm of random schedules. Both modes fan their
+// independent replays out over a ThreadPool (`jobs`) and merge results
+// in deterministic expansion order, so every report field — verdicts,
+// state counts, the first counterexample — is bit-identical for any job
+// count. Exhaustive mode additionally applies partial-order reduction
+// over commuting toggles when the harness proves them independent. The
+// first invariant violation is shrunk to a 1-minimal reproducer and
+// returned as a replayable CounterExample.
 
 #pragma once
 
@@ -45,6 +50,15 @@ struct CheckOptions {
   InvariantPolicy policy;
   /// Delta-debug a found violation down to a 1-minimal schedule.
   bool shrink = true;
+  /// Worker threads for the replay fan-out (0 = all cores). Never
+  /// changes any report field, only wall-clock time.
+  int jobs = 1;
+  /// Partial-order reduction (exhaustive mode): canonicalize runs of
+  /// adjacent commuting toggles to the single ascending-order
+  /// interleaving. Applied only when the harness proves toggles commute
+  /// (CheckHarness::TogglesCommute); the visited-state *set* at any
+  /// depth is unchanged, only the expansions needed to cover it shrink.
+  bool por = true;
 };
 
 struct CheckReport {
@@ -65,6 +79,14 @@ struct CheckReport {
   /// True iff state merging was actually in effect (memoize requested
   /// and every reached state canonicalized).
   bool memoized = false;
+  /// True iff partial-order reduction was actually in effect (requested,
+  /// exhaustive mode, and the harness proved toggles commute).
+  bool por_active = false;
+  /// Order-independent digest of the visited canonical-signature set
+  /// (exhaustive + memoized runs; 0 otherwise). Equal digests mean equal
+  /// state *sets*: the POR on/off equivalence and jobs-determinism
+  /// checks compare this, not just the count.
+  std::uint64_t visited_digest = 0;
   /// Present iff an invariant violation was found (already shrunk when
   /// options.shrink).
   std::optional<CounterExample> counterexample;

@@ -63,6 +63,15 @@ Result<CounterExample> ParseCounterExampleJson(const std::string& text) {
   for (char& c : line) {
     if (c == '\n' || c == '\r' || c == '\t') c = ' ';
   }
+  // The flat-line parser tolerates a missing closing brace (trace tails
+  // are handled elsewhere); a counterexample file is a single complete
+  // object, so a truncated one must be rejected here.
+  const std::size_t first = line.find_first_not_of(' ');
+  const std::size_t last = line.find_last_not_of(' ');
+  if (first == std::string::npos || line[first] != '{' || line[last] != '}') {
+    return Status::InvalidArgument(
+        "counterexample is not a complete JSON object (truncated file?)");
+  }
   std::map<std::string, std::string> fields;
   if (!ParseTraceLine(line, &fields)) {
     return Status::InvalidArgument("counterexample is not a flat JSON object");
@@ -98,7 +107,14 @@ Result<CounterExample> ParseCounterExampleJson(const std::string& text) {
     std::size_t comma = body.find(',', pos);
     if (comma == std::string::npos) comma = body.size();
     try {
-      ce.placement.Add(std::stoi(body.substr(pos, comma - pos)));
+      // SiteSet::Add silently ignores out-of-range ids; a record naming
+      // site 99 is corrupt, not a record with fewer copies.
+      int site = std::stoi(body.substr(pos, comma - pos));
+      if (site < 0 || site >= kMaxSites) {
+        return Status::InvalidArgument("placement site out of range in " +
+                                       placement);
+      }
+      ce.placement.Add(site);
     } catch (const std::exception&) {
       return Status::InvalidArgument("bad placement entry in " + placement);
     }
@@ -138,6 +154,16 @@ Result<CounterExample> ParseCounterExampleJson(const std::string& text) {
   DYNVOTE_ASSIGN_OR_RETURN(ce.schedule, ParseSchedule(schedule));
   if (ce.schedule.empty()) {
     return Status::InvalidArgument("schedule must not be empty");
+  }
+  // The violation is claimed at a schedule step; a step outside the
+  // recorded schedule can never replay and marks a truncated or
+  // hand-edited file.
+  if (ce.violation.step < 0 ||
+      static_cast<std::size_t>(ce.violation.step) >= ce.schedule.size()) {
+    return Status::InvalidArgument(
+        "step " + std::to_string(ce.violation.step) +
+        " is outside the recorded schedule (" +
+        std::to_string(ce.schedule.size()) + " action(s))");
   }
   return ce;
 }

@@ -92,6 +92,15 @@ Result<std::unique_ptr<CheckHarness>> CheckHarness::Make(
   return harness;
 }
 
+bool CheckHarness::TogglesCommute() const {
+  for (const HarnessArm& arm : arms_) {
+    if (arm.cluster->protocol().uses_instantaneous_information()) {
+      return false;
+    }
+  }
+  return true;
+}
+
 std::optional<Violation> CheckHarness::Violate(const std::string& invariant,
                                                std::string detail) const {
   Violation v;

@@ -118,6 +118,16 @@ class CheckHarness {
   /// its state, in which case exploration must not merge states.
   bool AppendSignature(std::string* out) const;
 
+  /// True iff site/repeater toggles on distinct targets commute for
+  /// every arm: a toggle's only effect is then flipping one independent
+  /// network bit (the protocol's OnNetworkEvent is a no-op — MCV and the
+  /// optimistic variants), so reordering adjacent toggles reaches the
+  /// same state. Partial-order reduction is sound exactly when this
+  /// holds; instantaneous protocols commit partition-set updates *per
+  /// network event*, so their toggle order is observable and the checker
+  /// must not reduce it.
+  bool TogglesCommute() const;
+
   /// Total committed writes / checked reads across all applied actions.
   std::uint64_t commits() const { return commits_; }
   std::uint64_t reads_checked() const { return reads_checked_; }

@@ -1,0 +1,78 @@
+// The parallel checker's visited-state table: canonical signatures
+// sharded by hash, each shard behind its own Mutex, so concurrent
+// expansion workers insert without a global lock. Every insert carries
+// the expansion's deterministic claim token (the global BFS order index)
+// and the shard keeps the *minimum* token per signature — min is
+// commutative and associative, so the table's final contents after a
+// level's Wait() barrier are independent of worker interleaving, and the
+// merge phase can resolve "which schedule first reached this state" in
+// the exact order a sequential breadth-first search would have.
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "util/thread_annotations.h"
+
+namespace dynvote {
+namespace check {
+
+class ShardedVisitedSet {
+ public:
+  /// Shard count. A fixed power of two: the shard index is the top bits
+  /// of the signature hash, so resizing would reshuffle every entry.
+  static constexpr int kShards = 16;
+
+  /// Returned by MinToken() for signatures never inserted.
+  static constexpr std::uint64_t kNotVisited = ~std::uint64_t{0};
+
+  /// Records that the expansion holding claim token `token` reached the
+  /// state with canonical signature `signature`. Keeps the minimum token
+  /// per signature and returns that minimum after this insert (== token
+  /// exactly when this call claimed the state first — in token order,
+  /// not wall-clock order). Thread-safe; only the owning shard locks.
+  std::uint64_t InsertMin(const std::string& signature, std::uint64_t token);
+
+  /// The minimum claim token recorded for `signature`, or kNotVisited.
+  std::uint64_t MinToken(const std::string& signature) const;
+
+  /// Distinct signatures across all shards (merged in ascending shard
+  /// order; the count is interleaving-independent).
+  std::size_t Size() const;
+
+  /// Order-independent digest of the signature *set*: the mod-2^64 sum
+  /// of every signature's FNV-1a hash, folded across shards in ascending
+  /// shard order. Two sets are overwhelmingly likely to digest equally
+  /// iff they contain the same signatures, regardless of the insertion
+  /// interleaving that built them — this is what the POR-equivalence and
+  /// jobs-determinism checks compare.
+  std::uint64_t Digest() const;
+
+  /// FNV-1a 64-bit. Implemented here (not std::hash) so digests are
+  /// stable across standard libraries and builds.
+  static std::uint64_t HashSignature(const std::string& signature);
+
+ private:
+  struct Shard {
+    mutable Mutex mutex;
+    std::unordered_map<std::string, std::uint64_t> min_token
+        DYNVOTE_GUARDED_BY(mutex);
+    std::uint64_t digest DYNVOTE_GUARDED_BY(mutex) = 0;
+  };
+
+  Shard& ShardFor(std::uint64_t hash) {
+    return shards_[hash >> (64 - 4)];  // top log2(kShards) bits
+  }
+  const Shard& ShardFor(std::uint64_t hash) const {
+    return shards_[hash >> (64 - 4)];
+  }
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace check
+}  // namespace dynvote

@@ -14,4 +14,9 @@ namespace dynvote {
 /// perf-smoke CI job).
 inline constexpr const char kHotpathBenchSchema[] = "dynvote-hotpath-bench-v1";
 
+/// Schema of BENCH_check.json (bench/check_throughput.cc): model-checker
+/// throughput solo vs parallel, POR transition reduction, and the
+/// deepest demonstrated exhaustive bounds. Validated by perf-smoke.
+inline constexpr const char kCheckBenchSchema[] = "dynvote-checkbench-v1";
+
 }  // namespace dynvote

@@ -40,7 +40,7 @@ std::vector<std::filesystem::path> CorpusFiles() {
 TEST(CorpusTest, DirectoryIsPopulated) {
   // Catches a misconfigured corpus path before the parameterized replay
   // silently runs zero cases.
-  EXPECT_GE(CorpusFiles().size(), 5u);
+  EXPECT_GE(CorpusFiles().size(), 9u);
 }
 
 class CorpusReplayTest

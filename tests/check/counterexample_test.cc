@@ -110,6 +110,61 @@ TEST(CounterExampleTest, RejectsMissingAndMalformedFields) {
                    .ok());
 }
 
+TEST(CounterExampleTest, RejectsGarbageAndTruncatedDocuments) {
+  // Every rejection must be a clean InvalidArgument — never a crash or
+  // an exception escaping — whatever bytes the file held.
+  const std::string json = CounterExampleToJson(SampleCounterExample());
+  for (std::size_t keep :
+       {std::size_t{0}, std::size_t{1}, json.size() / 4, json.size() / 2,
+        json.size() - 2}) {
+    auto parsed = ParseCounterExampleJson(json.substr(0, keep));
+    EXPECT_FALSE(parsed.ok()) << "truncated at " << keep;
+    EXPECT_TRUE(parsed.status().IsInvalidArgument()) << parsed.status();
+  }
+  for (const char* garbage :
+       {"{", "{}", "[]", "{\"schema\":}", "\x01\x02\xff binary",
+        "{\"schema\": \"dynvote-counterexample-v1\"}",
+        "{\"schema\": \"dynvote-counterexample-v1\", \"schedule\": \"\"}"}) {
+    auto parsed = ParseCounterExampleJson(garbage);
+    EXPECT_FALSE(parsed.ok()) << garbage;
+    EXPECT_TRUE(parsed.status().IsInvalidArgument()) << parsed.status();
+  }
+}
+
+TEST(CounterExampleTest, RejectsStepsOutsideTheSchedule) {
+  const std::string json = CounterExampleToJson(SampleCounterExample());
+  auto with_step = [&json](const std::string& step) {
+    std::string out = json;
+    std::size_t at = out.find("\"step\": 3");
+    EXPECT_NE(at, std::string::npos);
+    out.replace(at, 9, "\"step\": " + step);
+    return out;
+  };
+  EXPECT_TRUE(ParseCounterExampleJson(with_step("3")).ok());
+  for (const char* step : {"-1", "4", "100"}) {
+    auto parsed = ParseCounterExampleJson(with_step(step));
+    EXPECT_FALSE(parsed.ok()) << "step " << step;
+    EXPECT_TRUE(parsed.status().IsInvalidArgument()) << parsed.status();
+  }
+}
+
+TEST(CounterExampleTest, RejectsOutOfRangePlacementSites) {
+  const std::string json = CounterExampleToJson(SampleCounterExample());
+  auto with_placement = [&json](const std::string& placement) {
+    std::string out = json;
+    std::size_t at = out.find("[0,1,2,3]");
+    EXPECT_NE(at, std::string::npos);
+    out.replace(at, 9, placement);
+    return out;
+  };
+  // SiteSet would silently drop these; the parser must reject instead.
+  for (const char* placement : {"[-1]", "[0,1,99]", "[64]"}) {
+    auto parsed = ParseCounterExampleJson(with_placement(placement));
+    EXPECT_FALSE(parsed.ok()) << placement;
+    EXPECT_TRUE(parsed.status().IsInvalidArgument()) << parsed.status();
+  }
+}
+
 TEST(CounterExampleTest, ReplayRejectsNonReproducingRecords) {
   // A syntactically valid record whose schedule never violates anything.
   CounterExample ce = SampleCounterExample();

@@ -23,7 +23,8 @@
 //   dynvote check    [--protocol=ODV] [--topology=single3] [--depth=5]
 //                    [--mode=exhaustive|swarm] [--seed=N] [--schedules=N]
 //                    [--swarm-depth=N] [--oracle=NAME] [--weaken-mutex]
-//                    [--no-memo] [--no-shrink] [--out=FILE.json]
+//                    [--no-memo] [--no-shrink] [--check-jobs=M] [--no-por]
+//                    [--out=FILE.json]
 //   dynvote check    --replay=counterexample.json
 //   dynvote --version
 //
@@ -132,6 +133,10 @@ struct Options {
   bool memoize = true;
   bool shrink = true;
   bool weaken_mutex = false;
+  // check: replay fan-out width and partial-order reduction. Neither
+  // ever changes a verdict, a count, or the counterexample.
+  int check_jobs = 1;
+  bool por = true;
 };
 
 // Exit codes: 0 success, 1 runtime failure, 2 bad flags / usage,
@@ -194,6 +199,11 @@ int Usage() {
       "  --strict=S       auto (strict iff partition-safe), on, off\n"
       "  --weaken-mutex   test hook: any grant at all violates\n"
       "  --no-memo        disable canonical-state merging\n"
+      "  --check-jobs=M   worker threads for the replay fan-out (0 = all\n"
+      "                   cores; never changes results)\n"
+      "  --no-por         disable partial-order reduction over commuting\n"
+      "                   toggles (applied only where provably sound;\n"
+      "                   never changes the visited-state set)\n"
       "  --no-shrink      keep the unshrunk failing schedule\n"
       "  --out=FILE       write the counterexample JSON here\n"
       "  --replay=FILE    replay a " << check::kCounterExampleSchema
@@ -223,7 +233,7 @@ int Version() {
 
 bool IsBooleanFlag(const std::string& a) {
   return a == "--no-quorum-cache" || a == "--no-memo" || a == "--no-shrink" ||
-         a == "--weaken-mutex";
+         a == "--weaken-mutex" || a == "--no-por";
 }
 
 Result<Options> Parse(int argc, char** argv) {
@@ -328,6 +338,14 @@ Result<Options> Parse(int argc, char** argv) {
       opt.shrink = false;
     } else if (a == "--weaken-mutex") {
       opt.weaken_mutex = true;
+    } else if (a.rfind("--check-jobs=", 0) == 0) {
+      opt.check_jobs = std::stoi(value("--check-jobs="));
+      if (opt.check_jobs < 0) {
+        return Status::InvalidArgument(
+            "--check-jobs must be >= 0 (0 = all cores)");
+      }
+    } else if (a == "--no-por") {
+      opt.por = false;
     } else if (a.rfind("--", 0) == 0) {
       return Status::InvalidArgument("unknown flag " + a);
     } else {
@@ -1086,6 +1104,18 @@ int ReplayCounterExampleFile(const std::string& path) {
     std::cerr << ce.status() << "\n";
     return 1;
   }
+  // Reject an unknown universe up front as a usage error (exit 2), not a
+  // failed reproduction: the file names a world this binary does not
+  // have, so replaying it was never meaningful.
+  if (!check::MakeCheckTopology(ce->topology).ok()) {
+    std::cerr << "unknown check universe '" << ce->topology << "' in " << path
+              << "\nknown universes:";
+    for (const std::string& name : check::CheckTopologyNames()) {
+      std::cerr << " " << name;
+    }
+    std::cerr << "\n";
+    return kExitUsage;
+  }
   std::cout << "replaying " << ce->protocol << " on " << ce->topology << ": "
             << check::ScheduleToString(ce->schedule) << "\n";
   Status st = check::ReplayCounterExample(*ce);
@@ -1116,6 +1146,8 @@ int Check(const Options& opt) {
   options.swarm_depth = opt.swarm_depth;
   options.memoize = opt.memoize;
   options.shrink = opt.shrink;
+  options.jobs = opt.check_jobs;
+  options.por = opt.por;
   if (opt.mode == "exhaustive") {
     options.mode = check::CheckMode::kExhaustive;
   } else if (opt.mode == "swarm") {
@@ -1168,7 +1200,8 @@ int Check(const Options& opt) {
             << opt.mode;
   if (options.mode == check::CheckMode::kExhaustive) {
     std::cout << " to depth " << opt.depth
-              << (report->memoized ? " (memoized)" : " (no state merging)");
+              << (report->memoized ? " (memoized" : " (no state merging")
+              << (report->por_active ? ", por)" : ")");
   } else {
     std::cout << ", " << report->schedules_run << " schedule(s) of "
               << opt.swarm_depth << " action(s), seed " << opt.seed;
@@ -1177,6 +1210,15 @@ int Check(const Options& opt) {
   if (options.mode == check::CheckMode::kExhaustive) {
     std::cout << "states visited:     " << report->states_visited << "\n"
               << "unpruned sequences: " << report->unpruned_sequences << "\n";
+    if (report->memoized) {
+      // Order-independent digest of the visited-state *set*: CI compares
+      // it across --check-jobs values and --no-por to prove neither
+      // changes which states were reached.
+      char digest[17];
+      std::snprintf(digest, sizeof(digest), "%016llx",
+                    static_cast<unsigned long long>(report->visited_digest));
+      std::cout << "visited digest:     " << digest << "\n";
+    }
   }
   std::cout << "transitions:        " << report->transitions << "\n"
             << "commits / reads:    " << report->commits << " / "

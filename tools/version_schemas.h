@@ -26,8 +26,9 @@ struct VersionedSchema {
   const char* token;
 };
 
-inline constexpr std::array<VersionedSchema, 7> kAllSchemas = {{
+inline constexpr std::array<VersionedSchema, 8> kAllSchemas = {{
     {"bench", kHotpathBenchSchema},
+    {"check bench", kCheckBenchSchema},
     {"trace", kTraceSchema},
     {"binary trace", kBinaryTraceSchema},
     {"metrics", kMetricsSchema},
