@@ -104,8 +104,11 @@ void AsyncTraceSink::Flush() {
   }
   inner_->Flush();
   if (!inner_->ok()) {
+    // Read the sink's error before taking the lock: no virtual
+    // dispatch inside the critical section (lock-hygiene).
+    std::string err = inner_->error();
     MutexLock lock(mutex_);
-    if (error_.empty()) error_ = inner_->error();
+    if (error_.empty()) error_ = std::move(err);
   }
   if (!stolen.empty()) {
     MutexLock lock(mutex_);
@@ -150,8 +153,11 @@ void AsyncTraceSink::WriterLoop() {
     try {
       inner_->WritePage(&page);
       if (!inner_->ok()) {
+        // Read the sink's error before taking the lock: no virtual
+        // dispatch inside the critical section (lock-hygiene).
+        std::string err = inner_->error();
         MutexLock lock(mutex_);
-        if (error_.empty()) error_ = inner_->error();
+        if (error_.empty()) error_ = std::move(err);
       }
     } catch (...) {
       MutexLock lock(mutex_);

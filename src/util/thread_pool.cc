@@ -39,19 +39,26 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::Shutdown() {
+  bool uncollected = false;
   {
     MutexLock lock(mutex_);
     while (in_flight_ != 0) all_done_.Wait(mutex_);
     if (shutting_down_) return;  // second Shutdown(): workers already joined
     shutting_down_ = true;
     if (first_exception_ != nullptr) {
-      DYNVOTE_LOG(Warning)
-          << "ThreadPool shut down with an uncollected task exception";
+      uncollected = true;
       first_exception_ = nullptr;
     }
   }
   work_available_.NotifyAll();
   for (std::thread& t : workers_) t.join();
+  // Log after the critical section (and the joins): stream logging
+  // under a lock serializes every producer behind the I/O
+  // (lock-hygiene).
+  if (uncollected) {
+    DYNVOTE_LOG(Warning)
+        << "ThreadPool shut down with an uncollected task exception";
+  }
 }
 
 int ThreadPool::DefaultThreads() {

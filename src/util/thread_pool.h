@@ -73,6 +73,7 @@ class ThreadPool {
   std::exception_ptr first_exception_ DYNVOTE_GUARDED_BY(mutex_);
   /// Written by the constructor, joined+cleared by Shutdown(); otherwise
   /// read-only, so it needs no guard (coordinator-confined).
+  // dynvote-lint: allow(guarded-by)
   std::vector<std::thread> workers_;
 };
 

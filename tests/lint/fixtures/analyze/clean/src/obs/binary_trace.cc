@@ -1,0 +1,8 @@
+// Fixture: schema agreement, codec side.
+
+void DecodeRecord(Cursor* cur, TraceEvent* out) {
+  TraceEvent& event = *out;
+  ReadVarint(cur, &event.type);
+  ReadDouble(cur, &event.t);
+  ReadDouble(cur, &event.latency_ms);
+}

@@ -1,0 +1,8 @@
+// Fixture: schema agreement, struct side. Every field is emitted
+// (under its wire alias where one exists), decoded, and documented.
+
+struct TraceEvent {
+  int type = 0;
+  double t = 0;
+  double latency_ms = 0;
+};

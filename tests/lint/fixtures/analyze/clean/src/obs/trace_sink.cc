@@ -1,0 +1,16 @@
+// Fixture: schema agreement, encoder side. The header keys (schema,
+// seed) are exempt from the field cross-check by design.
+
+void EncodeHeader(std::string* out) {
+  Append(out, "{\"schema\":\"dynvote-trace-v1\",\"seed\":0}");
+}
+
+void Encode(const TraceEvent& event, std::string* out) {
+  Append(out, "{\"ev\":");
+  Append(out, event.type);
+  Append(out, ",\"t\":");
+  Append(out, event.t);
+  Append(out, ",\"lat_ms\":");
+  Append(out, event.latency_ms);
+  Append(out, "}");
+}

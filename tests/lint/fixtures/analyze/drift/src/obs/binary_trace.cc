@@ -1,0 +1,10 @@
+// Fixture: schema drift, codec side. Decodes type, t and latency_ms
+// but never touches `orphan` — the struct-side finding points at the
+// field the codec forgot.
+
+void DecodeRecord(Cursor* cur, TraceEvent* out) {
+  TraceEvent& event = *out;
+  ReadVarint(cur, &event.type);
+  ReadDouble(cur, &event.t);
+  ReadDouble(cur, &event.latency_ms);
+}

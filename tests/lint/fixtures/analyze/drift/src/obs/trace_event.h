@@ -1,0 +1,10 @@
+// Fixture: schema drift, struct side. `orphan` is neither emitted by
+// the JSONL encoder (trace_sink.cc) nor referenced by the binary codec
+// (binary_trace.cc) — two findings anchored here.
+
+struct TraceEvent {
+  int type = 0;
+  double t = 0;
+  double latency_ms = 0;
+  int orphan = 0;
+};

@@ -1,0 +1,13 @@
+// Fixture: schema drift, encoder side. `ghost` corresponds to no
+// TraceEvent field and is absent from the docs tables — two findings
+// anchored at its emission site.
+
+void Encode(const TraceEvent& event, std::string* out) {
+  Append(out, "{\"ev\":");
+  Append(out, event.type);
+  Append(out, ",\"t\":");
+  Append(out, event.t);
+  Append(out, ",\"lat_ms\":");
+  Append(out, event.latency_ms);
+  Append(out, ",\"ghost\":0}");
+}

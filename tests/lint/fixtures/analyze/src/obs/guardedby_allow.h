@@ -1,0 +1,15 @@
+// Fixture: the coverage gap from guardedby_fire.h closed by a proof
+// suppression instead of an annotation.
+
+class Cache {
+ public:
+  void Touch();
+
+ private:
+  Mutex mutex_;
+  int hits_ DYNVOTE_GUARDED_BY(mutex_) = 0;
+  // Only the owner thread writes misses_, and it reads it back only
+  // after Join() — confinement, not locking, is the proof.
+  // dynvote-lint: allow(guarded-by)
+  int misses_ = 0;
+};

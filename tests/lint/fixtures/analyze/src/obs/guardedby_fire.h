@@ -1,0 +1,19 @@
+// Fixture: GUARDED_BY coverage. `misses_` is the one mutable,
+// non-atomic, non-annotated member of a Mutex-owning class in a
+// threaded dir — exactly one finding. Every other member exercises an
+// exemption: annotated, atomic, const, static, the mutex itself, a
+// condition variable.
+
+class Cache {
+ public:
+  void Touch();
+
+ private:
+  Mutex mutex_;
+  CondVar ready_;
+  int hits_ DYNVOTE_GUARDED_BY(mutex_) = 0;
+  int misses_ = 0;
+  std::atomic<int> lookups_{0};
+  const std::string name_;
+  static int instances_;
+};

@@ -1,0 +1,28 @@
+// Fixture: the hygiene sites from hygiene_fire.cc, each silenced by a
+// suppression on its own line or the line above. Also shows the clean
+// pattern: do the slow work after the guard's scope closes.
+
+class Logger {
+ public:
+  void Work();
+
+ private:
+  bool bad();
+
+  Mutex mutex_;
+  TraceSink* sink_ DYNVOTE_GUARDED_BY(mutex_);
+};
+
+void Logger::Work() {
+  bool failed = false;
+  {
+    MutexLock lock(mutex_);
+    // The exception unwinds through ~MutexLock, so the lock never
+    // outlives the throw; accepted while the error path is migrated.
+    // dynvote-lint: allow(lock-hygiene)
+    if (bad()) throw std::runtime_error("invariant violated");
+    std::cerr << "one-shot startup banner\n";  // dynvote-lint: allow(lock-hygiene)
+    failed = bad();
+  }
+  if (failed) DYNVOTE_LOG(Warning) << "logged outside the lock";
+}

@@ -1,0 +1,23 @@
+// Fixture: everything the lock-hygiene rule bans, all inside one
+// critical section: a throw-expression, direct std::cerr I/O, the
+// stream-backed DYNVOTE_LOG macro, and virtual dispatch through a
+// trace-sink member. Four findings.
+
+class Logger {
+ public:
+  void Work();
+
+ private:
+  bool bad();
+
+  Mutex mutex_;
+  TraceSink* sink_ DYNVOTE_GUARDED_BY(mutex_);
+};
+
+void Logger::Work() {
+  MutexLock lock(mutex_);
+  if (bad()) throw std::runtime_error("invariant violated");
+  std::cerr << "diagnosing under the lock\n";
+  DYNVOTE_LOG(Warning) << "still under the lock";
+  sink_->WritePage(nullptr);
+}

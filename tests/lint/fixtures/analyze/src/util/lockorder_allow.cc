@@ -1,0 +1,27 @@
+// Fixture: the same inconsistent ordering as lockorder_fire.cc, but
+// the out-of-order acquisition carries a proof suppression — the edge
+// (and with it the cycle) is silenced.
+
+class Alpha {
+ public:
+  void Both() {
+    MutexLock la(a_);
+    MutexLock lb(b_);
+    use();
+  }
+
+  void Reverse() {
+    MutexLock lb(b_);
+    // Safe: Reverse() is only ever called before the worker threads
+    // start, so the two guards can never interleave with Both().
+    // dynvote-lint: allow(lock-order)
+    MutexLock la(a_);
+    use();
+  }
+
+ private:
+  void use();
+
+  Mutex a_;
+  Mutex b_;
+};

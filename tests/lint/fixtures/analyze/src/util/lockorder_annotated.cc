@@ -1,0 +1,16 @@
+// Fixture: annotation-seeded ordering. Locked() declares via
+// DYNVOTE_REQUIRES that g_ is held on entry; its body then acquires
+// h_, producing the edge Gamma::g_ -> Gamma::h_ without any textual
+// MutexLock nesting.
+
+class Gamma {
+ public:
+  void Locked() DYNVOTE_REQUIRES(g_);
+
+  Mutex g_;
+  Mutex h_;
+};
+
+void Gamma::Locked() {
+  MutexLock lh(h_);
+}

@@ -1,0 +1,24 @@
+// Fixture: inconsistent lock ordering. Both() acquires a_ then b_;
+// Reverse() acquires b_ then a_ — the acquisition graph has the cycle
+// Alpha::a_ -> Alpha::b_ -> Alpha::a_. Never compiled, only scanned.
+
+class Alpha {
+ public:
+  void Both() {
+    MutexLock la(a_);
+    MutexLock lb(b_);
+    use();
+  }
+
+  void Reverse() {
+    MutexLock lb(b_);
+    MutexLock la(a_);
+    use();
+  }
+
+ private:
+  void use();
+
+  Mutex a_;
+  Mutex b_;
+};

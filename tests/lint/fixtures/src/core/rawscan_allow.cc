@@ -1,0 +1,29 @@
+// Fixture: scanner blind spots. Every banned token below sits inside a
+// raw string literal, a backslash-continued // comment, or a
+// backslash-continued string — none of it is code, so the lint must
+// stay silent.
+
+#include <string>
+
+namespace dynvote {
+
+const char* kUsage = R"(usage text quoting forbidden things:
+  std::rand() seeds nondeterminism
+  std::unordered_map<int, int> iterates unordered
+  #include <iostream> drags in static initializers
+  "quotes inside raw strings are fine" — and so is )";
+
+const char* kDelimited = R"doc(
+  custom delimiters too: std::random_device entropy;
+  even a fake closer )" stays inside until )doc";
+
+// A continued line comment hides the next physical line: \
+std::rand();  still part of the comment above
+
+const char* kSpliced =
+    "a string may continue across a backslash newline: \
+std::mt19937 gen; is still string content here";
+
+int Real() { return 1; }
+
+}  // namespace dynvote

@@ -244,6 +244,30 @@ TEST(LintEngineTest, MultipleRulesInOneAllowList) {
   EXPECT_TRUE(r.findings.empty()) << ToText(r);
 }
 
+TEST(LintEngineTest, RawStringsAndContinuationsAreNotCode) {
+  // Banned tokens inside raw string bodies (default and custom
+  // delimiters, multi-line), backslash-continued // comments and
+  // backslash-continued strings must not fire — including a #include
+  // spelled inside a raw string.
+  RunResult r = RunLint({LoadFixture("src/core/rawscan_allow.cc")}, {});
+  EXPECT_TRUE(r.findings.empty()) << ToText(r);
+}
+
+TEST(LintEngineTest, LineContinuationExtendsTheComment) {
+  FileInput file{"src/core/cont.cc",
+                 "// a comment that continues \\\nstd::rand();\nint x;\n"};
+  RunResult r = RunLint({file}, {});
+  EXPECT_TRUE(r.findings.empty()) << ToText(r);
+}
+
+TEST(LintEngineTest, RawStringEndsOnItsClosingDelimiter) {
+  // Code after the raw literal closes is scanned again.
+  FileInput file{"src/core/raw_end.cc",
+                 "const char* s = R\"(std::rand())\"; int y = std::rand();\n"};
+  RunResult r = RunLint({file}, {});
+  EXPECT_EQ(CountRule(r, "nondeterminism"), 1);
+}
+
 }  // namespace
 }  // namespace lint
 }  // namespace dynvote

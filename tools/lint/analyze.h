@@ -1,0 +1,90 @@
+// dynvote_analyze: symbol-aware concurrency and determinism analysis on
+// top of the dynvote_lint engine. Where the lint is a line scanner, the
+// analyzer tokenizes the tree (lint/token.h), builds a lightweight
+// include graph and a class/member/function model, and checks the
+// properties that keep the parallel paths deterministic and
+// deadlock-free (see docs/static_analysis.md for the full catalog):
+//
+//   lock-order     the global mutex-acquisition graph built from
+//                  MutexLock nesting and DYNVOTE_ACQUIRE/REQUIRES
+//                  annotations must be acyclic (cycles = potential
+//                  deadlock); the hierarchy exports as DOT
+//   guarded-by     every mutable non-atomic member of a Mutex-owning
+//                  class in the threaded dirs (util/ obs/ check/
+//                  stats/) is DYNVOTE_GUARDED_BY-annotated or carries a
+//                  proof suppression
+//   lock-hygiene   no throw, stream I/O / logging, or virtual dispatch
+//                  through a TraceSink while a lock is held — the exact
+//                  pattern the async writer exists to avoid
+//   schema-fields  the TraceEvent record struct, the JSONL encoder, the
+//                  binary codec and the docs field tables must agree
+//                  field by field (deepens the lint's schema-docs token
+//                  check to field granularity)
+//
+// Suppression reuses the lint grammar: `// dynvote-lint: allow(<rule>)`
+// on the offending line or alone on the line above.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"  // FileInput, Finding, RuleInfo
+
+namespace dynvote {
+namespace lint {
+
+/// Analyzer JSON output schema identifier (--json); bump on field
+/// changes.
+inline constexpr const char kAnalyzeSchema[] = "dynvote-analyze-v1";
+
+/// One directed acquisition: `to` was locked while `from` was held, at
+/// file:line (the first site observed, in input order).
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::string file;
+  int line = 0;
+};
+
+/// The global mutex-acquisition graph. Nodes are canonical mutex names
+/// (`Class::member`); sorted, deduplicated, deterministic for a fixed
+/// input order.
+struct LockGraph {
+  std::vector<std::string> nodes;
+  std::vector<LockEdge> edges;
+  bool acyclic = true;
+  /// Human-readable cycle descriptions when !acyclic ("A -> B -> A").
+  std::vector<std::string> cycles;
+};
+
+struct AnalyzeResult {
+  /// Remaining findings, ordered by rule family then input order.
+  std::vector<Finding> findings;
+  int files_scanned = 0;
+  LockGraph lock_graph;
+};
+
+/// Runs every analysis over `files`. Like the lint's schema-docs rule,
+/// the schema-fields cross-check only activates when the inputs contain
+/// all of its participants (the TraceEvent struct, the JSONL encoder,
+/// the binary codec and at least one markdown field table) — analyzing a
+/// lone .cc must not demand the whole tree be re-passed.
+AnalyzeResult RunAnalyze(const std::vector<FileInput>& files);
+
+/// Renders the result as dynvote-analyze-v1 JSON (stable key order).
+std::string ToJson(const AnalyzeResult& result);
+
+/// Renders findings as `file:line: [rule] message` lines + a summary.
+std::string ToText(const AnalyzeResult& result);
+
+/// Renders the lock-acquisition graph as Graphviz DOT (sorted nodes and
+/// edges: byte-stable for identical inputs).
+std::string ToDot(const LockGraph& graph);
+
+/// The analyzer rule catalog, for --list-rules and the docs cross-check.
+std::vector<RuleInfo> AnalyzeRules();
+
+}  // namespace lint
+}  // namespace dynvote

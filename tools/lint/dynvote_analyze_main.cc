@@ -1,0 +1,93 @@
+// Command-line driver for the symbol-aware analyzer. Exit codes:
+// 0 clean, 1 findings remain (or a lock-order cycle), 2 usage/IO error.
+//
+//   dynvote_analyze [--json] [--dot <file>] [--list-rules]
+//                   <files-or-dirs>...
+//
+// Directories are walked recursively for .h/.hpp/.cc/.cpp/.md files in
+// sorted order, so output is stable for stable trees. Markdown inputs
+// participate only in the schema-fields cross-check — pass the docs
+// alongside the source to enable it (CI does). --dot writes the mutex
+// acquisition hierarchy as Graphviz DOT (use `-` for stdout).
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/analyze.h"
+#include "lint/file_collect.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: dynvote_analyze [--json] [--dot <file>] "
+               "[--list-rules] <paths>...\n"
+               "  --json        machine-readable output "
+               "(dynvote-analyze-v1)\n"
+               "  --dot <file>  write the lock hierarchy as Graphviz DOT "
+               "(`-` = stdout)\n"
+               "  --list-rules  print the rule catalog and exit\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string dot_path;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--dot") {
+      if (i + 1 >= argc) return Usage();
+      dot_path = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : dynvote::lint::AnalyzeRules()) {
+        std::cout << rule.name << "\n    " << rule.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "dynvote_analyze: unknown flag " << arg << "\n";
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return Usage();
+
+  std::vector<dynvote::lint::FileInput> files;
+  for (const std::string& path : paths) {
+    if (!dynvote::lint::CollectPath("dynvote_analyze", path, &files)) {
+      return 2;
+    }
+  }
+
+  dynvote::lint::AnalyzeResult result = dynvote::lint::RunAnalyze(files);
+
+  if (!dot_path.empty()) {
+    const std::string dot = dynvote::lint::ToDot(result.lock_graph);
+    if (dot_path == "-") {
+      std::cout << dot;
+    } else {
+      std::ofstream out(dot_path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::cerr << "dynvote_analyze: cannot write " << dot_path << "\n";
+        return 2;
+      }
+      out << dot;
+    }
+  }
+
+  if (json) {
+    std::cout << dynvote::lint::ToJson(result);
+  } else {
+    std::cout << dynvote::lint::ToText(result);
+  }
+  return result.findings.empty() ? 0 : 1;
+}

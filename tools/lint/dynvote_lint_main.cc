@@ -6,61 +6,18 @@
 // Directories are walked recursively for .h/.hpp/.cc/.cpp/.md files in
 // sorted order, so output is stable for stable trees. Markdown inputs
 // participate only in the schema-docs cross-check — pass the docs
-// alongside the source to enable it (CI does).
+// alongside the source to enable it (CI does). Input collection is
+// shared with dynvote_analyze (lint/file_collect.h).
 
-#include <algorithm>
-#include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint/file_collect.h"
 #include "lint/lint.h"
 
 namespace {
-
-namespace fs = std::filesystem;
-using dynvote::lint::FileInput;
-
-bool WantedExtension(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" ||
-         ext == ".md";
-}
-
-bool ReadFileInto(const fs::path& path, std::vector<FileInput>* files) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::cerr << "dynvote_lint: cannot read " << path.string() << "\n";
-    return false;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  files->push_back({path.generic_string(), buffer.str()});
-  return true;
-}
-
-bool CollectPath(const std::string& arg, std::vector<FileInput>* files) {
-  fs::path path(arg);
-  std::error_code ec;
-  if (fs::is_directory(path, ec)) {
-    std::vector<fs::path> found;
-    for (const auto& entry : fs::recursive_directory_iterator(path, ec)) {
-      if (entry.is_regular_file() && WantedExtension(entry.path())) {
-        found.push_back(entry.path());
-      }
-    }
-    std::sort(found.begin(), found.end());
-    for (const fs::path& p : found) {
-      if (!ReadFileInto(p, files)) return false;
-    }
-    return true;
-  }
-  if (fs::is_regular_file(path, ec)) return ReadFileInto(path, files);
-  std::cerr << "dynvote_lint: no such file or directory: " << arg << "\n";
-  return false;
-}
 
 int Usage() {
   std::cerr
@@ -100,9 +57,9 @@ int main(int argc, char** argv) {
   }
   if (paths.empty()) return Usage();
 
-  std::vector<FileInput> files;
+  std::vector<dynvote::lint::FileInput> files;
   for (const std::string& path : paths) {
-    if (!CollectPath(path, &files)) return 2;
+    if (!dynvote::lint::CollectPath("dynvote_lint", path, &files)) return 2;
   }
 
   dynvote::lint::Options options;

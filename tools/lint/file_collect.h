@@ -1,0 +1,69 @@
+// Shared input collection for the lint/analyzer CLI drivers
+// (dynvote_lint, dynvote_analyze): directories walk recursively for
+// .h/.hpp/.cc/.cpp/.md files in sorted order, so output is stable for
+// stable trees. Header-only on purpose — the drivers are the only
+// users and both are single translation units.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdio>  // stderr via fprintf: no <iostream> in a header
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"  // FileInput
+
+namespace dynvote {
+namespace lint {
+
+inline bool WantedExtension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" ||
+         ext == ".md";
+}
+
+inline bool ReadFileInto(const char* tool, const std::filesystem::path& path,
+                         std::vector<FileInput>* files) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot read %s\n", tool,
+                 path.string().c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  files->push_back({path.generic_string(), buffer.str()});
+  return true;
+}
+
+/// Appends `arg` (file or directory) to `files`; prints an error under
+/// the given tool name and returns false when unreadable/missing.
+inline bool CollectPath(const char* tool, const std::string& arg,
+                        std::vector<FileInput>* files) {
+  namespace fs = std::filesystem;
+  fs::path path(arg);
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    std::vector<fs::path> found;
+    for (const auto& entry : fs::recursive_directory_iterator(path, ec)) {
+      if (entry.is_regular_file() && WantedExtension(entry.path())) {
+        found.push_back(entry.path());
+      }
+    }
+    std::sort(found.begin(), found.end());
+    for (const fs::path& p : found) {
+      if (!ReadFileInto(tool, p, files)) return false;
+    }
+    return true;
+  }
+  if (fs::is_regular_file(path, ec)) return ReadFileInto(tool, path, files);
+  std::fprintf(stderr, "%s: no such file or directory: %s\n", tool,
+               arg.c_str());
+  return false;
+}
+
+}  // namespace lint
+}  // namespace dynvote

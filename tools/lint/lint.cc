@@ -8,196 +8,15 @@
 #include <string_view>
 #include <utility>
 
+#include "lint/scan.h"
+
 namespace dynvote {
 namespace lint {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Path classification
-
-struct PathInfo {
-  bool in_src = false;
-  bool in_bench = false;
-  bool in_tools = false;
-  bool is_header = false;
-  bool is_code = false;      // .h/.hpp/.cc/.cpp
-  bool is_markdown = false;  // .md
-  std::string src_dir;       // "core", "util", ... when in_src
-  std::string filename;      // last component
-};
-
-bool EndsWith(std::string_view s, std::string_view suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-PathInfo ClassifyPath(const std::string& raw_path) {
-  std::string path = raw_path;
-  std::replace(path.begin(), path.end(), '\\', '/');
-
-  std::vector<std::string> parts;
-  std::size_t start = 0;
-  while (start <= path.size()) {
-    std::size_t slash = path.find('/', start);
-    if (slash == std::string::npos) slash = path.size();
-    if (slash > start) parts.push_back(path.substr(start, slash - start));
-    start = slash + 1;
-  }
-
-  PathInfo info;
-  if (!parts.empty()) info.filename = parts.back();
-  info.is_header = EndsWith(path, ".h") || EndsWith(path, ".hpp");
-  info.is_code = info.is_header || EndsWith(path, ".cc") ||
-                 EndsWith(path, ".cpp");
-  info.is_markdown = EndsWith(path, ".md");
-
-  // The last marker component wins, so absolute checkout prefixes (which
-  // may themselves contain "src") never misclassify.
-  for (std::size_t i = parts.size(); i-- > 0;) {
-    const std::string& part = parts[i];
-    if (part == "src" || part == "bench" || part == "tools") {
-      info.in_src = part == "src";
-      info.in_bench = part == "bench";
-      info.in_tools = part == "tools";
-      // src_dir needs both a directory and a filename after "src".
-      if (info.in_src && i + 2 < parts.size()) {
-        info.src_dir = parts[i + 1];
-      }
-      break;
-    }
-  }
-  return info;
-}
-
-// ---------------------------------------------------------------------------
-// Line preprocessing: comment stripping, literal blanking, suppressions,
-// include parsing.
-
-struct Line {
-  std::string raw;
-  std::string code;        // comments stripped, string/char contents blanked
-  std::string include;     // include target when the line is an #include
-  bool include_angle = false;
-  std::set<std::string> allows;   // rules suppressed on this line
-  bool pure_suppression = false;  // comment-only line carrying an allow()
-};
-
-const std::regex kAllowRe(R"(dynvote-lint:\s*allow\(([^)\n]*)\))");
-const std::regex kIncludeRe(R"(^\s*#\s*include\s*([<"])([^>"]+)[>"])");
-
-void ParseAllows(const std::string& raw, std::set<std::string>* allows) {
-  auto begin = std::sregex_iterator(raw.begin(), raw.end(), kAllowRe);
-  for (auto it = begin; it != std::sregex_iterator(); ++it) {
-    std::string list = (*it)[1].str();
-    std::size_t pos = 0;
-    while (pos < list.size()) {
-      std::size_t comma = list.find(',', pos);
-      if (comma == std::string::npos) comma = list.size();
-      std::string name = list.substr(pos, comma - pos);
-      name.erase(0, name.find_first_not_of(" \t"));
-      std::size_t last = name.find_last_not_of(" \t:");
-      name.erase(last == std::string::npos ? 0 : last + 1);
-      if (!name.empty()) allows->insert(name);
-      pos = comma + 1;
-    }
-  }
-}
-
-/// Splits `content` into lines, stripping comments and blanking string
-/// and char literal contents in `code` (so tokens mentioned in comments,
-/// docstrings or messages never trip a rule). Tracks /* */ state across
-/// lines. Raw string literals are not special-cased — the tree has none,
-/// and the repo_lint run would surface a misparse as a stray finding.
-std::vector<Line> SplitLines(const std::string& content) {
-  std::vector<Line> lines;
-  bool in_block_comment = false;
-  std::size_t start = 0;
-  while (start <= content.size()) {
-    std::size_t end = content.find('\n', start);
-    if (end == std::string::npos) end = content.size();
-    Line line;
-    line.raw = content.substr(start, end - start);
-
-    std::string code;
-    code.reserve(line.raw.size());
-    bool in_string = false;
-    bool in_char = false;
-    for (std::size_t i = 0; i < line.raw.size(); ++i) {
-      char c = line.raw[i];
-      char next = i + 1 < line.raw.size() ? line.raw[i + 1] : '\0';
-      if (in_block_comment) {
-        if (c == '*' && next == '/') {
-          in_block_comment = false;
-          ++i;
-        }
-        code.push_back(' ');
-        continue;
-      }
-      if (in_string || in_char) {
-        char quote = in_string ? '"' : '\'';
-        if (c == '\\') {
-          code.push_back(' ');
-          if (next != '\0') {
-            code.push_back(' ');
-            ++i;
-          }
-        } else if (c == quote) {
-          in_string = in_char = false;
-          code.push_back(c);
-        } else {
-          code.push_back(' ');
-        }
-        continue;
-      }
-      if (c == '/' && next == '/') break;  // rest of line is a comment
-      if (c == '/' && next == '*') {
-        in_block_comment = true;
-        code.push_back(' ');
-        code.push_back(' ');
-        ++i;
-        continue;
-      }
-      if (c == '"') {
-        in_string = true;
-        code.push_back(c);
-        continue;
-      }
-      if (c == '\'') {
-        in_char = true;
-        code.push_back(c);
-        continue;
-      }
-      code.push_back(c);
-    }
-    line.code = std::move(code);
-
-    std::smatch inc;
-    if (std::regex_search(line.raw, inc, kIncludeRe)) {
-      line.include = inc[2].str();
-      line.include_angle = inc[1].str() == "<";
-    }
-
-    ParseAllows(line.raw, &line.allows);
-    if (!line.allows.empty()) {
-      std::size_t first = line.raw.find_first_not_of(" \t");
-      line.pure_suppression =
-          first != std::string::npos && line.raw.compare(first, 2, "//") == 0;
-    }
-
-    lines.push_back(std::move(line));
-    if (end == content.size()) break;
-    start = end + 1;
-  }
-  return lines;
-}
-
-bool IsAllowed(const std::vector<Line>& lines, std::size_t index,
-               const std::string& rule) {
-  if (lines[index].allows.count(rule) != 0) return true;
-  // A comment-only allow() line suppresses the line that follows it.
-  return index > 0 && lines[index - 1].pure_suppression &&
-         lines[index - 1].allows.count(rule) != 0;
-}
+// Path classification, comment/string-aware line splitting and the
+// allow() suppression grammar live in lint/scan.h, shared with the
+// symbol-aware analyzer (lint/analyze.h).
 
 // ---------------------------------------------------------------------------
 // Token rules (data-driven)
@@ -319,32 +138,6 @@ void CollectSchemas(const std::vector<Line>& lines, const std::string& path,
       }
     }
   }
-}
-
-// ---------------------------------------------------------------------------
-// JSON helpers
-
-void AppendJsonString(std::string_view value, std::string* out) {
-  out->push_back('"');
-  for (char c : value) {
-    switch (c) {
-      case '"':
-        out->append("\\\"");
-        break;
-      case '\\':
-        out->append("\\\\");
-        break;
-      case '\n':
-        out->append("\\n");
-        break;
-      case '\t':
-        out->append("\\t");
-        break;
-      default:
-        out->push_back(c);
-    }
-  }
-  out->push_back('"');
 }
 
 }  // namespace

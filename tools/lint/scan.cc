@@ -1,0 +1,276 @@
+#include "lint/scan.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <regex>
+#include <utility>
+
+namespace dynvote {
+namespace lint {
+namespace {
+
+const std::regex kAllowRe(R"re(dynvote-lint:\s*allow\(([^)\n]*)\))re");
+const std::regex kIncludeRe(R"re(^\s*#\s*include\s*([<"])([^>"]+)[>"])re");
+
+void ParseAllows(const std::string& raw, std::set<std::string>* allows) {
+  auto begin = std::sregex_iterator(raw.begin(), raw.end(), kAllowRe);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    std::string list = (*it)[1].str();
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+      std::size_t comma = list.find(',', pos);
+      if (comma == std::string::npos) comma = list.size();
+      std::string name = list.substr(pos, comma - pos);
+      name.erase(0, name.find_first_not_of(" \t"));
+      std::size_t last = name.find_last_not_of(" \t:");
+      name.erase(last == std::string::npos ? 0 : last + 1);
+      if (!name.empty()) allows->insert(name);
+      pos = comma + 1;
+    }
+  }
+}
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// True if the identifier characters ending just before `quote_pos` form
+/// a raw-string prefix (R, u8R, uR, LR, UR) that begins a token — i.e.
+/// the quote opens a raw string literal, not an ordinary one.
+bool HasRawPrefix(const std::string& raw, std::size_t quote_pos) {
+  static const char* kPrefixes[] = {"u8R", "uR", "LR", "UR", "R"};
+  for (const char* prefix : kPrefixes) {
+    std::size_t len = std::char_traits<char>::length(prefix);
+    if (quote_pos < len) continue;
+    if (raw.compare(quote_pos - len, len, prefix) != 0) continue;
+    // The prefix must start the token: `FOOR"(..` is an identifier
+    // followed by a string, not a raw literal.
+    if (quote_pos > len && IsIdentChar(raw[quote_pos - len - 1])) continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+PathInfo ClassifyPath(const std::string& raw_path) {
+  std::string path = raw_path;
+  std::replace(path.begin(), path.end(), '\\', '/');
+
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    std::size_t slash = path.find('/', start);
+    if (slash == std::string::npos) slash = path.size();
+    if (slash > start) parts.push_back(path.substr(start, slash - start));
+    start = slash + 1;
+  }
+
+  PathInfo info;
+  if (!parts.empty()) info.filename = parts.back();
+  info.is_header = EndsWith(path, ".h") || EndsWith(path, ".hpp");
+  info.is_code = info.is_header || EndsWith(path, ".cc") ||
+                 EndsWith(path, ".cpp");
+  info.is_markdown = EndsWith(path, ".md");
+
+  // The last marker component wins, so absolute checkout prefixes (which
+  // may themselves contain "src") never misclassify.
+  for (std::size_t i = parts.size(); i-- > 0;) {
+    const std::string& part = parts[i];
+    if (part == "src" || part == "bench" || part == "tools" ||
+        part == "docs") {
+      info.in_src = part == "src";
+      info.in_bench = part == "bench";
+      info.in_tools = part == "tools";
+      info.in_docs = part == "docs";
+      // src_dir needs both a directory and a filename after "src".
+      if (info.in_src && i + 2 < parts.size()) {
+        info.src_dir = parts[i + 1];
+      }
+      break;
+    }
+  }
+  return info;
+}
+
+std::vector<Line> SplitLines(const std::string& content) {
+  std::vector<Line> lines;
+  // Lexical state that survives a newline: /* */ blocks, raw string
+  // bodies, and (via backslash continuation) strings, char literals and
+  // // comments.
+  bool in_block_comment = false;
+  bool in_line_comment = false;
+  bool in_string = false;
+  bool in_char = false;
+  bool in_raw_string = false;
+  std::string raw_closer;  // ")delim\"" that ends the raw literal
+
+  std::size_t start = 0;
+  while (start <= content.size()) {
+    std::size_t end = content.find('\n', start);
+    if (end == std::string::npos) end = content.size();
+    Line line;
+    line.raw = content.substr(start, end - start);
+    // Lines that open inside a comment, string or raw-string body are
+    // content, not code: no #include or allow() parsing there.
+    const bool starts_in_code = !in_block_comment && !in_line_comment &&
+                                !in_string && !in_char && !in_raw_string;
+
+    std::string code;
+    code.reserve(line.raw.size());
+    for (std::size_t i = 0; i < line.raw.size(); ++i) {
+      char c = line.raw[i];
+      char next = i + 1 < line.raw.size() ? line.raw[i + 1] : '\0';
+      if (in_line_comment) {
+        code.push_back(' ');
+        continue;
+      }
+      if (in_block_comment) {
+        if (c == '*' && next == '/') {
+          in_block_comment = false;
+          ++i;
+          code.push_back(' ');
+        }
+        code.push_back(' ');
+        continue;
+      }
+      if (in_raw_string) {
+        if (line.raw.compare(i, raw_closer.size(), raw_closer) == 0) {
+          in_raw_string = false;
+          code.append(raw_closer.size(), ' ');
+          i += raw_closer.size() - 1;
+        } else {
+          code.push_back(' ');
+        }
+        continue;
+      }
+      if (in_string || in_char) {
+        char quote = in_string ? '"' : '\'';
+        if (c == '\\') {
+          code.push_back(' ');
+          if (next != '\0') {
+            code.push_back(' ');
+            ++i;
+          }
+        } else if (c == quote) {
+          in_string = in_char = false;
+          code.push_back(c);
+        } else {
+          code.push_back(' ');
+        }
+        continue;
+      }
+      if (c == '/' && next == '/') {
+        in_line_comment = true;
+        code.push_back(' ');
+        code.push_back(' ');
+        ++i;
+        continue;
+      }
+      if (c == '/' && next == '*') {
+        in_block_comment = true;
+        code.push_back(' ');
+        code.push_back(' ');
+        ++i;
+        continue;
+      }
+      if (c == '"') {
+        if (HasRawPrefix(line.raw, i)) {
+          // R"delim( ... )delim" — capture the delimiter, then blank
+          // everything (possibly across lines) until the matching closer.
+          std::size_t open = line.raw.find('(', i + 1);
+          if (open != std::string::npos) {
+            raw_closer.assign(1, ')');
+            raw_closer.append(line.raw, i + 1, open - i - 1);
+            raw_closer.push_back('"');
+            in_raw_string = true;
+            code.append(open - i + 1, ' ');
+            i = open;
+            continue;
+          }
+          // Malformed raw literal (no opening paren on the line): fall
+          // through and treat it as an ordinary string.
+        }
+        in_string = true;
+        code.push_back(c);
+        continue;
+      }
+      if (c == '\'') {
+        in_char = true;
+        code.push_back(c);
+        continue;
+      }
+      code.push_back(c);
+    }
+    line.code = std::move(code);
+
+    // A trailing backslash splices the next physical line (phase-2
+    // translation), so an open string/char literal or // comment
+    // continues there. Without it, those states end with the line; block
+    // comments and raw string bodies span lines on their own.
+    const bool spliced = !line.raw.empty() && line.raw.back() == '\\';
+    if (!spliced) {
+      in_line_comment = false;
+      in_string = false;
+      in_char = false;
+    }
+
+    std::smatch inc;
+    if (starts_in_code && std::regex_search(line.raw, inc, kIncludeRe)) {
+      line.include = inc[2].str();
+      line.include_angle = inc[1].str() == "<";
+    }
+
+    if (starts_in_code) ParseAllows(line.raw, &line.allows);
+    if (!line.allows.empty()) {
+      std::size_t first = line.raw.find_first_not_of(" \t");
+      line.pure_suppression =
+          first != std::string::npos && line.raw.compare(first, 2, "//") == 0;
+    }
+
+    lines.push_back(std::move(line));
+    if (end == content.size()) break;
+    start = end + 1;
+  }
+  return lines;
+}
+
+bool IsAllowed(const std::vector<Line>& lines, std::size_t index,
+               const std::string& rule) {
+  if (lines[index].allows.count(rule) != 0) return true;
+  // A comment-only allow() line suppresses the line that follows it.
+  return index > 0 && lines[index - 1].pure_suppression &&
+         lines[index - 1].allows.count(rule) != 0;
+}
+
+void AppendJsonString(std::string_view value, std::string* out) {
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace lint
+}  // namespace dynvote

@@ -15,6 +15,7 @@
 #include <array>
 
 #include "check/counterexample.h"  // check::kCounterExampleSchema
+#include "lint/analyze.h"          // lint::kAnalyzeSchema
 #include "lint/lint.h"             // lint::kLintSchema
 #include "model/open_loop.h"       // kServingSchema
 #include "obs/schemas.h"           // trace / btrace / metrics / bench
@@ -26,7 +27,7 @@ struct VersionedSchema {
   const char* token;
 };
 
-inline constexpr std::array<VersionedSchema, 8> kAllSchemas = {{
+inline constexpr std::array<VersionedSchema, 9> kAllSchemas = {{
     {"bench", kHotpathBenchSchema},
     {"check bench", kCheckBenchSchema},
     {"trace", kTraceSchema},
@@ -35,6 +36,7 @@ inline constexpr std::array<VersionedSchema, 8> kAllSchemas = {{
     {"serving", kServingSchema},
     {"counterexample", check::kCounterExampleSchema},
     {"lint", lint::kLintSchema},
+    {"analyze", lint::kAnalyzeSchema},
 }};
 
 }  // namespace dynvote
